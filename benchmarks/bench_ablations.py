@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* guard-driven quantifier enumeration in the FO evaluator vs naive
+  active-domain enumeration;
+* formula simplification on/off (size and evaluation time);
+* memoization in the interpreted Algorithm 1;
+* early-exit in brute-force repair enumeration.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.terms import is_variable
+from repro.cqa.is_certain import CertaintyInterpreter
+from repro.cqa.rewriting import consistent_rewriting
+from repro.db.satisfaction import satisfies
+from repro.db.repairs import iter_repairs
+from repro.fo.eval import Evaluator
+from repro.fo.formula import (
+    And, AtomF, Eq, Exists, Falsum, Forall, Not, Or, Verum, constants_of,
+)
+from repro.fo.stats import stats
+from repro.workloads.generators import random_small_database
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_qa, q3, q_hall
+
+
+def naive_evaluate(formula, db) -> bool:
+    """Reference evaluator: quantifiers enumerate the full active domain."""
+    consts = {c.value for c in constants_of(formula)}
+    adom = sorted(db.active_domain() | consts, key=repr)
+
+    def go(g, env):
+        if isinstance(g, Verum):
+            return True
+        if isinstance(g, Falsum):
+            return False
+        if isinstance(g, AtomF):
+            row = tuple(env[t] if is_variable(t) else t.value
+                        for t in g.atom.terms)
+            return db.contains(g.atom.relation, row)
+        if isinstance(g, Eq):
+            lv = env[g.lhs] if is_variable(g.lhs) else g.lhs.value
+            rv = env[g.rhs] if is_variable(g.rhs) else g.rhs.value
+            return lv == rv
+        if isinstance(g, Not):
+            return not go(g.sub, env)
+        if isinstance(g, And):
+            return all(go(s, env) for s in g.subs)
+        if isinstance(g, Or):
+            return any(go(s, env) for s in g.subs)
+        if isinstance(g, (Exists, Forall)):
+            combos = itertools.product(adom, repeat=len(g.vars))
+            results = (go(g.sub, {**env, **dict(zip(g.vars, c))})
+                       for c in combos)
+            return any(results) if isinstance(g, Exists) else all(results)
+        raise TypeError(g)
+
+    return go(formula, {})
+
+
+@pytest.fixture(scope="module")
+def qa_setup():
+    db = random_poll_database(15, 5, conflict_rate=0.5,
+                              rng=random.Random(31))
+    formula = consistent_rewriting(poll_qa())
+    return formula, db
+
+
+def test_ablation_guarded_eval(benchmark, qa_setup):
+    formula, db = qa_setup
+    expected = naive_evaluate(formula, db)
+    result = benchmark(lambda: Evaluator(formula, db).evaluate())
+    assert result == expected
+
+
+def test_ablation_naive_eval(benchmark, qa_setup):
+    formula, db = qa_setup
+    result = benchmark(naive_evaluate, formula, db)
+    assert isinstance(result, bool)
+
+
+def test_shape_guarded_eval_wins(qa_setup):
+    from repro.experiments.harness import timed
+
+    formula, db = qa_setup
+    _, t_guarded = timed(lambda: Evaluator(formula, db).evaluate(), repeat=3)
+    _, t_naive = timed(naive_evaluate, formula, db)
+    assert t_guarded < t_naive
+
+
+def test_ablation_simplified_rewriting(benchmark, rng):
+    query = q_hall(3)
+    simplified = consistent_rewriting(query, simplify=True)
+    raw = consistent_rewriting(query, simplify=False)
+    assert stats(simplified).nodes <= stats(raw).nodes
+    db = random_small_database(query, rng, domain_size=3,
+                               facts_per_relation=5)
+    expected = Evaluator(raw, db).evaluate()
+    result = benchmark(lambda: Evaluator(simplified, db).evaluate())
+    assert result == expected
+
+
+def test_ablation_interpreter_memoized(benchmark, rng):
+    query = q3()
+    db = random_small_database(query, rng, domain_size=4,
+                               facts_per_relation=10)
+    expected = CertaintyInterpreter(query, db, memoize=False).run(query)
+    result = benchmark(
+        lambda: CertaintyInterpreter(query, db, memoize=True).run(query))
+    assert result == expected
+
+
+def test_ablation_interpreter_unmemoized(benchmark, rng):
+    query = q3()
+    db = random_small_database(query, rng, domain_size=4,
+                               facts_per_relation=10)
+    result = benchmark(
+        lambda: CertaintyInterpreter(query, db, memoize=False).run(query))
+    assert isinstance(result, bool)
+
+
+def test_ablation_brute_early_exit(benchmark):
+    """Early exit pays off when a falsifying repair exists."""
+    from repro.cqa.brute_force import is_certain_brute_force
+
+    rng = random.Random(33)
+    query = q3()
+    db = random_small_database(query, rng, domain_size=3,
+                               facts_per_relation=8)
+
+    def full_scan():
+        return all(satisfies(r, query)
+                   for r in iter_repairs(db.restrict(["P", "N"])))
+
+    expected = full_scan()
+    result = benchmark(is_certain_brute_force, query, db)
+    assert result == expected

@@ -1,0 +1,59 @@
+"""Worst-case workloads: Hall-critical coverings, long augmenting
+paths, maximal-repair-count databases.
+
+Shape claims: the polynomial substrates stay polynomial on their worst
+cases; the repair-count bound is attained exactly.
+"""
+
+import pytest
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.engine import CertaintyEngine
+from repro.matching.hopcroft_karp import maximum_matching
+from repro.reductions.scovering import query_for, scovering_to_database
+from repro.workloads.adversarial import (
+    hall_critical_instance,
+    long_augmenting_path_graph,
+    max_repair_database,
+    repair_count_upper_bound,
+)
+
+
+@pytest.mark.parametrize("m", [16, 64, 256])
+def test_hopcroft_karp_on_augmenting_chains(benchmark, m):
+    graph = long_augmenting_path_graph(m)
+    matching = benchmark(maximum_matching, graph)
+    assert len(matching) == m
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def test_hall_critical_certainty(benchmark, n):
+    """Tight instances: CERTAINTY(q_Hall) is false but only just."""
+    inst = hall_critical_instance(n)
+    db = scovering_to_database(inst)
+    engine = CertaintyEngine(query_for(inst))
+    result = benchmark(engine.certain, db, "rewriting")
+    assert result is False  # the staircase is solvable
+    assert result == is_certain_brute_force(query_for(inst), db)
+
+
+def test_hall_critical_flips_when_broken():
+    inst = hall_critical_instance(3)
+    db = scovering_to_database(inst)
+    query = query_for(inst)
+    assert not is_certain_brute_force(query, db)
+    # Delete e1's only early membership: now uncoverable -> certain.
+    db.discard("N1", ("c", "e1"))
+    assert is_certain_brute_force(query, db)
+
+
+@pytest.mark.parametrize("budget", [9, 15])
+def test_brute_force_on_max_repair_db(benchmark, budget):
+    """Brute force against the densest possible repair space."""
+    from repro.core.parser import parse_query
+
+    db = max_repair_database(budget)
+    assert db.repair_count() == repair_count_upper_bound(budget)
+    query = parse_query("R(x | y), not Z(x | y)")
+    result = benchmark(is_certain_brute_force, query, db)
+    assert result is True  # Z is empty: q holds wherever R has a block

@@ -1,0 +1,60 @@
+"""E11 — the practicality claim: full strategy comparison and the
+exponential/polynomial crossover.
+"""
+
+import random
+
+import pytest
+
+from repro.cqa.engine import CertaintyEngine
+from repro.db.sqlite_backend import load_database
+from repro.fo.sql import compile_to_sql
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_qa
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CertaintyEngine(poll_qa())
+
+
+@pytest.fixture(scope="module")
+def big_db():
+    return random_poll_database(150, 25, conflict_rate=0.5,
+                                rng=random.Random(7))
+
+
+@pytest.mark.parametrize("method", ["rewriting", "sql", "interpreted"])
+def test_fo_strategies_on_large_db(benchmark, engine, big_db, method):
+    expected = engine.certain(big_db, "rewriting")
+    result = benchmark(engine.certain, big_db, method)
+    assert result == expected
+
+
+def test_warm_sql(benchmark, engine, big_db):
+    conn = load_database(big_db)
+    sql = compile_to_sql(engine.rewriting, big_db.schemas)
+    expected = engine.certain(big_db, "rewriting")
+    result = benchmark(lambda: bool(conn.execute(sql).fetchone()[0]))
+    assert result == expected
+    conn.close()
+
+
+def test_brute_force_crossover(benchmark, engine):
+    db = random_poll_database(10, 3, conflict_rate=0.5,
+                              rng=random.Random(9))
+    expected = engine.certain(db, "rewriting")
+    result = benchmark(engine.certain, db, "brute")
+    assert result == expected
+
+
+def test_shape_repairs_explode_but_fo_does_not(engine):
+    from repro.experiments.harness import timed
+
+    rng = random.Random(11)
+    small = random_poll_database(20, 5, conflict_rate=0.5, rng=rng)
+    large = random_poll_database(200, 30, conflict_rate=0.5, rng=rng)
+    assert large.restrict(set(poll_qa().relations)).repair_count() > 10 ** 9
+    answer, t_large = timed(engine.certain, large, "sql", repeat=2)
+    assert isinstance(answer, bool)
+    assert t_large < 2.0  # single SQL query, no repair enumeration

@@ -1,0 +1,48 @@
+"""E12 — certain answers with free variables.
+
+Shape claims: the single-SELECT SQL path and the per-candidate
+rewriting path return identical answer sets; SQL stays flat while the
+per-candidate brute-force path grows with candidates x repairs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.terms import Variable
+from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.workloads.crm import crm_deliverable, random_crm_database
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_qa
+
+
+@pytest.fixture(scope="module")
+def poll_setup():
+    db = random_poll_database(60, 12, conflict_rate=0.5,
+                              rng=random.Random(41))
+    return OpenQuery(poll_qa(), [Variable("p")]), db
+
+
+@pytest.mark.parametrize("method", ["sql", "rewriting"])
+def test_answer_strategies(benchmark, poll_setup, method):
+    open_query, db = poll_setup
+    expected = certain_answers(open_query, db, "sql")
+    result = benchmark(certain_answers, open_query, db, method)
+    assert result == expected
+
+
+def test_brute_answers_small(benchmark):
+    db = random_poll_database(6, 3, conflict_rate=0.5,
+                              rng=random.Random(43))
+    open_query = OpenQuery(poll_qa(), [Variable("p")])
+    expected = certain_answers(open_query, db, "sql")
+    result = benchmark(certain_answers, open_query, db, "brute")
+    assert result == expected
+
+
+def test_crm_answers(benchmark):
+    db = random_crm_database(40, 8, conflict_rate=0.5,
+                             rng=random.Random(47))
+    open_query = OpenQuery(crm_deliverable(), [Variable("i")])
+    result = benchmark(certain_answers, open_query, db, "sql")
+    assert result == certain_answers(open_query, db, "rewriting")

@@ -1,0 +1,35 @@
+"""E14 — the small-query census.
+
+Shape claims: classifying all 3282 queries is fast (the decision
+procedure is PTIME per query), and the dichotomy's sufficiency holds on
+every FO query in the space.
+"""
+
+from repro.core.classify import classify
+from repro.workloads.census import enumerate_queries
+
+
+def test_classify_entire_census(benchmark):
+    queries = list(enumerate_queries())
+    assert len(queries) == 3282
+
+    def classify_all():
+        return sum(1 for q in queries if classify(q).in_fo)
+
+    in_fo = benchmark(classify_all)
+    assert in_fo == 2659
+
+
+def test_enumerate_census(benchmark):
+    count = benchmark(lambda: sum(1 for _ in enumerate_queries()))
+    assert count == 3282
+
+
+def test_census_dichotomy_sample(benchmark):
+    from repro.experiments.e14_census import dichotomy_verification_table
+
+    def run():
+        return dichotomy_verification_table(every_nth=50, dbs_per_query=1)
+
+    table = benchmark(run)
+    assert table.rows[0][2] is True

@@ -1,0 +1,59 @@
+"""E2 — Figure 2 / Examples 1.2, 6.12: q_Hall.
+
+Shape claims: rewriting size grows exponentially in l; all solvers
+agree; the Hall matching solver stays polynomial.
+"""
+
+import random
+
+import pytest
+
+from repro.cqa.engine import CertaintyEngine
+from repro.cqa.rewriting import consistent_rewriting
+from repro.fo.stats import stats
+from repro.matching.hall import SCoveringInstance
+from repro.reductions.scovering import query_for, scovering_to_database
+from repro.workloads.queries import q_hall
+
+
+def _instance(n, l, seed=0):
+    rng = random.Random(seed)
+    elements = list(range(n))
+    subsets = [[e for e in elements if rng.random() < 0.5] for _ in range(l)]
+    return SCoveringInstance(elements, subsets)
+
+
+@pytest.mark.parametrize("l", [1, 2, 3, 4])
+def test_rewriting_construction(benchmark, l):
+    formula = benchmark(consistent_rewriting, q_hall(l))
+    assert stats(formula).nodes > 0
+
+
+def test_rewriting_size_exponential():
+    sizes = [stats(consistent_rewriting(q_hall(l))).nodes for l in (1, 2, 3, 4)]
+    for a, b in zip(sizes, sizes[1:]):
+        assert b > 2 * a, f"expected exponential growth, got {sizes}"
+
+
+@pytest.mark.parametrize("l", [1, 2, 3])
+def test_sql_evaluation(benchmark, l):
+    inst = _instance(30, l)
+    db = scovering_to_database(inst)
+    engine = CertaintyEngine(query_for(inst))
+    result = benchmark(engine.certain, db, "sql")
+    assert result == (not inst.solvable)
+
+
+def test_hall_solver(benchmark):
+    inst = _instance(200, 4)
+    result = benchmark(lambda: inst.solvable)
+    assert isinstance(result, bool)
+
+
+def test_all_solvers_agree():
+    inst = _instance(4, 2, seed=7)
+    db = scovering_to_database(inst)
+    engine = CertaintyEngine(query_for(inst))
+    cv = engine.cross_validate(db)
+    assert cv.consistent
+    assert cv.answer == (not inst.solvable)

@@ -1,0 +1,59 @@
+"""E3 — Figure 3 / Example 7.1: the combinatorial q4 solver.
+
+Shape claims: the solver is linear-time, agrees with brute force, and
+the counting shortcut dominates (m*n > m+n instances are instant).
+"""
+
+import pytest
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.experiments.e3_q4 import figure3_database
+from repro.reductions.q4 import is_certain_q4
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import q4
+
+from conftest import rng  # noqa: F401  (fixture re-export)
+from repro.core.atoms import RelationSchema
+from repro.db.database import Database
+
+
+def _big_db(m, rng):
+    db = Database([
+        RelationSchema("X", 1, 1), RelationSchema("Y", 1, 1),
+        RelationSchema("R", 2, 1), RelationSchema("S", 2, 1),
+    ])
+    for i in range(m):
+        db.add("X", (f"a{i}",))
+        db.add("Y", (f"b{i}",))
+        db.add("R", (f"a{i}", f"b{rng.randrange(m)}"))
+        db.add("S", (f"b{i}", f"a{rng.randrange(m)}"))
+    return db
+
+
+def test_figure3(benchmark):
+    db = figure3_database()
+    result = benchmark(is_certain_q4, db)
+    assert result is True
+
+
+@pytest.mark.parametrize("m", [16, 128, 1024])
+def test_q4_solver_scales(benchmark, rng, m):
+    db = _big_db(m, rng)
+    result = benchmark(is_certain_q4, db)
+    assert result is True  # m*m > 2m for m >= 3
+
+
+def test_brute_force_small(benchmark, rng):
+    db = random_small_database(q4(), rng, domain_size=3, facts_per_relation=3)
+    expected = is_certain_q4(db)
+    result = benchmark(is_certain_brute_force, q4(), db)
+    assert result == expected
+
+
+def test_shape_solver_flat(rng):
+    from repro.experiments.harness import timed
+
+    _, t_small = timed(is_certain_q4, _big_db(8, rng), repeat=3)
+    _, t_big = timed(is_certain_q4, _big_db(2048, rng), repeat=3)
+    # Linear-ish: 256x more data should not cost 5000x more time.
+    assert t_big < max(t_small, 1e-4) * 5000

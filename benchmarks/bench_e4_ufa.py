@@ -1,0 +1,46 @@
+"""E4 — Figure 4 / Lemma 5.3: UFA vs CERTAINTY(q2).
+
+Shape claims: union-find answers in ~constant time while brute force on
+the reduced database grows as 4^edges; answers always match.
+"""
+
+import pytest
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.reductions.ufa import ufa_to_database
+from repro.workloads.forests import ufa_instance
+from repro.workloads.queries import q2
+
+
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_union_find_scales(benchmark, rng, size):
+    forest, u, v = ufa_instance(size, max(2, size // 2), connected=True,
+                                rng=rng)
+    result = benchmark(forest.connected, u, v)
+    assert result is True
+
+
+def test_brute_force_on_reduction_small(benchmark, rng):
+    forest, u, v = ufa_instance(3, 2, connected=True, rng=rng)
+    db = ufa_to_database(forest, u, v)
+    result = benchmark(is_certain_brute_force, q2(), db)
+    assert result is True
+
+
+def test_equivalence_both_answers(rng):
+    for connected in (True, False):
+        forest, u, v = ufa_instance(3, 3, connected=connected, rng=rng)
+        db = ufa_to_database(forest, u, v)
+        assert is_certain_brute_force(q2(), db) == connected
+
+
+def test_shape_exponential_vs_flat(rng):
+    from repro.experiments.harness import timed
+
+    forest4, u4, v4 = ufa_instance(4, 2, connected=True, rng=rng)
+    forest6, u6, v6 = ufa_instance(6, 2, connected=True, rng=rng)
+    _, t4 = timed(is_certain_brute_force, q2(), ufa_to_database(forest4, u4, v4))
+    _, t6 = timed(is_certain_brute_force, q2(), ufa_to_database(forest6, u6, v6))
+    _, t_uf = timed(forest6.connected, u6, v6, repeat=3)
+    assert t6 > t4  # growing with the repair count
+    assert t_uf < t6  # union-find wins

@@ -1,0 +1,41 @@
+"""E5 — Examples 4.1/4.2: attack graph construction.
+
+Shape claims: edge sets match the paper exactly; construction is cheap.
+"""
+
+import pytest
+
+from repro.core.attack_graph import AttackGraph
+from repro.workloads.queries import (
+    all_named_queries,
+    q2_example41,
+    q3,
+    q_hall,
+)
+
+
+def test_attack_graph_example41(benchmark):
+    graph = benchmark(AttackGraph, q2_example41())
+    assert sorted((f.relation, g.relation) for f, g in graph.edges) == [
+        ("R", "P"), ("R", "S"), ("S", "P"), ("S", "R")]
+
+
+def test_attack_graph_example42(benchmark):
+    graph = benchmark(AttackGraph, q3())
+    assert [(f.relation, g.relation) for f, g in graph.edges] == [("N", "P")]
+
+
+@pytest.mark.parametrize("l", [4, 16, 64])
+def test_attack_graph_hall_family(benchmark, l):
+    query = q_hall(l)
+    graph = benchmark(AttackGraph, query)
+    assert graph.is_acyclic
+    assert len(graph.edges) == l  # every N_i attacks S
+
+
+def test_all_named_queries_graphable(benchmark):
+    def build_all():
+        return [AttackGraph(q) for _, q in all_named_queries()]
+
+    graphs = benchmark(build_all)
+    assert len(graphs) == len(all_named_queries())

@@ -1,0 +1,62 @@
+"""E7 — Example 4.6: answering the poll queries.
+
+Shape claims: the classification matches the paper; for the acyclic
+queries all FO strategies agree and beat brute force on inconsistent
+databases of nontrivial block structure.
+"""
+
+import pytest
+
+from repro.core.classify import Verdict, classify
+from repro.cqa.engine import CertaintyEngine
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_q1, poll_q2, poll_qa, poll_qb
+
+
+@pytest.fixture(scope="module")
+def poll_db():
+    import random
+
+    return random_poll_database(40, 10, conflict_rate=0.5,
+                                rng=random.Random(2018))
+
+
+def test_classification_matches_paper():
+    assert classify(poll_q1()).verdict is Verdict.NOT_IN_FO
+    assert classify(poll_q2()).verdict is Verdict.NOT_IN_FO
+    assert classify(poll_qa()).verdict is Verdict.IN_FO
+    assert classify(poll_qb()).verdict is Verdict.IN_FO
+
+
+@pytest.mark.parametrize("method", ["rewriting", "sql", "interpreted"])
+def test_qa_strategies(benchmark, poll_db, method):
+    engine = CertaintyEngine(poll_qa())
+    expected = engine.certain(poll_db, "rewriting")
+    result = benchmark(engine.certain, poll_db, method)
+    assert result == expected
+
+
+@pytest.mark.parametrize("method", ["rewriting", "sql"])
+def test_qb_strategies(benchmark, poll_db, method):
+    engine = CertaintyEngine(poll_qb())
+    expected = engine.certain(poll_db, "rewriting")
+    result = benchmark(engine.certain, poll_db, method)
+    assert result == expected
+
+
+def test_brute_force_small(benchmark, rng):
+    db = random_poll_database(8, 3, conflict_rate=0.5, rng=rng)
+    engine = CertaintyEngine(poll_qa())
+    result = benchmark(engine.certain, db, "brute")
+    assert result == engine.certain(db, "rewriting")
+
+
+def test_shape_fo_beats_brute(rng):
+    from repro.experiments.harness import timed
+
+    db = random_poll_database(14, 4, conflict_rate=0.8, rng=rng)
+    engine = CertaintyEngine(poll_qa())
+    answer_rw, t_rw = timed(engine.certain, db, "rewriting", repeat=3)
+    answer_bf, t_bf = timed(engine.certain, db, "brute")
+    assert answer_rw == answer_bf
+    assert t_rw < t_bf

@@ -1,0 +1,45 @@
+"""E8 — Theorem 4.3 decidability: classification is polynomial in |q|.
+
+Shape claim: classification time grows polynomially with query size
+(the paper notes the acyclicity test is PTIME).
+"""
+
+import pytest
+
+from repro.core.classify import classify
+from repro.workloads.generators import QueryParams, random_query
+from repro.workloads.queries import q_hall
+
+
+@pytest.mark.parametrize("n_atoms", [4, 8, 16])
+def test_classify_random_queries(benchmark, rng, n_atoms):
+    # A small variable pool keeps the co-occurrence graph dense enough
+    # that weakly-guarded queries exist at every size.
+    params = QueryParams(
+        n_positive=n_atoms // 2,
+        n_negative=n_atoms - n_atoms // 2,
+        n_variables=4,
+    )
+    queries = [random_query(params, rng) for _ in range(5)]
+
+    def classify_all():
+        return [classify(q) for q in queries]
+
+    results = benchmark(classify_all)
+    assert len(results) == 5
+
+
+@pytest.mark.parametrize("l", [8, 32])
+def test_classify_hall_family(benchmark, l):
+    query = q_hall(l)
+    result = benchmark(classify, query)
+    assert result.in_fo
+
+
+def test_shape_polynomial_growth():
+    from repro.experiments.harness import timed
+
+    _, t_small = timed(classify, q_hall(8), repeat=3)
+    _, t_large = timed(classify, q_hall(32), repeat=3)
+    # 4x atoms: allow generous polynomial headroom but reject exponential.
+    assert t_large < max(t_small, 1e-4) * 300

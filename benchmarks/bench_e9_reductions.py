@@ -1,0 +1,44 @@
+"""E9 — Lemmas 5.4/5.6/5.7: reduction gadgets.
+
+Shape claims: the database transformers are linear-time and preserve
+certainty (asserted against brute force on small instances).
+"""
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.reductions.drop_negated import reduce_database
+from repro.reductions.gadgets import reduce_lemma_5_6, reduce_lemma_5_7
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import poll_q1, poll_q2, q1, q2, q_hall
+
+
+def test_lemma54_transform(benchmark, rng):
+    sub, full = q_hall(1), q_hall(3)
+    db = random_small_database(sub, rng, domain_size=3, facts_per_relation=6)
+    out = benchmark(reduce_database, sub, full, db)
+    assert is_certain_brute_force(sub, db) == is_certain_brute_force(full, out)
+
+
+def test_lemma56_transform(benchmark, rng):
+    target = poll_q1()
+    f, g = target.atom_for("Mayor"), target.atom_for("Lives")
+    db = random_small_database(q1(), rng, domain_size=3, facts_per_relation=5)
+
+    def run():
+        return reduce_lemma_5_6(target, f, g, db)
+
+    _, out = benchmark(run)
+    assert is_certain_brute_force(q1(), db) == \
+        is_certain_brute_force(target, out)
+
+
+def test_lemma57_transform(benchmark, rng):
+    target = poll_q2()
+    f, g = target.atom_for("Lives"), target.atom_for("Mayor")
+    db = random_small_database(q2(), rng, domain_size=3, facts_per_relation=5)
+
+    def run():
+        return reduce_lemma_5_7(target, f, g, db)
+
+    _, out = benchmark(run)
+    assert is_certain_brute_force(q2(), db) == \
+        is_certain_brute_force(target, out)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark suite.
+
+Run with:  pytest benchmarks/ --benchmark-only
+
+Each module corresponds to one experiment id of DESIGN.md (E1–E11) and
+both (a) times the representative operation with pytest-benchmark and
+(b) re-asserts the paper-shape claims (who wins, agreement, growth).
+"""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2018)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Customer-data integration: certainty, possibility, counting, and
+explanations on one realistic inconsistent schema.
+
+Two CRM systems were merged and primary keys now conflict.  Which facts
+hold no matter how the conflicts are resolved?
+
+Run:  python examples/crm_cleanup.py
+"""
+
+import random
+
+from repro import CertaintyEngine, classify
+from repro.core.terms import Variable
+from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.cqa.counting import count_satisfying_repairs
+from repro.cqa.explain import explain
+from repro.cqa.possibility import is_possible
+from repro.workloads.crm import (
+    crm_blocked,
+    crm_deliverable,
+    crm_pilot_mismatch,
+    random_crm_database,
+)
+
+
+def main() -> None:
+    rng = random.Random(12)
+    db = random_crm_database(6, 3, conflict_rate=0.7, blocklist_rate=0.4,
+                             rng=rng)
+    print(f"merged CRM database: {db.size()} facts, "
+          f"{db.repair_count()} repairs, consistent={db.is_consistent}")
+
+    print("\n=== classification of the maintenance queries ===")
+    for name, query in [
+        ("deliverable", crm_deliverable()),
+        ("blocked", crm_blocked()),
+        ("pilot-mismatch", crm_pilot_mismatch()),
+    ]:
+        result = classify(query)
+        print(f"  {name:15s} {result.verdict.value:10s} ({result.reason})")
+
+    print("\n=== certainty / possibility / counting ===")
+    for name, query in [("deliverable", crm_deliverable()),
+                        ("blocked", crm_blocked())]:
+        engine = CertaintyEngine(query)
+        certain = engine.certain(db, "sql")
+        possible = is_possible(query, db)
+        count = count_satisfying_repairs(query, db)
+        print(f"  {name:12s} certain={certain}  possible={possible}  "
+              f"satisfying repairs: {count.satisfying}/{count.total}")
+
+    print("\n=== which customers certainly have deliverable consent? ===")
+    open_query = OpenQuery(crm_deliverable(), [Variable("i")])
+    answers = certain_answers(open_query, db, "sql")
+    print("  " + (", ".join(sorted(a for (a,) in answers)) or "(none)"))
+
+    print("\n=== why is 'blocked' not certain (or certain)? ===")
+    print(explain(crm_blocked(), db, rng=rng).render())
+
+
+if __name__ == "__main__":
+    main()

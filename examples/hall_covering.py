@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Examples 1.2 and 6.12: S-COVERING, Hall's theorem, and the q_Hall
+rewriting of Figure 2.
+
+Run:  python examples/hall_covering.py
+"""
+
+from repro import CertaintyEngine, is_certain_brute_force
+from repro.fo.stats import pretty, stats
+from repro.matching import SCoveringInstance, hall_violator
+from repro.reductions import covering_from_repair, scovering_to_database
+from repro.reductions.scovering import query_for
+from repro.cqa.brute_force import find_falsifying_repair
+
+
+def solvable_instance() -> None:
+    print("=== a solvable S-COVERING instance ===")
+    inst = SCoveringInstance(
+        ["red", "green", "blue"],
+        [["red", "green"], ["green", "blue"], ["red"]],
+    )
+    print("S =", inst.elements)
+    print("T =", [sorted(t) for t in inst.subsets])
+    print("covering:", inst.solve())
+
+    db = scovering_to_database(inst)
+    query = query_for(inst)
+    certain = is_certain_brute_force(query, db)
+    print("CERTAINTY(q_Hall):", certain, "(false = a covering repair exists)")
+    repair = find_falsifying_repair(query, db)
+    print("covering from falsifying repair:", covering_from_repair(inst, repair))
+
+
+def unsolvable_instance() -> None:
+    print("\n=== an unsolvable instance, with its Hall violator ===")
+    inst = SCoveringInstance(
+        ["a", "b", "c"],
+        [["a", "b", "c"], []],  # two sets cannot cover three elements
+    )
+    print("S =", inst.elements, " T =", [sorted(t) for t in inst.subsets])
+    print("solvable:", inst.solvable)
+    violator = hall_violator(inst.to_bipartite())
+    print("Hall violator (|N(A)| < |A|):", sorted(violator))
+
+    db = scovering_to_database(inst)
+    query = query_for(inst)
+    engine = CertaintyEngine(query)
+    answers = {m: engine.certain(db, m)
+               for m in ("brute", "interpreted", "rewriting", "sql")}
+    print("CERTAINTY(q_Hall):", answers, "(true = no covering exists)")
+
+
+def figure_2() -> None:
+    print("\n=== Figure 2: the rewriting of q_Hall for l = 3 ===")
+    from repro.workloads.queries import q_hall
+    engine = CertaintyEngine(q_hall(3))
+    s = stats(engine.rewriting)
+    print(f"size: {s.nodes} AST nodes, {s.atoms} atoms, "
+          f"{s.quantifiers} quantifiers (exponential in l, cf. Ex 6.12)")
+    print(pretty(engine.rewriting))
+
+
+if __name__ == "__main__":
+    solvable_instance()
+    unsolvable_instance()
+    figure_2()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The practicality claim end-to-end: compile a consistent first-order
+rewriting to ONE SQL query and run it on sqlite over the inconsistent
+database — no repairs ever materialized.
+
+Run:  python examples/sql_rewriting.py
+"""
+
+import random
+import time
+
+from repro import CertaintyEngine
+from repro.db.sqlite_backend import load_database
+from repro.fo.sql import compile_to_sql
+from repro.workloads import random_poll_database
+from repro.workloads.queries import poll_qa
+
+
+def main() -> None:
+    query = poll_qa()
+    engine = CertaintyEngine(query)
+    print("query:", query)
+    print("in FO:", engine.in_fo)
+
+    sql = compile_to_sql(engine.rewriting)
+    print(f"\ncompiled SQL ({len(sql)} chars):")
+    print(sql)
+
+    print("\nrunning on growing inconsistent databases:")
+    print(f"{'people':>7} {'facts':>6} {'repairs':>24} {'certain':>8} {'t_sql':>10}")
+    rng = random.Random(3)
+    for people in (10, 50, 200, 1000):
+        db = random_poll_database(people, max(3, people // 5),
+                                  conflict_rate=0.5, rng=rng)
+        conn = load_database(db)
+        full_sql = compile_to_sql(engine.rewriting, db.schemas)
+        t0 = time.perf_counter()
+        certain = bool(conn.execute(full_sql).fetchone()[0])
+        elapsed = time.perf_counter() - t0
+        repairs = db.restrict(set(query.relations)).repair_count()
+        print(f"{people:>7} {db.size():>6} {repairs:>24.6g} "
+              f"{str(certain):>8} {elapsed:>10.5f}")
+        conn.close()
+    print("\nrepair count grows exponentially; the SQL query does not care.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments without the ``wheel`` package (pip falls back to
+the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Consistent query answering for primary keys and conjunctive "
+        "queries with negated atoms (Koutris & Wijsen, PODS 2018): "
+        "attack graphs, the FO dichotomy, consistent first-order "
+        "rewritings, SQL compilation, and the hardness reductions."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+    python -m repro classify "R(x | y), not S(y | x)"
+    python -m repro rewrite  "P(x | y), not N('c' | y)" --pretty --sql
+    python -m repro certain  "P(x | y), not N('c' | y)" --db poll.json
+    python -m repro answers  "Lives(p | t), not Born(p | t)" --free p --db poll.json
+    python -m repro graph    "R(x | y), not S(y | x)"          # DOT output
+    python -m repro report   -o EXPERIMENTS.md
+
+Databases are JSON files in the ``repro.db.io`` format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.analysis import analyze
+from .core.attack_graph import AttackGraph
+from .core.classify import classify
+from .core.parser import ParseError, parse_query
+from .core.terms import Variable
+from .cqa.certain_answers import OpenQuery, certain_answers, certain_answers_sql_query
+from .cqa.engine import CertaintyEngine, METHODS
+from .cqa.explain import explain
+from .cqa.rewriting import NotInFO, Rewriter
+from .db.io import load_database_file
+from .db.profile import profile_database
+from .fo.parser import FormulaParseError, parse_sentence
+from .fo.sql import compile_to_sql
+from .fo.stats import pretty, stats
+
+
+def _parse_query_arg(text: str):
+    try:
+        return parse_query(text)
+    except ParseError as exc:
+        raise SystemExit(f"error: cannot parse query: {exc}")
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    result = classify(query)
+    graph = AttackGraph(query)
+    print(f"query:          {query}")
+    print(f"weakly guarded: {result.weakly_guarded}")
+    print(f"guarded:        {result.guarded}")
+    edges = sorted(f"{f.relation}->{g.relation}" for f, g in graph.edges)
+    print(f"attack edges:   {edges or 'none'}")
+    print(f"verdict:        {result.verdict.value}"
+          + (f" ({result.hardness.value})" if result.hardness.value != "none" else ""))
+    print(f"reason:         {result.reason}")
+    return 0
+
+
+def cmd_rewrite(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    try:
+        rewriter = Rewriter(query, trace=args.trace)
+        formula = rewriter.rewrite()
+    except NotInFO as exc:
+        print(f"no consistent first-order rewriting: {exc}", file=sys.stderr)
+        return 1
+    s = stats(formula)
+    print(f"rewriting size: {s.nodes} nodes, {s.atoms} atoms, "
+          f"{s.quantifiers} quantifiers")
+    if args.pretty:
+        print(pretty(formula))
+    else:
+        print(repr(formula))
+    if args.sql:
+        print()
+        print(compile_to_sql(formula))
+    if args.trace:
+        print()
+        print("Algorithm 1 trace:")
+        for step in rewriter.trace:
+            print("  " + step.render())
+    return 0
+
+
+def cmd_certain(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    db = load_database_file(args.db)
+    engine = CertaintyEngine(query)
+    answer = engine.certain(db, args.method)
+    print(f"CERTAINTY = {answer}   (method: {args.method}, "
+          f"{db.size()} facts, {db.repair_count()} repairs)")
+    return 0
+
+
+def cmd_answers(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    free = [Variable(name.strip()) for name in args.free.split(",") if name.strip()]
+    open_query = OpenQuery(query, free)
+    db = load_database_file(args.db)
+    if args.show_sql:
+        print(certain_answers_sql_query(open_query, db))
+        print()
+    answers = certain_answers(open_query, db, args.method)
+    names = ", ".join(v.name for v in free)
+    print(f"certain answers ({names}): {len(answers)}")
+    for row in sorted(answers, key=repr):
+        print("  " + ", ".join(repr(v) for v in row))
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    db = load_database_file(args.db)
+    print(explain(query, db).render())
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    print(analyze(query).render())
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    db = load_database_file(args.db)
+    print(profile_database(db).render())
+    return 0
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    try:
+        formula = parse_sentence(args.formula)
+    except FormulaParseError as exc:
+        raise SystemExit(f"error: cannot parse formula: {exc}")
+    db = load_database_file(args.db)
+    if args.method == "sql":
+        from .db.sqlite_backend import run_sentence_sql
+
+        answer = run_sentence_sql(formula, db)
+    else:
+        from .fo.eval import Evaluator
+
+        answer = Evaluator(formula, db).evaluate()
+    print(f"{answer}   (method: {args.method}, {db.size()} facts)")
+    return 0
+
+
+def cmd_graph(args: argparse.Namespace) -> int:
+    query = _parse_query_arg(args.query)
+    print(AttackGraph(query).to_dot())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS
+    from .experiments.harness import render_report
+
+    parts = []
+    for title, runner in ALL_EXPERIMENTS:
+        print(f"running {title} ...", file=sys.stderr)
+        parts.append(render_report(runner(), heading=f"# {title}"))
+    text = "\n".join(parts)
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Consistent query answering for primary keys and "
+                    "conjunctive queries with negated atoms (PODS 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("classify", help="run the Theorem 4.3 classifier")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("rewrite", help="construct the consistent FO rewriting")
+    p.add_argument("query")
+    p.add_argument("--pretty", action="store_true",
+                   help="indented rendering instead of one line")
+    p.add_argument("--sql", action="store_true",
+                   help="also print the compiled SQL")
+    p.add_argument("--trace", action="store_true",
+                   help="show Algorithm 1's elimination steps")
+    p.set_defaults(func=cmd_rewrite)
+
+    p = sub.add_parser("certain", help="answer CERTAINTY(q) on a database")
+    p.add_argument("query")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--method", default="auto",
+                   choices=("auto",) + METHODS)
+    p.set_defaults(func=cmd_certain)
+
+    p = sub.add_parser("answers",
+                       help="certain answers for a query with free variables")
+    p.add_argument("query")
+    p.add_argument("--free", required=True,
+                   help="comma-separated free variable names")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--method", default="auto",
+                   choices=("auto", "brute", "rewriting", "sql"))
+    p.add_argument("--show-sql", action="store_true",
+                   help="print the single SQL query first")
+    p.set_defaults(func=cmd_answers)
+
+    p = sub.add_parser("explain",
+                       help="explain a certainty answer (falsifying "
+                            "repair or sampled witnesses)")
+    p.add_argument("query")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("analyze",
+                       help="full structural report: closures, attacks, "
+                            "witnesses, verdict, rewriting stats")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("profile",
+                       help="inconsistency profile of a database "
+                            "(blocks, violations, repair count)")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("eval",
+                       help="evaluate an arbitrary FO sentence on a database "
+                            "(active-domain semantics)")
+    p.add_argument("formula")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--method", default="python", choices=("python", "sql"))
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("graph", help="print the attack graph as DOT")
+    p.add_argument("query")
+    p.set_defaults(func=cmd_graph)
+
+    p = sub.add_parser("report", help="run all experiments (E1-E14)")
+    p.add_argument("-o", "--output", help="write to file instead of stdout")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

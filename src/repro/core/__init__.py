@@ -1,0 +1,61 @@
+"""Core query model: terms, atoms, queries, FDs, attack graphs, classifier."""
+
+from .analysis import AtomAnalysis, QueryAnalysis, analyze
+from .atoms import Atom, RelationSchema, atom
+from .attack_graph import (
+    AttackGraph,
+    attack_witness,
+    attacked_from,
+    attacked_variables,
+    attacks_atom,
+    attacks_variable,
+)
+from .classify import Classification, Hardness, Verdict, classify
+from .fds import FD, closure, fds_of_atoms, implies, oplus
+from .parser import ParseError, parse_atom, parse_query, query_to_text
+from .query import Diseq, Query, QueryError
+from .terms import (
+    Constant,
+    PlaceholderConstant,
+    Term,
+    Variable,
+    fresh_constant,
+    make_variables,
+)
+
+__all__ = [
+    "Atom",
+    "AtomAnalysis",
+    "AttackGraph",
+    "Classification",
+    "Constant",
+    "Diseq",
+    "FD",
+    "Hardness",
+    "PlaceholderConstant",
+    "Query",
+    "ParseError",
+    "QueryAnalysis",
+    "QueryError",
+    "RelationSchema",
+    "Term",
+    "Variable",
+    "Verdict",
+    "analyze",
+    "atom",
+    "attack_witness",
+    "attacked_from",
+    "attacked_variables",
+    "attacks_atom",
+    "attacks_variable",
+    "classify",
+    "closure",
+    "fds_of_atoms",
+    "fresh_constant",
+    "implies",
+    "make_variables",
+    "oplus",
+    "parse_atom",
+    "parse_query",
+    "query_to_text",
+]

@@ -1,0 +1,275 @@
+"""The attack graph of a query (Section 4.1).
+
+Attacks between variables: for an atom F and variables u ∈ vars(F),
+w ∈ vars(q), we write ``F|u ⇝ w`` when there is a sequence
+``u_0, ..., u_l`` of variables with u_0 = u, u_l = w, consecutive
+variables co-occurring in a positive atom, and no variable of the
+sequence belonging to F^{+,q}.
+
+Attacks between atoms: F attacks G (``F ⇝ G``) when F attacks some
+variable of key(G).  The attack graph has vertex set q⁺ ∪ q⁻ and an edge
+for every attack between distinct atoms.
+
+Disequality constraints behave like negated fresh *all-key* atoms
+(Lemma 6.6); all-key atoms have no outgoing attacks, so disequalities can
+never contribute an edge, let alone a cycle, and are ignored here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .fds import oplus
+from .query import Query
+from .terms import Variable
+
+
+def cooccurrence_graph(query: Query) -> Dict[Variable, frozenset]:
+    """Adjacency map: x ~ y iff x and y co-occur in some positive atom.
+
+    Every variable is adjacent to itself (witnesses of length zero are
+    allowed by the definition).
+    """
+    adj: Dict[Variable, set] = {v: set() for v in query.vars}
+    for p in query.positives:
+        vs = p.vars
+        for x in vs:
+            adj.setdefault(x, set()).update(vs)
+    return {v: frozenset(neighbours) for v, neighbours in adj.items()}
+
+
+def attacked_variables(query: Query, atom_obj: Atom) -> FrozenSet[Variable]:
+    """All w with F ⇝ w, computed by BFS from vars(F) \\ F^{+,q}.
+
+    A witness must avoid F^{+,q} entirely (including its first element),
+    so the search starts only from the atom's own variables outside the
+    closure and never enters it.
+    """
+    forbidden = oplus(query, atom_obj)
+    start = [u for u in atom_obj.vars if u not in forbidden]
+    adj = cooccurrence_graph(query)
+    seen = set(start)
+    frontier = deque(start)
+    while frontier:
+        u = frontier.popleft()
+        for w in adj.get(u, ()):
+            if w not in seen and w not in forbidden:
+                seen.add(w)
+                frontier.append(w)
+    return frozenset(seen)
+
+
+def attacked_from(
+    query: Query, atom_obj: Atom, source: Variable
+) -> FrozenSet[Variable]:
+    """All w with F|source ⇝ w: reachability from one variable of F.
+
+    The reduction gadgets of Lemmas 5.6/5.7 and Proposition 7.2 need the
+    single-source attack relation, not just its union over vars(F).
+    """
+    if source not in atom_obj.vars:
+        raise ValueError(f"{source} does not occur in {atom_obj!r}")
+    forbidden = oplus(query, atom_obj)
+    if source in forbidden:
+        return frozenset()
+    adj = cooccurrence_graph(query)
+    seen = {source}
+    frontier = deque([source])
+    while frontier:
+        u = frontier.popleft()
+        for w in adj.get(u, ()):
+            if w not in seen and w not in forbidden:
+                seen.add(w)
+                frontier.append(w)
+    return frozenset(seen)
+
+
+def attack_witness(
+    query: Query, atom_obj: Atom, target: Variable
+) -> Optional[Tuple[Variable, ...]]:
+    """A witness sequence for F ⇝ target, or None if F does not attack it.
+
+    The returned sequence (u_0, ..., u_l) satisfies the three conditions
+    of Section 4.1 and is produced by shortest-path BFS, so it is a
+    minimum-length witness.
+    """
+    forbidden = oplus(query, atom_obj)
+    if target in forbidden:
+        return None
+    adj = cooccurrence_graph(query)
+    parents: Dict[Variable, Optional[Variable]] = {}
+    frontier = deque()
+    for u in sorted(atom_obj.vars):
+        if u not in forbidden:
+            parents[u] = None
+            frontier.append(u)
+    while frontier:
+        u = frontier.popleft()
+        if u == target:
+            path = [u]
+            while parents[path[-1]] is not None:
+                path.append(parents[path[-1]])
+            return tuple(reversed(path))
+        for w in sorted(adj.get(u, ())):
+            if w not in parents and w not in forbidden:
+                parents[w] = u
+                frontier.append(w)
+    return None
+
+
+def attacks_variable(query: Query, atom_obj: Atom, var: Variable) -> bool:
+    """F ⇝ var?"""
+    return var in attacked_variables(query, atom_obj)
+
+
+def attacks_atom(query: Query, f: Atom, g: Atom) -> bool:
+    """F ⇝ G: F attacks some variable of key(G) (and F ≠ G)."""
+    if f == g:
+        return False
+    return bool(attacked_variables(query, f) & g.key_vars)
+
+
+class AttackGraph:
+    """The attack graph of a query, with cycle diagnostics.
+
+    Vertices are the atoms of q⁺ ∪ q⁻; edges are atom attacks.  The
+    variable-level attack sets are exposed via :meth:`attacked_vars` for
+    reuse by the classifier and the reduction gadgets.
+    """
+
+    def __init__(self, query: Query):
+        self.query = query
+        self._attacked: Dict[Atom, FrozenSet[Variable]] = {
+            a: attacked_variables(query, a) for a in query.atoms
+        }
+        self.edges: List[Tuple[Atom, Atom]] = []
+        self._succ: Dict[Atom, List[Atom]] = {a: [] for a in query.atoms}
+        for f in query.atoms:
+            for g in query.atoms:
+                if f != g and self._attacked[f] & g.key_vars:
+                    self.edges.append((f, g))
+                    self._succ[f].append(g)
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The vertex set (q⁺ first, then q⁻, in query order)."""
+        return self.query.atoms
+
+    def attacked_vars(self, atom_obj: Atom) -> FrozenSet[Variable]:
+        """The set of variables attacked by *atom_obj*."""
+        return self._attacked[atom_obj]
+
+    def successors(self, atom_obj: Atom) -> Tuple[Atom, ...]:
+        """Atoms attacked by *atom_obj*."""
+        return tuple(self._succ[atom_obj])
+
+    def predecessors(self, atom_obj: Atom) -> Tuple[Atom, ...]:
+        """Atoms attacking *atom_obj*."""
+        return tuple(f for f, g in self.edges if g == atom_obj)
+
+    def has_edge(self, f: Atom, g: Atom) -> bool:
+        """Is there an attack F ⇝ G?"""
+        return (f, g) in set(self.edges)
+
+    @property
+    def is_acyclic(self) -> bool:
+        """True when the attack graph contains no directed cycle."""
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> Optional[Tuple[Atom, ...]]:
+        """A directed cycle (v_0, ..., v_k, v_0-implied), or None.
+
+        The returned tuple lists the atoms on the cycle; the edge from
+        the last atom back to the first closes it.
+        """
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {a: WHITE for a in self.query.atoms}
+        stack: List[Atom] = []
+
+        def dfs(a: Atom) -> Optional[Tuple[Atom, ...]]:
+            color[a] = GRAY
+            stack.append(a)
+            for b in self._succ[a]:
+                if color[b] == GRAY:
+                    i = stack.index(b)
+                    return tuple(stack[i:])
+                if color[b] == WHITE:
+                    found = dfs(b)
+                    if found is not None:
+                        return found
+            stack.pop()
+            color[a] = BLACK
+            return None
+
+        for a in self.query.atoms:
+            if color[a] == WHITE:
+                found = dfs(a)
+                if found is not None:
+                    return found
+        return None
+
+    def find_two_cycle(self) -> Optional[Tuple[Atom, Atom]]:
+        """A cycle of length two, or None.
+
+        By Lemma 4.9, when negation is weakly guarded a cyclic attack
+        graph always contains a cycle of length two; the classifier
+        relies on this to pick the right hardness lemma.
+        """
+        edge_set = set(self.edges)
+        for f, g in self.edges:
+            if (g, f) in edge_set:
+                return (f, g)
+        return None
+
+    def unattacked_atoms(self) -> Tuple[Atom, ...]:
+        """Atoms with no incoming attack edge."""
+        attacked = {g for _, g in self.edges}
+        return tuple(a for a in self.query.atoms if a not in attacked)
+
+    def unattacked_variables(self) -> FrozenSet[Variable]:
+        """Variables attacked by no atom (exactly the reifiable ones
+        under weakly-guarded negation, Cor. 6.9 + Prop. 7.2)."""
+        attacked = set()
+        for vs in self._attacked.values():
+            attacked |= vs
+        return frozenset(self.query.vars - attacked)
+
+    def topological_order(self) -> Tuple[Atom, ...]:
+        """A topological order of the atoms (raises when cyclic).
+
+        Unattacked atoms come first; Algorithm 1 can eliminate atoms in
+        this order.
+        """
+        if not self.is_acyclic:
+            raise ValueError("the attack graph is cyclic")
+        indegree = {a: 0 for a in self.query.atoms}
+        for _, g in self.edges:
+            indegree[g] += 1
+        ready = [a for a in self.query.atoms if indegree[a] == 0]
+        order: List[Atom] = []
+        while ready:
+            a = ready.pop(0)
+            order.append(a)
+            for b in self._succ[a]:
+                indegree[b] -= 1
+                if indegree[b] == 0:
+                    ready.append(b)
+        return tuple(order)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering: negated atoms drawn as boxes."""
+        lines = ["digraph attack_graph {"]
+        for a in self.query.atoms:
+            shape = "box" if self.query.is_negative(a) else "ellipse"
+            label = repr(a).replace('"', r"\"")
+            lines.append(f'  "{a.relation}" [shape={shape}, label="{label}"];')
+        for f, g in self.edges:
+            lines.append(f'  "{f.relation}" -> "{g.relation}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        es = ", ".join(f"{f!r}->{g!r}" for f, g in self.edges)
+        return f"AttackGraph(edges=[{es}])"

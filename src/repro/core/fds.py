@@ -1,0 +1,82 @@
+"""Functional dependencies over query variables.
+
+Section 4.1 of the paper associates with every set ``p`` of non-negated
+atoms the set of functional dependencies
+
+    K(p) = { key(F) -> vars(F) | F in p }
+
+and defines, for an atom F of a query q,
+
+    F^{+,q} = { x in vars(q) | K(q+ \\ {F}) |= key(F) -> x },
+
+the closure of key(F) with respect to the dependencies of the positive
+atoms other than F.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from .atoms import Atom
+from .query import Query
+from .terms import Variable
+
+
+class FD:
+    """A functional dependency between sets of variables."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Iterable[Variable], rhs: Iterable[Variable]):
+        self.lhs = frozenset(lhs)
+        self.rhs = frozenset(rhs)
+
+    def __repr__(self) -> str:
+        lhs = ",".join(sorted(v.name for v in self.lhs)) or "()"
+        rhs = ",".join(sorted(v.name for v in self.rhs)) or "()"
+        return f"{lhs} -> {rhs}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FD) and self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+
+def fds_of_atoms(atoms: Sequence[Atom]) -> Tuple[FD, ...]:
+    """K(p): one dependency key(F) -> vars(F) per atom."""
+    return tuple(FD(a.key_vars, a.vars) for a in atoms)
+
+
+def closure(attrs: Iterable[Variable], fds: Sequence[FD]) -> FrozenSet[Variable]:
+    """The closure of *attrs* under *fds* (standard fixpoint algorithm)."""
+    closed = set(attrs)
+    pending: List[FD] = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        remaining = []
+        for fd in pending:
+            if fd.lhs <= closed:
+                if not fd.rhs <= closed:
+                    closed |= fd.rhs
+                    changed = True
+            else:
+                remaining.append(fd)
+        pending = remaining
+    return frozenset(closed)
+
+
+def implies(fds: Sequence[FD], fd: FD) -> bool:
+    """Does the set of dependencies logically imply *fd*?"""
+    return fd.rhs <= closure(fd.lhs, fds)
+
+
+def oplus(query: Query, atom_obj: Atom) -> FrozenSet[Variable]:
+    """F^{+,q}: closure of key(F) under K(q+ \\ {F}).
+
+    For F in q-, the set ``q+ \\ {F}`` is simply ``q+`` because F is not a
+    positive atom; the definition handles both cases uniformly.
+    """
+    others = tuple(a for a in query.positives if a != atom_obj)
+    return closure(atom_obj.key_vars, fds_of_atoms(others))

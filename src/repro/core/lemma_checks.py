@@ -1,0 +1,198 @@
+"""The paper's structural lemmas as executable checks.
+
+Each function verifies one lemma's statement on a concrete query and
+returns the list of violations (empty = the lemma holds, as it must).
+These checks power property-based tests and double as machine-readable
+documentation of Section 4.3 and Lemma 6.10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .attack_graph import AttackGraph, attacked_from, attacked_variables
+from .atoms import Atom
+from .fds import oplus
+from .query import Query
+from .terms import Constant, Variable
+
+
+def check_lemma_4_7(query: Query) -> List[str]:
+    """Lemma 4.7: if F|w ⇝ u then for every positive P ≠ F containing u,
+    F attacks some variable of key(P)."""
+    violations = []
+    for f in query.atoms:
+        attacked = attacked_variables(query, f)
+        for u in attacked:
+            for p in query.positives:
+                if p == f or u not in p.vars:
+                    continue
+                if not attacked & p.key_vars:
+                    violations.append(
+                        f"{f.relation} ~> {u.name} but attacks no key "
+                        f"variable of {p.relation}"
+                    )
+    return violations
+
+
+def check_lemma_4_8(query: Query) -> List[str]:
+    """Lemma 4.8: if F ⇝ P (P positive) then F attacks every variable
+    of vars(P) \\ F⊕."""
+    violations = []
+    graph = AttackGraph(query)
+    for f in query.atoms:
+        f_plus = oplus(query, f)
+        attacked = graph.attacked_vars(f)
+        for p in query.positives:
+            if p == f or not graph.has_edge(f, p):
+                continue
+            for u in p.vars - f_plus:
+                if u not in attacked:
+                    violations.append(
+                        f"{f.relation} ~> {p.relation} but not "
+                        f"{f.relation} ~> {u.name}"
+                    )
+    return violations
+
+
+def check_lemma_4_9(query: Query) -> List[str]:
+    """Lemma 4.9 (weakly-guarded queries): F ⇝ G ⇝ H implies F ⇝ H or
+    G ⇝ F.  Returns [] vacuously when negation is not weakly guarded."""
+    if not query.has_weakly_guarded_negation:
+        return []
+    violations = []
+    graph = AttackGraph(query)
+    edges = set(graph.edges)
+    for f, g in edges:
+        for g2, h in edges:
+            if g2 != g or f == h:
+                continue
+            if (f, h) not in edges and (g, f) not in edges:
+                violations.append(
+                    f"{f.relation} ~> {g.relation} ~> {h.relation} with "
+                    f"neither {f.relation} ~> {h.relation} nor "
+                    f"{g.relation} ~> {f.relation}"
+                )
+    return violations
+
+
+def check_all_key_zero_outdegree(query: Query) -> List[str]:
+    """All-key atoms never attack (vars(F) = key(F) ⊆ F⊕)."""
+    graph = AttackGraph(query)
+    return [
+        f"all-key atom {a.relation} attacks {g.relation}"
+        for a in query.atoms if a.is_all_key
+        for g in graph.successors(a)
+    ]
+
+
+def check_lemma_6_10(query: Query, variable: Variable,
+                     constant: Constant) -> List[str]:
+    """Lemma 6.10: substituting a constant never adds attacks and
+    preserves weak-guardedness."""
+    violations = []
+    sub = query.substitute({variable: constant})
+    before = {(f.relation, g.relation) for f, g in AttackGraph(query).edges}
+    after = {(f.relation, g.relation) for f, g in AttackGraph(sub).edges}
+    for edge in after - before:
+        violations.append(f"substitution created attack {edge}")
+    if query.has_weakly_guarded_negation and not sub.has_weakly_guarded_negation:
+        violations.append("substitution broke weak-guardedness")
+    return violations
+
+
+def check_lemma_6_8(query: Query, repair, fresh_value="fresh-6-8") -> List[str]:
+    """Lemma 6.8, randomized: swapping a key-relevant fact A of a
+    consistent database for a key-equal fact B can only *lose*
+    satisfying valuations over the unattacked variables X.
+
+    *repair* must be a consistent database.  For every atom G with no
+    attacks into X (the unattacked variables), every key-relevant
+    G-fact A, and a synthetic key-equal B, checks: r_B ⊨ ζ(q) implies
+    r ⊨ ζ(q) for all valuations ζ over X realized in either database.
+    """
+    from ..db.satisfaction import key_relevant_facts, satisfying_valuations
+
+    if not query.has_weakly_guarded_negation:
+        return []
+    if not repair.is_consistent:
+        raise ValueError("Lemma 6.8 needs a consistent database")
+
+    graph = AttackGraph(query)
+    unattacked = graph.unattacked_variables()
+    if not unattacked:
+        return []
+    x_vars = tuple(sorted(unattacked))
+    violations: List[str] = []
+
+    def projections(db) -> set:
+        return {
+            tuple(env[v] for v in x_vars)
+            for env in satisfying_valuations(query, db)
+        }
+
+    for g in query.atoms:
+        if graph.attacked_vars(g) & unattacked:
+            continue  # hypothesis requires G not attacking X
+        k = g.schema.key_size
+        arity = g.schema.arity
+        if k == arity:
+            continue  # all-key: A = B, trivial
+        for a_fact in key_relevant_facts(query, g, repair):
+            b_fact = a_fact[:k] + tuple(
+                (fresh_value, i) for i in range(arity - k)
+            )
+            if b_fact == a_fact:
+                continue
+            swapped = repair.copy()
+            swapped.discard(g.relation, a_fact)
+            swapped.add(g.relation, b_fact)
+            extra = projections(swapped) - projections(repair)
+            if extra:
+                violations.append(
+                    f"swapping {g.relation}{a_fact!r} -> {b_fact!r} "
+                    f"gained X-valuations {sorted(extra, key=repr)[:3]}"
+                )
+    return violations
+
+
+def check_corollary_6_9(query: Query, db) -> List[str]:
+    """Corollary 6.9, by brute force: when q is certain, some constant
+    tuple for the unattacked variables keeps it certain.
+
+    Exponential (enumerates repairs per grounding); intended for small
+    databases in tests.
+    """
+    from ..cqa.brute_force import is_certain_brute_force
+
+    if not query.has_weakly_guarded_negation:
+        return []
+    graph = AttackGraph(query)
+    x_vars = tuple(sorted(graph.unattacked_variables()))
+    if not x_vars:
+        return []
+    if not is_certain_brute_force(query, db):
+        return []
+    import itertools
+
+    adom = sorted(db.active_domain(), key=repr)
+    for combo in itertools.product(adom, repeat=len(x_vars)):
+        grounded = query.substitute(
+            {v: Constant(c) for v, c in zip(x_vars, combo)}
+        )
+        if is_certain_brute_force(grounded, db):
+            return []
+    return [
+        f"q certain but no grounding of unattacked {[v.name for v in x_vars]} "
+        f"is certain (reifiability violated)"
+    ]
+
+
+def check_all(query: Query) -> List[str]:
+    """Run every parameter-free lemma check."""
+    return (
+        check_lemma_4_7(query)
+        + check_lemma_4_8(query)
+        + check_lemma_4_9(query)
+        + check_all_key_zero_outdegree(query)
+    )

@@ -1,0 +1,272 @@
+"""A small text syntax for sjfBCQ¬ queries.
+
+Grammar::
+
+    query   := literal (',' literal)*
+    literal := ['not' | '!' | '¬'] atom
+             | diseq
+    atom    := NAME '(' terms ['|' terms] ')'
+    diseq   := term '!=' term
+             | '(' terms ')' '!=' '(' terms ')'
+    terms   := [term (',' term)*]
+    term    := NAME            (a variable, lowercase-or-not)
+             | INTEGER         (an integer constant)
+             | 'text'          (a string constant, single quotes)
+             | "text"          (a string constant, double quotes)
+
+The '|' separates primary-key positions from the rest — the textual
+stand-in for the paper's underlining.  Without '|', every position is a
+key (an all-key atom).  Disequalities are the sjfBCQ¬≠ constraints of
+Definition 6.3: a tuple form ``(x, y) != ('a', 'b')`` means "not both
+equal".
+
+Examples::
+
+    parse_query("R(x | y), not S(y | x)")            # the paper's q1
+    parse_query("P(x | y), not N('c' | y)")          # the paper's q3
+    parse_query("Likes(p, t), not Lives(p | t), not Mayor(t | p)")
+    parse_query("R(x | y, z), (y, z) != ('a', 'b')")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from .atoms import Atom, RelationSchema
+from .query import Diseq, Query, QueryError
+from .terms import Constant, Term, Variable
+
+
+class ParseError(ValueError):
+    """Raised on malformed query text."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<neq>!=)
+  | (?P<not>(?:not\b|!|¬))
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>-?\d+)
+  | (?P<str>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<punct>[(),|])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            yield _Token(kind, match.group(), position)
+        position = match.end()
+    yield _Token("eof", "", position)
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize(text))
+        self.index = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self.advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise ParseError(
+                f"expected {value or kind} at offset {token.position}, "
+                f"got {token.value!r}"
+            )
+        return token
+
+    # ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        positives: List[Atom] = []
+        negatives: List[Atom] = []
+        diseqs: List["Diseq"] = []
+        while True:
+            literal = self.parse_literal()
+            if isinstance(literal, Diseq):
+                diseqs.append(literal)
+            else:
+                negated, atom_obj = literal
+                (negatives if negated else positives).append(atom_obj)
+            token = self.peek()
+            if token.kind == "eof":
+                break
+            self.expect("punct", ",")
+        try:
+            return Query(positives, negatives, diseqs)
+        except QueryError as exc:
+            raise ParseError(str(exc)) from exc
+
+    def parse_literal(self):
+        """A literal: negated/positive atom, or a disequality."""
+        if self.peek().kind == "not":
+            self.advance()
+            return True, self.parse_atom()
+        if self._at_diseq():
+            return self.parse_diseq()
+        return False, self.parse_atom()
+
+    def _at_diseq(self) -> bool:
+        """Lookahead: does a disequality start here?
+
+        Either ``term != ...`` or ``( terms ) != ...``.
+        """
+        token = self.peek()
+        if token.kind in ("int", "str"):
+            return True
+        if token.kind == "name":
+            nxt = self.tokens[self.index + 1]
+            return nxt.kind == "neq"
+        if token.value == "(":
+            depth = 0
+            i = self.index
+            while i < len(self.tokens):
+                probe = self.tokens[i]
+                if probe.value == "(":
+                    depth += 1
+                elif probe.value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return (i + 1 < len(self.tokens)
+                                and self.tokens[i + 1].kind == "neq")
+                elif probe.kind == "eof":
+                    break
+                i += 1
+            return False
+        return False
+
+    def parse_diseq(self) -> Diseq:
+        lhs = self._parse_term_tuple()
+        self.expect("neq")
+        rhs = self._parse_term_tuple()
+        if len(lhs) != len(rhs):
+            raise ParseError(
+                f"disequality sides have different lengths: "
+                f"{len(lhs)} vs {len(rhs)}"
+            )
+        return Diseq(tuple(zip(lhs, rhs)))
+
+    def _parse_term_tuple(self) -> List[Term]:
+        if self.peek().value == "(":
+            self.advance()
+            terms = self.parse_terms(stop={")"})
+            self.expect("punct", ")")
+            if not terms:
+                raise ParseError("empty tuple in disequality")
+            return terms
+        return [self.parse_term()]
+
+    def parse_atom(self) -> Atom:
+        name = self.expect("name").value
+        self.expect("punct", "(")
+        key_terms = self.parse_terms(stop={"|", ")"})
+        if self.peek().value == "|":
+            self.advance()
+            value_terms = self.parse_terms(stop={")"})
+        else:
+            value_terms = []
+        self.expect("punct", ")")
+        arity = len(key_terms) + len(value_terms)
+        if not key_terms:
+            raise ParseError(f"atom {name} needs at least one key position")
+        schema = RelationSchema(name, arity, len(key_terms))
+        return Atom(schema, tuple(key_terms) + tuple(value_terms))
+
+    def parse_terms(self, stop) -> List[Term]:
+        terms: List[Term] = []
+        if self.peek().value in stop:
+            return terms
+        while True:
+            terms.append(self.parse_term())
+            if self.peek().value == ",":
+                self.advance()
+                continue
+            if self.peek().value in stop:
+                return terms
+            token = self.peek()
+            raise ParseError(
+                f"expected ',' or one of {sorted(stop)} at offset "
+                f"{token.position}, got {token.value!r}"
+            )
+
+    def parse_term(self) -> Term:
+        token = self.advance()
+        if token.kind == "name":
+            return Variable(token.value)
+        if token.kind == "int":
+            return Constant(int(token.value))
+        if token.kind == "str":
+            raw = token.value[1:-1]
+            return Constant(re.sub(r"\\(.)", r"\1", raw))
+        raise ParseError(
+            f"expected a term at offset {token.position}, got {token.value!r}"
+        )
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query from its text form (see module docstring)."""
+    return _Parser(text).parse_query()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"R(x | y)"``."""
+    parser = _Parser(text)
+    atom_obj = parser.parse_atom()
+    parser.expect("eof")
+    return atom_obj
+
+
+def query_to_text(query: Query) -> str:
+    """Render a query back into parseable text (inverse of parse_query
+    for variable/int/str terms)."""
+    def term_text(t: Term) -> str:
+        if isinstance(t, Variable):
+            return t.name
+        if isinstance(t.value, int) and not isinstance(t.value, bool):
+            return str(t.value)
+        if isinstance(t.value, str):
+            escaped = t.value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        raise ValueError(f"cannot render constant {t.value!r}")
+
+    def atom_text(a: Atom) -> str:
+        key = ", ".join(term_text(t) for t in a.key_terms)
+        rest = ", ".join(term_text(t) for t in a.value_terms)
+        inner = f"{key} | {rest}" if rest else key
+        return f"{a.relation}({inner})"
+
+    def diseq_text(d: Diseq) -> str:
+        lhs = ", ".join(term_text(l) for l, _ in d.pairs)
+        rhs = ", ".join(term_text(r) for _, r in d.pairs)
+        if len(d.pairs) == 1:
+            return f"{lhs} != {rhs}"
+        return f"({lhs}) != ({rhs})"
+
+    parts = [atom_text(a) for a in query.positives]
+    parts += [f"not {atom_text(a)}" for a in query.negatives]
+    parts += [diseq_text(d) for d in query.diseqs]
+    return ", ".join(parts)

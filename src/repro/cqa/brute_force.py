@@ -1,0 +1,66 @@
+"""Certainty by exhaustive repair enumeration.
+
+The exact-but-exponential baseline: CERTAINTY(q) holds iff no repair
+falsifies q.  Works for *every* query in sjfBCQ¬≠ — cyclic attack
+graphs, non-weakly-guarded negation, anything — which makes it the
+ground truth that all polynomial solvers are validated against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.query import Query
+from ..db.database import Database
+from ..db.repairs import find_repair_where, iter_repairs, sample_repairs
+from ..db.satisfaction import satisfies
+
+
+def _relevant(db: Database, query: Query) -> Database:
+    """Restrict to the query's relations: other blocks are irrelevant."""
+    keep = set(query.relations) & set(db.schemas)
+    return db.restrict(keep)
+
+
+def find_falsifying_repair(query: Query, db: Database) -> Optional[Database]:
+    """A repair where q fails, or None when q is certain."""
+    return find_repair_where(
+        _relevant(db, query), lambda repair: not satisfies(repair, query)
+    )
+
+
+def is_certain_brute_force(query: Query, db: Database) -> bool:
+    """CERTAINTY(q) by enumerating rset(db) with early exit."""
+    return find_falsifying_repair(query, db) is None
+
+
+def is_certain_sampled(
+    query: Query,
+    db: Database,
+    samples: int = 200,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """A one-sided Monte-Carlo check: False is definitive (a falsifying
+    repair was found), True only means no falsifying repair was sampled."""
+    relevant = _relevant(db, query)
+    for repair in sample_repairs(relevant, samples, rng):
+        if not satisfies(repair, query):
+            return False
+    return True
+
+
+def certainty_fraction(query: Query, db: Database) -> float:
+    """The fraction of repairs satisfying q (exact, exponential).
+
+    This is the normalized counting variant ♯CERTAINTY(q) mentioned in
+    Section 2 (related work); useful in tests and ablations.
+    """
+    relevant = _relevant(db, query)
+    total = 0
+    good = 0
+    for repair in iter_repairs(relevant):
+        total += 1
+        if satisfies(repair, query):
+            good += 1
+    return good / total if total else 1.0

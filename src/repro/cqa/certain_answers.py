@@ -1,0 +1,199 @@
+"""Certain answers for non-Boolean queries.
+
+Section 1 of the paper: "The extension to queries with free variables
+is easy, essentially because free variables can be treated as
+constants."  A tuple c⃗ is a *certain answer* of q(x⃗) on **db** when
+the Boolean query q_[x⃗↦c⃗] is true in every repair of **db**.
+
+This module implements exactly that reduction, with three strategies:
+
+``brute``
+    Ground every candidate tuple and run brute-force certainty.
+``rewriting``
+    Build ONE consistent first-order rewriting φ(x⃗) with free
+    variables (placeholder grounding, then re-opening), and evaluate it
+    per candidate with the guarded Python evaluator.
+``sql``
+    Compile φ(x⃗) into a single SQL SELECT returning all certain
+    answers at once — consistent query answering as one query over the
+    dirty database.
+
+The candidate space is the per-variable intersection of the column
+values where each free variable occurs positively (complete, because a
+repair is a subset of the database), falling back to the active domain
+for variables with no positive occurrence.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.classify import Verdict, classify
+from ..core.query import Query, QueryError
+from ..core.terms import Constant, PlaceholderConstant, Variable
+from ..db.database import Database
+from ..db.sqlite_backend import create_tables, load_database
+from ..fo.eval import Evaluator
+from ..fo.formula import Formula, free_variables, schemas_of, substitute_terms
+from ..fo.simplify import simplify_fixpoint
+from ..fo.sql import SQLCompiler, decode_value, table_name
+from .brute_force import is_certain_brute_force
+from .rewriting import NotInFO, Rewriter
+
+
+class OpenQuery:
+    """A conjunctive query with designated free (answer) variables."""
+
+    def __init__(self, query: Query, free: Sequence[Variable]):
+        free = tuple(free)
+        if len(set(free)) != len(free):
+            raise QueryError("free variables must be distinct")
+        missing = [v for v in free if v not in query.vars]
+        if missing:
+            raise QueryError(
+                f"free variables not in the query: {[v.name for v in missing]}"
+            )
+        self.query = query
+        self.free = free
+
+    def grounded(self, values: Sequence) -> Query:
+        """q_[x⃗ ↦ c⃗] for a candidate answer tuple."""
+        mapping = {v: Constant(c) for v, c in zip(self.free, values)}
+        return self.query.substitute(mapping)
+
+    @property
+    def boolean_form(self) -> Query:
+        """The Boolean query obtained by freezing free variables.
+
+        Classification must be performed on this form: treating the
+        free variables as constants changes the attack graph, and it is
+        this grounded query that Theorem 4.3 speaks about.
+        """
+        mapping = {v: PlaceholderConstant(v) for v in self.free}
+        return self.query.substitute(mapping)
+
+    @property
+    def in_fo(self) -> bool:
+        """Does every grounding admit a consistent FO rewriting?"""
+        return classify(self.boolean_form).verdict is Verdict.IN_FO
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.free)
+        return f"({names}) <- {self.query!r}"
+
+
+def open_rewriting(open_query: OpenQuery, simplify: bool = True) -> Formula:
+    """A consistent FO rewriting φ(x⃗) with the answer variables free.
+
+    Built by grounding the free variables with placeholders, rewriting
+    the resulting Boolean query, and re-opening the placeholders.
+    """
+    mapping = {v: PlaceholderConstant(v) for v in open_query.free}
+    grounded = open_query.query.substitute(mapping)
+    formula = Rewriter(grounded).rewrite(simplify=simplify)
+    opened = substitute_terms(formula, {p: v for v, p in mapping.items()})
+    return simplify_fixpoint(opened) if simplify else opened
+
+
+def candidate_values(
+    open_query: OpenQuery, db: Database
+) -> List[Tuple]:
+    """Per-variable candidate domains, combined to candidate tuples."""
+    domains: List[List] = []
+    for v in open_query.free:
+        domain: Optional[Set] = None
+        for p in open_query.query.positives:
+            for i, term in enumerate(p.terms):
+                if term == v:
+                    column = (
+                        {row[i] for row in db.facts(p.relation)}
+                        if p.relation in db.schemas
+                        else set()
+                    )
+                    domain = column if domain is None else domain & column
+        if domain is None:
+            domain = set(db.active_domain())
+        domains.append(sorted(domain, key=repr))
+    return list(itertools.product(*domains))
+
+
+def certain_answers(
+    open_query: OpenQuery,
+    db: Database,
+    method: str = "auto",
+) -> FrozenSet[Tuple]:
+    """All certain answers of q(x⃗) on db.
+
+    ``auto`` picks ``sql`` when the grounded query is in FO, otherwise
+    ``brute``.
+    """
+    if method == "auto":
+        method = "sql" if open_query.in_fo else "brute"
+    if method == "brute":
+        return frozenset(
+            c for c in candidate_values(open_query, db)
+            if is_certain_brute_force(open_query.grounded(c), db)
+        )
+    if method == "rewriting":
+        formula = open_rewriting(open_query)
+        evaluator = Evaluator(formula, db)
+        return frozenset(
+            c for c in candidate_values(open_query, db)
+            if evaluator.evaluate(dict(zip(open_query.free, c)))
+        )
+    if method == "sql":
+        return _certain_answers_sql(open_query, db)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def certain_answers_sql_query(open_query: OpenQuery, db: Database) -> str:
+    """The single SQL SELECT returning every certain answer."""
+    formula = open_rewriting(open_query)
+    if free_variables(formula) - set(open_query.free):
+        raise NotInFO("rewriting has unexpected free variables")
+    schemas = dict(db.schemas)
+    schemas.update(schemas_of(formula))
+    compiler = SQLCompiler(formula, schemas)
+    adom_cte = compiler.adom_cte()
+    scope = {}
+    from_items = []
+    select_items = []
+    for i, v in enumerate(open_query.free):
+        alias = f"ans{i}"
+        from_items.append(f"adom {alias}")
+        scope[v] = f"{alias}.v"
+        select_items.append(f"{alias}.v AS {v.name}")
+    body = compiler.compile_expr(formula, scope)
+    return (
+        f"WITH adom(v) AS ({adom_cte})\n"
+        f"SELECT DISTINCT {', '.join(select_items)}\n"
+        f"FROM {', '.join(from_items)}\n"
+        f"WHERE {body}"
+    )
+
+
+def _certain_answers_sql(open_query: OpenQuery, db: Database) -> FrozenSet[Tuple]:
+    conn = load_database(db)
+    try:
+        formula = open_rewriting(open_query)
+        needed = schemas_of(formula)
+        missing = [s for name, s in needed.items() if name not in db.schemas]
+        if missing:
+            create_tables(conn, missing)
+        sql = certain_answers_sql_query(open_query, db)
+        rows = conn.execute(sql).fetchall()
+        return frozenset(tuple(decode_value(v) for v in row) for row in rows)
+    finally:
+        conn.close()
+
+
+def cross_validate_answers(
+    open_query: OpenQuery, db: Database
+) -> Dict[str, FrozenSet[Tuple]]:
+    """Answers from every applicable strategy (tests assert agreement)."""
+    out = {"brute": certain_answers(open_query, db, "brute")}
+    if open_query.in_fo:
+        out["rewriting"] = certain_answers(open_query, db, "rewriting")
+        out["sql"] = certain_answers(open_query, db, "sql")
+    return out

@@ -1,0 +1,123 @@
+"""Counting repairs: the #CERTAINTY(q) problem (Section 2, related work).
+
+Exact counting enumerates repairs (exponential); the Monte-Carlo
+estimator samples repairs uniformly and reports a Wilson confidence
+interval for the satisfying fraction.  The paper cites [25]: for
+self-join-free conjunctive queries the counting problem is either in FP
+or ♯P-complete — this module provides the exact and sampled baselines
+that such a classification would be validated against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.query import Query
+from ..db.database import Database
+from ..db.repairs import iter_repairs, sample_repairs
+from ..db.satisfaction import satisfies
+
+
+def _relevant(db: Database, query: Query) -> Database:
+    keep = set(query.relations) & set(db.schemas)
+    return db.restrict(keep)
+
+
+@dataclass(frozen=True)
+class RepairCount:
+    """The exact result of #CERTAINTY(q) on one database."""
+
+    satisfying: int
+    total: int
+
+    @property
+    def fraction(self) -> float:
+        return self.satisfying / self.total if self.total else 1.0
+
+    @property
+    def certain(self) -> bool:
+        """CERTAINTY(q): every repair satisfies q."""
+        return self.satisfying == self.total
+
+    @property
+    def possible(self) -> bool:
+        """POSSIBILITY(q): some repair satisfies q."""
+        return self.satisfying > 0
+
+
+def count_satisfying_repairs(query: Query, db: Database) -> RepairCount:
+    """Exact #CERTAINTY(q) by enumeration (exponential)."""
+    relevant = _relevant(db, query)
+    satisfying = 0
+    total = 0
+    for repair in iter_repairs(relevant):
+        total += 1
+        if satisfies(repair, query):
+            satisfying += 1
+    return RepairCount(satisfying, total)
+
+
+@dataclass(frozen=True)
+class FractionEstimate:
+    """A sampled estimate of the satisfying-repair fraction."""
+
+    estimate: float
+    low: float
+    high: float
+    samples: int
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _wilson_interval(hits: int, n: int, z: float) -> Tuple[float, float]:
+    if n == 0:
+        return 0.0, 1.0
+    p = hits / n
+    denominator = 1 + z * z / n
+    centre = (p + z * z / (2 * n)) / denominator
+    margin = (z / denominator) * math.sqrt(
+        p * (1 - p) / n + z * z / (4 * n * n)
+    )
+    # The interval must contain the point estimate even at the float
+    # boundaries (p = 0 or 1 would otherwise round just inside).
+    low = 0.0 if hits == 0 else max(0.0, centre - margin)
+    high = 1.0 if hits == n else min(1.0, centre + margin)
+    return low, high
+
+
+def estimate_satisfying_fraction(
+    query: Query,
+    db: Database,
+    samples: int = 400,
+    confidence: float = 0.95,
+    rng: Optional[random.Random] = None,
+) -> FractionEstimate:
+    """Monte-Carlo estimate of the satisfying fraction with a Wilson
+    confidence interval."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = rng or random.Random()
+    relevant = _relevant(db, query)
+    hits = 0
+    for repair in sample_repairs(relevant, samples, rng):
+        if satisfies(repair, query):
+            hits += 1
+    # Normal quantile via inverse error function approximation.
+    z = math.sqrt(2) * _erfinv(confidence)
+    low, high = _wilson_interval(hits, samples, z)
+    return FractionEstimate(hits / samples if samples else 1.0,
+                            low, high, samples, confidence)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, ~1e-4)."""
+    a = 0.147
+    sign = 1.0 if x >= 0 else -1.0
+    ln_term = math.log(1 - x * x)
+    first = 2 / (math.pi * a) + ln_term / 2
+    return sign * math.sqrt(math.sqrt(first * first - ln_term / a) - first)

@@ -1,0 +1,108 @@
+"""High-level certainty engine: one entry point, four interchangeable
+solving strategies, and a cross-validation helper.
+
+Strategies
+----------
+``brute``
+    Exhaustive repair enumeration (always applicable, exponential).
+``interpreted``
+    Algorithm 1 run directly on the database (FO data complexity;
+    requires an acyclic attack graph and weakly-guarded negation).
+``rewriting``
+    Compile the consistent FO rewriting once, evaluate with the Python
+    active-domain evaluator.
+``sql``
+    Compile the rewriting to a single SQL query, run it on sqlite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.classify import Classification, Verdict, classify
+from ..core.query import Query
+from ..db.database import Database
+from ..db.sqlite_backend import run_sentence_sql
+from ..fo.eval import Evaluator
+from ..fo.formula import Formula
+from .brute_force import is_certain_brute_force
+from .is_certain import is_certain
+from .rewriting import NotInFO, consistent_rewriting
+
+METHODS = ("brute", "interpreted", "rewriting", "sql")
+
+
+@dataclass
+class CrossValidation:
+    """Results of running every applicable strategy on one instance."""
+
+    results: Dict[str, bool]
+
+    @property
+    def consistent(self) -> bool:
+        """Did all strategies agree?"""
+        return len(set(self.results.values())) <= 1
+
+    @property
+    def answer(self) -> bool:
+        """The agreed answer (raises if strategies disagree)."""
+        if not self.consistent:
+            raise AssertionError(f"solvers disagree: {self.results}")
+        return next(iter(self.results.values()))
+
+
+class CertaintyEngine:
+    """Answers CERTAINTY(q) for one fixed query on many databases.
+
+    The engine classifies the query once, constructs (and caches) the
+    rewriting when one exists, and dispatches per call.
+    """
+
+    def __init__(self, query: Query):
+        self.query = query
+        self.classification: Classification = classify(query)
+        self._rewriting: Optional[Formula] = None
+
+    @property
+    def in_fo(self) -> bool:
+        """Does the query admit a consistent FO rewriting (Thm 4.3)?"""
+        return self.classification.verdict is Verdict.IN_FO
+
+    @property
+    def rewriting(self) -> Formula:
+        """The consistent FO rewriting (constructed lazily, cached)."""
+        if self._rewriting is None:
+            self._rewriting = consistent_rewriting(self.query)
+        return self._rewriting
+
+    def certain(self, db: Database, method: str = "auto") -> bool:
+        """Is q true in every repair of db?
+
+        ``method="auto"`` uses the rewriting when the query is in FO and
+        falls back to brute force otherwise.
+        """
+        if method == "auto":
+            method = "rewriting" if self.in_fo else "brute"
+        if method == "brute":
+            return is_certain_brute_force(self.query, db)
+        if method == "interpreted":
+            return is_certain(self.query, db)
+        if method == "rewriting":
+            return Evaluator(self.rewriting, db).evaluate()
+        if method == "sql":
+            return run_sentence_sql(self.rewriting, db)
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    def cross_validate(self, db: Database) -> CrossValidation:
+        """Run every applicable strategy and collect the answers."""
+        results = {"brute": self.certain(db, "brute")}
+        if self.in_fo:
+            for method in ("interpreted", "rewriting", "sql"):
+                results[method] = self.certain(db, method)
+        return CrossValidation(results)
+
+
+def certain(query: Query, db: Database, method: str = "auto") -> bool:
+    """One-shot convenience wrapper around :class:`CertaintyEngine`."""
+    return CertaintyEngine(query).certain(db, method)

@@ -1,0 +1,141 @@
+"""Explanations for certainty answers.
+
+When CERTAINTY(q) is false, the definitive certificate is a *falsifying
+repair*.  This module extracts that repair and renders it as a diff
+against the database: for every inconsistent block, which fact the
+repair kept and which it dropped.  When CERTAINTY(q) is true, the
+explanation exhibits a satisfying valuation on a sample of repairs
+(the rewriting itself is the complete certificate in the FO case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.query import Query
+from ..core.terms import Variable
+from ..db.database import Database
+from ..db.repairs import sample_repairs
+from ..db.satisfaction import satisfying_valuations
+from .brute_force import find_falsifying_repair
+
+
+@dataclass
+class BlockChoice:
+    """One block's resolution inside a repair."""
+
+    relation: str
+    key: Tuple
+    kept: Tuple
+    dropped: Tuple[Tuple, ...]
+
+    def render(self) -> str:
+        drops = ", ".join(repr(r) for r in self.dropped)
+        return (f"{self.relation}{self.key!r}: kept {self.kept!r}, "
+                f"dropped {drops}")
+
+
+@dataclass
+class UncertaintyExplanation:
+    """Why q is NOT certain: a falsifying repair, as a block diff."""
+
+    query: Query
+    repair: Database
+    choices: List[BlockChoice]
+
+    def render(self) -> str:
+        lines = [
+            f"query {self.query} is NOT certain: "
+            f"the following repair falsifies it."
+        ]
+        if not self.choices:
+            lines.append("  (the database is consistent; it falsifies "
+                         "the query directly)")
+        for choice in self.choices:
+            lines.append("  " + choice.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class CertaintyEvidence:
+    """Evidence (not proof) for certainty: witnesses on sampled repairs."""
+
+    query: Query
+    sampled: int
+    witnesses: List[Dict[Variable, object]]
+
+    def render(self) -> str:
+        lines = [
+            f"query {self.query} held on all {self.sampled} sampled "
+            f"repairs; example witnesses:"
+        ]
+        for w in self.witnesses[:3]:
+            binding = ", ".join(
+                f"{v.name}={value!r}" for v, value in sorted(
+                    w.items(), key=lambda kv: kv[0].name)
+            )
+            lines.append(f"  {{{binding}}}")
+        return "\n".join(lines)
+
+
+def _block_choices(db: Database, repair: Database) -> List[BlockChoice]:
+    choices = []
+    for relation, key, rows in db.all_blocks():
+        if len(rows) == 1:
+            continue
+        kept = [r for r in rows if repair.contains(relation, r)]
+        dropped = tuple(sorted(
+            (r for r in rows if not repair.contains(relation, r)), key=repr))
+        if kept and dropped:
+            choices.append(BlockChoice(relation, key, kept[0], dropped))
+    return choices
+
+
+def explain_uncertainty(
+    query: Query, db: Database
+) -> Optional[UncertaintyExplanation]:
+    """A falsifying-repair certificate, or None when q is certain."""
+    relevant = db.restrict(set(query.relations) & set(db.schemas))
+    repair = find_falsifying_repair(query, db)
+    if repair is None:
+        return None
+    return UncertaintyExplanation(
+        query, repair, _block_choices(relevant, repair))
+
+
+def certainty_evidence(
+    query: Query,
+    db: Database,
+    samples: int = 25,
+    rng: Optional[random.Random] = None,
+) -> Optional[CertaintyEvidence]:
+    """Witness valuations on sampled repairs, or None if a sampled
+    repair falsifies the query (then q is definitively not certain)."""
+    rng = rng or random.Random()
+    relevant = db.restrict(set(query.relations) & set(db.schemas))
+    witnesses = []
+    for repair in sample_repairs(relevant, samples, rng):
+        found = None
+        for valuation in satisfying_valuations(query, repair):
+            found = valuation
+            break
+        if found is None:
+            return None
+        witnesses.append(found)
+    return CertaintyEvidence(query, samples, witnesses)
+
+
+def explain(query: Query, db: Database, rng: Optional[random.Random] = None):
+    """The appropriate explanation object for the instance.
+
+    Returns an :class:`UncertaintyExplanation` when q is not certain
+    (exact), else :class:`CertaintyEvidence` (sampled witnesses).
+    """
+    uncertainty = explain_uncertainty(query, db)
+    if uncertainty is not None:
+        return uncertainty
+    evidence = certainty_evidence(query, db, rng=rng)
+    assert evidence is not None, "brute force and sampling disagree"
+    return evidence

@@ -1,0 +1,202 @@
+"""Algorithm 1 interpreted directly against a database.
+
+This is the same recursion as the rewriting construction of Lemma 6.1,
+but executed with the concrete database at hand instead of emitting a
+formula.  It provides an independent FO-data-complexity implementation
+of CERTAINTY(q) that the test suite cross-validates against both the
+compiled rewriting and brute-force repair enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.classify import Verdict, classify
+from ..core.query import Diseq, Query
+from ..core.terms import Constant, Variable, is_variable
+from ..db.database import Database
+from ..db.satisfaction import satisfies
+from .rewriting import NotInFO, pick_eliminable_atom
+
+
+def _key_pattern_valuations(
+    atom_obj: Atom, db: Database
+) -> Iterator[Dict[Variable, Constant]]:
+    """Valuations over key(F) unifying F's key pattern with a block key
+    of F's relation.  Complete for positive F: a repair can only contain
+    facts of db, so θ(key(F)) must be an existing block key."""
+    if atom_obj.relation not in db.schemas:
+        return
+    seen = set()
+    schema = atom_obj.schema
+    for row in db.facts(atom_obj.relation):
+        key = schema.key_of(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        env: Dict[Variable, Constant] = {}
+        ok = True
+        for term, value in zip(atom_obj.key_terms, key):
+            if is_variable(term):
+                bound = env.get(term)
+                if bound is None:
+                    env[term] = Constant(value)
+                elif bound.value != value:
+                    ok = False
+                    break
+            elif term.value != value:
+                ok = False
+                break
+        if ok:
+            yield env
+
+
+def _candidate_values(var: Variable, q: Query, db: Database) -> FrozenSet:
+    """Values *var* can take in any satisfying valuation: the
+    intersection, over positive atoms containing it, of the column
+    values at its positions.  Complete because every satisfying
+    valuation embeds the positive atoms into the (sub)database."""
+    candidate: Optional[set] = None
+    for p in q.positives:
+        for i, term in enumerate(p.terms):
+            if term == var:
+                column = {row[i] for row in db.facts(p.relation)} \
+                    if p.relation in db.schemas else set()
+                candidate = column if candidate is None else candidate & column
+    if candidate is None:
+        # var occurs in no positive atom: fall back to the active domain.
+        candidate = set(db.active_domain())
+    return frozenset(candidate)
+
+
+def _adom_valuations(
+    variables: List[Variable], q: Query, db: Database
+) -> Iterator[Dict[Variable, Constant]]:
+    domains = [sorted(_candidate_values(v, q, db), key=repr) for v in variables]
+    for combo in itertools.product(*domains):
+        yield {v: Constant(c) for v, c in zip(variables, combo)}
+
+
+def _ground_row(atom_obj: Atom) -> Tuple:
+    return tuple(t.value for t in atom_obj.terms)
+
+
+class CertaintyInterpreter:
+    """Runs Algorithm 1 for one (query, database) pair."""
+
+    def __init__(self, query: Query, db: Database, memoize: bool = True):
+        verdict = classify(query)
+        if verdict.verdict is not Verdict.IN_FO:
+            raise NotInFO(
+                f"Algorithm 1 requires an acyclic attack graph with "
+                f"weakly-guarded negation: {verdict.reason}"
+            )
+        self.db = db
+        # The recursion grounds the same subquery once per block fact;
+        # memoizing on the (hashable) query avoids recomputing shared
+        # subproblems.  The database is fixed per interpreter.
+        self.memoize = memoize
+        self._cache: Dict[Query, bool] = {}
+
+    def run(self, q: Query) -> bool:
+        """IsCertain(q, db)."""
+        if not self.memoize:
+            return self._run_uncached(q)
+        cached = self._cache.get(q)
+        if cached is not None:
+            return cached
+        result = self._run_uncached(q)
+        self._cache[q] = result
+        return result
+
+    def _run_uncached(self, q: Query) -> bool:
+        if q.all_atoms_all_key:
+            return self._base_case(q)
+        f = pick_eliminable_atom(q)
+        if f.key_vars:
+            return self._reify(q, f)
+        if q.is_negative(f):
+            return self._eliminate_negative(q, f)
+        return self._eliminate_positive(q, f)
+
+    # ------------------------------------------------------------------
+
+    def _base_case(self, q: Query) -> bool:
+        # All relations all-key: the database restricted to them is its
+        # own unique repair, so certainty is plain satisfaction.
+        return satisfies(self.db, q)
+
+    def _reify(self, q: Query, f: Atom) -> bool:
+        key_vars = sorted(f.key_vars)
+        if q.is_positive(f):
+            valuations = _key_pattern_valuations(f, self.db)
+        else:
+            valuations = _adom_valuations(key_vars, q, self.db)
+        return any(self.run(q.substitute(env)) for env in valuations)
+
+    def _eliminate_negative(self, q: Query, f: Atom) -> bool:
+        q1 = q.without(f)
+        if not self.run(q1):
+            return False
+        if not f.vars:
+            return not (
+                f.relation in self.db.schemas
+                and self.db.contains(f.relation, _ground_row(f))
+            )
+        key_values = tuple(t.value for t in f.key_terms)
+        block = (
+            self.db.block_of(f.relation, key_values)
+            if f.relation in self.db.schemas
+            else frozenset()
+        )
+        k = f.schema.key_size
+        for row in block:
+            pairs = tuple(
+                (Constant(value), term)
+                for value, term in zip(row[k:], f.value_terms)
+            )
+            if not self.run(q1.with_diseq(Diseq(pairs))):
+                return False
+        return True
+
+    def _eliminate_positive(self, q: Query, f: Atom) -> bool:
+        q1 = q.without(f)
+        if f.relation not in self.db.schemas:
+            return False
+        key_values = tuple(t.value for t in f.key_terms)
+        block = self.db.block_of(f.relation, key_values)
+        if not block:
+            return False
+        k = f.schema.key_size
+        for row in block:
+            env: Dict[Variable, Constant] = {}
+            ok = True
+            for term, value in zip(f.value_terms, row[k:]):
+                if is_variable(term):
+                    bound = env.get(term)
+                    if bound is None:
+                        env[term] = Constant(value)
+                    elif bound.value != value:
+                        ok = False
+                        break
+                elif term.value != value:
+                    ok = False
+                    break
+            if not ok:
+                # Some fact of the block does not match F's value
+                # pattern: no valuation can cover it (Lemma 6.1, q⁺ case).
+                return False
+            if not self.run(q1.substitute(env)):
+                return False
+        return True
+
+
+def is_certain(query: Query, db: Database) -> bool:
+    """CERTAINTY(q) on db, by the interpreted Algorithm 1.
+
+    Requires q to satisfy the conditions of Theorem 4.3(2); raises
+    :class:`NotInFO` otherwise.
+    """
+    return CertaintyInterpreter(query, db).run(query)

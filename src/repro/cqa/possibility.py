@@ -1,0 +1,60 @@
+"""The possibility problem: is q true in SOME repair?
+
+POSSIBILITY(q) is the existential dual of CERTAINTY(q).  For queries
+without negated atoms it is trivial: a conjunctive query is true in
+some repair iff it is true in the database itself (any witnessing facts
+can be completed to a repair).  With negated atoms that shortcut is
+unsound — the witnessing facts must be kept while the negated facts'
+blocks must be steered away — so the general solver enumerates repairs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.query import Query
+from ..db.database import Database
+from ..db.repairs import find_repair_where, sample_repairs
+from ..db.satisfaction import satisfies
+
+
+def _relevant(db: Database, query: Query) -> Database:
+    keep = set(query.relations) & set(db.schemas)
+    return db.restrict(keep)
+
+
+def is_possible(query: Query, db: Database) -> bool:
+    """POSSIBILITY(q): does some repair satisfy q?
+
+    Uses the polynomial shortcut for negation-free queries and falls
+    back to repair enumeration otherwise.
+    """
+    if not query.negatives and not query.diseqs:
+        # Monotone case: db ⊨ q iff some repair ⊨ q.  (⇐) repairs are
+        # subsets of db.  (⇒) extend the witnessing facts to a repair.
+        return satisfies(db, query)
+    return find_satisfying_repair(query, db) is not None
+
+
+def find_satisfying_repair(query: Query, db: Database) -> Optional[Database]:
+    """A repair satisfying q, or None (exact, exponential)."""
+    return find_repair_where(
+        _relevant(db, query), lambda repair: satisfies(repair, query)
+    )
+
+
+def is_possible_sampled(
+    query: Query,
+    db: Database,
+    samples: int = 200,
+    rng: Optional[random.Random] = None,
+) -> bool:
+    """One-sided Monte-Carlo: True is definitive (a satisfying repair
+    was sampled), False only means none was found."""
+    rng = rng or random.Random()
+    relevant = _relevant(db, query)
+    return any(
+        satisfies(repair, query)
+        for repair in sample_repairs(relevant, samples, rng)
+    )

@@ -1,0 +1,51 @@
+"""Databases, blocks, repairs, satisfaction, and the sqlite backend."""
+
+from .database import Database, SchemaError, database_from_facts
+from .profile import (
+    DatabaseProfile,
+    RelationProfile,
+    profile_database,
+    profile_relation,
+)
+from .io import (
+    database_from_dict,
+    database_to_dict,
+    load_database_file,
+    save_database,
+)
+from .repairs import (
+    count_repairs,
+    find_repair_where,
+    is_repair_of,
+    iter_repairs,
+    sample_repair,
+    sample_repairs,
+)
+from .satisfaction import key_relevant_facts, satisfies, satisfying_valuations
+from .sqlite_backend import create_tables, load_database, run_sentence_sql
+
+__all__ = [
+    "Database",
+    "DatabaseProfile",
+    "RelationProfile",
+    "SchemaError",
+    "count_repairs",
+    "create_tables",
+    "database_from_dict",
+    "database_from_facts",
+    "database_to_dict",
+    "find_repair_where",
+    "is_repair_of",
+    "iter_repairs",
+    "key_relevant_facts",
+    "load_database",
+    "load_database_file",
+    "profile_database",
+    "profile_relation",
+    "run_sentence_sql",
+    "sample_repair",
+    "save_database",
+    "sample_repairs",
+    "satisfies",
+    "satisfying_valuations",
+]

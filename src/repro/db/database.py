@@ -1,0 +1,257 @@
+"""(Possibly inconsistent) databases, blocks, and consistency.
+
+A database is a finite set of facts over a fixed schema with one primary
+key per relation.  Facts are stored as raw value tuples grouped by
+relation name, which keeps repair enumeration cheap.  A *block* is a
+maximal set of key-equal facts; a database is consistent when every
+block is a singleton (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, RelationSchema
+
+
+class SchemaError(ValueError):
+    """Raised on arity/signature mismatches."""
+
+
+class Database:
+    """A set of facts over relations with primary keys.
+
+    The schema maps relation names to :class:`RelationSchema`.  Relations
+    may be registered eagerly (:meth:`add_relation`) or implicitly when
+    the first fact arrives with an explicit schema.
+    """
+
+    def __init__(self, schemas: Iterable[RelationSchema] = ()):
+        self.schemas: Dict[str, RelationSchema] = {}
+        self._facts: Dict[str, set] = {}
+        # Lazy column indexes: (relation, positions) -> {key: rows},
+        # tagged with the relation version they were built against.
+        self._versions: Dict[str, int] = {}
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Tuple[int, Dict]] = {}
+        for s in schemas:
+            self.add_relation(s)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_relation(self, schema: RelationSchema) -> None:
+        """Register a relation; re-registering the same signature is a no-op."""
+        existing = self.schemas.get(schema.name)
+        if existing is not None:
+            if existing != schema:
+                raise SchemaError(
+                    f"conflicting signatures for {schema.name}: "
+                    f"{existing!r} vs {schema!r}"
+                )
+            return
+        self.schemas[schema.name] = schema
+        self._facts[schema.name] = set()
+        self._versions[schema.name] = 0
+
+    def add(self, relation: str, row: Sequence) -> None:
+        """Add the fact relation(row) to the database."""
+        schema = self.schemas.get(relation)
+        if schema is None:
+            raise SchemaError(f"unknown relation {relation!r}; add_relation first")
+        row = tuple(row)
+        if len(row) != schema.arity:
+            raise SchemaError(
+                f"{relation} has arity {schema.arity}, got row of length {len(row)}"
+            )
+        if row not in self._facts[relation]:
+            self._facts[relation].add(row)
+            self._versions[relation] += 1
+
+    def add_fact(self, fact: Atom) -> None:
+        """Add a ground atom, registering its schema if necessary."""
+        self.add_relation(fact.schema)
+        self.add(fact.relation, fact.as_row())
+
+    def add_all(self, relation: str, rows: Iterable[Sequence]) -> None:
+        """Add many facts of one relation."""
+        for row in rows:
+            self.add(relation, row)
+
+    def discard(self, relation: str, row: Sequence) -> None:
+        """Remove a fact if present."""
+        rows = self._facts.get(relation)
+        if rows is None:
+            return
+        row = tuple(row)
+        if row in rows:
+            rows.discard(row)
+            self._versions[relation] = self._versions.get(relation, 0) + 1
+
+    def clear_relation(self, relation: str) -> None:
+        """Remove every fact of one relation (schema stays registered)."""
+        if relation in self._facts and self._facts[relation]:
+            self._facts[relation] = set()
+            self._versions[relation] = self._versions.get(relation, 0) + 1
+
+    def index(
+        self, relation: str, positions: Tuple[int, ...]
+    ) -> Dict[Tuple, FrozenSet[Tuple]]:
+        """A hash index on *positions* of one relation, built lazily and
+        rebuilt automatically after mutations.
+
+        Maps each projection ``tuple(row[i] for i in positions)`` to the
+        set of rows sharing it.  Used by the satisfaction engine and the
+        FO evaluator to avoid scanning whole relations when some
+        positions are already bound.
+        """
+        positions = tuple(positions)
+        version = self._versions.get(relation, 0)
+        cached = self._indexes.get((relation, positions))
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        built: Dict[Tuple, set] = {}
+        for row in self._facts.get(relation, ()):
+            built.setdefault(tuple(row[i] for i in positions), set()).add(row)
+        frozen = {k: frozenset(v) for k, v in built.items()}
+        self._indexes[(relation, positions)] = (version, frozen)
+        return frozen
+
+    def lookup(
+        self, relation: str, bindings: Dict[int, object]
+    ) -> FrozenSet[Tuple]:
+        """All rows whose columns match *bindings* (position -> value).
+
+        Empty bindings return every row of the relation.
+        """
+        if not bindings:
+            return self.facts(relation)
+        positions = tuple(sorted(bindings))
+        key = tuple(bindings[i] for i in positions)
+        return self.index(relation, positions).get(key, frozenset())
+
+    def copy(self) -> "Database":
+        """An independent copy sharing schema objects."""
+        out = Database(self.schemas.values())
+        for name, rows in self._facts.items():
+            out._facts[name] = set(rows)
+        return out
+
+    def union(self, other: "Database") -> "Database":
+        """A new database containing the facts of both operands."""
+        out = self.copy()
+        for schema in other.schemas.values():
+            out.add_relation(schema)
+        for name, rows in other._facts.items():
+            out._facts[name] |= rows
+        return out
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def facts(self, relation: str) -> FrozenSet[Tuple]:
+        """All rows of one relation (empty for registered-but-empty)."""
+        return frozenset(self._facts.get(relation, ()))
+
+    def contains(self, relation: str, row: Sequence) -> bool:
+        """Is the fact in the database?"""
+        return tuple(row) in self._facts.get(relation, ())
+
+    def relations(self) -> Tuple[str, ...]:
+        """All registered relation names, sorted."""
+        return tuple(sorted(self.schemas))
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(rows) for rows in self._facts.values())
+
+    def blocks(self, relation: str) -> Dict[Tuple, FrozenSet[Tuple]]:
+        """The blocks of one relation: key value -> set of rows."""
+        schema = self.schemas[relation]
+        out: Dict[Tuple, set] = {}
+        for row in self._facts.get(relation, ()):
+            out.setdefault(schema.key_of(row), set()).add(row)
+        return {k: frozenset(v) for k, v in out.items()}
+
+    def block_of(self, relation: str, key: Sequence) -> FrozenSet[Tuple]:
+        """The rows whose key equals *key* (possibly empty)."""
+        schema = self.schemas[relation]
+        key = tuple(key)
+        return frozenset(
+            row for row in self._facts.get(relation, ()) if schema.key_of(row) == key
+        )
+
+    def all_blocks(self) -> Iterator[Tuple[str, Tuple, FrozenSet[Tuple]]]:
+        """Iterate (relation, key, rows) over every block of the database."""
+        for relation in sorted(self.schemas):
+            for key, rows in sorted(self.blocks(relation).items(), key=lambda kv: repr(kv[0])):
+                yield relation, key, rows
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when every block is a singleton."""
+        for relation in self.schemas:
+            keys = set()
+            schema = self.schemas[relation]
+            for row in self._facts.get(relation, ()):
+                key = schema.key_of(row)
+                if key in keys:
+                    return False
+                keys.add(key)
+        return True
+
+    def repair_count(self) -> int:
+        """The number of repairs: the product of all block sizes."""
+        count = 1
+        for _, _, rows in self.all_blocks():
+            count *= len(rows)
+        return count
+
+    def active_domain(self) -> FrozenSet:
+        """All constants (raw values) occurring in some fact."""
+        dom = set()
+        for rows in self._facts.values():
+            for row in rows:
+                dom.update(row)
+        return frozenset(dom)
+
+    def restrict(self, relations: Iterable[str]) -> "Database":
+        """The sub-database over the given relations only."""
+        keep = set(relations)
+        out = Database(s for s in self.schemas.values() if s.name in keep)
+        for name in keep & set(self._facts):
+            out._facts[name] = set(self._facts[name])
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        if self.schemas != other.schemas:
+            return False
+        names = set(self.schemas)
+        return all(self._facts[n] == other._facts.get(n, set()) for n in names)
+
+    def __hash__(self) -> int:
+        items = tuple(
+            (name, frozenset(rows)) for name, rows in sorted(self._facts.items())
+        )
+        return hash(items)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._facts):
+            for row in sorted(self._facts[name], key=repr):
+                parts.append(f"{name}{row!r}")
+        return "Database{" + ", ".join(parts) + "}"
+
+
+def database_from_facts(facts: Iterable[Atom]) -> Database:
+    """Build a database from ground atoms."""
+    db = Database()
+    for f in facts:
+        db.add_fact(f)
+    return db

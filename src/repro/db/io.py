@@ -1,0 +1,94 @@
+"""JSON serialization for databases.
+
+Format::
+
+    {
+      "relations": {
+        "R": {"arity": 2, "key": 1,
+              "facts": [["ann", "mons"], ["ann", "paris"]]},
+        ...
+      }
+    }
+
+Values may be strings, integers, booleans, or (nested) lists — lists
+are converted to tuples on load, mirroring the structured constants
+used by the reduction gadgets.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, Union
+
+from ..core.atoms import RelationSchema
+from .database import Database
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _freeze(value):
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    raise TypeError(f"unsupported value in database JSON: {value!r}")
+
+
+def _thaw(value):
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    if isinstance(value, (str, int, bool)):
+        return value
+    raise TypeError(f"unsupported value in database: {value!r}")
+
+
+def database_to_dict(db: Database) -> dict:
+    """A JSON-ready dict for *db*."""
+    relations = {}
+    for name in db.relations():
+        schema = db.schemas[name]
+        relations[name] = {
+            "arity": schema.arity,
+            "key": schema.key_size,
+            "facts": sorted(
+                ([_thaw(v) for v in row] for row in db.facts(name)),
+                key=repr,
+            ),
+        }
+    return {"relations": relations}
+
+
+def database_from_dict(data: dict) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    if "relations" not in data:
+        raise ValueError("database JSON needs a 'relations' key")
+    db = Database()
+    for name, spec in data["relations"].items():
+        schema = RelationSchema(name, int(spec["arity"]), int(spec["key"]))
+        db.add_relation(schema)
+        for row in spec.get("facts", []):
+            db.add(name, tuple(_freeze(v) for v in row))
+    return db
+
+
+def save_database(db: Database, path: PathLike) -> None:
+    """Write *db* to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(database_to_dict(db), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_database_file(path: PathLike) -> Database:
+    """Read a database from a JSON file."""
+    return database_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def dump_database(db: Database, fp: IO[str]) -> None:
+    """Write *db* as JSON to an open file object."""
+    json.dump(database_to_dict(db), fp, indent=2, sort_keys=True)
+
+
+def parse_database(fp: IO[str]) -> Database:
+    """Read a database from an open JSON file object."""
+    return database_from_dict(json.load(fp))

@@ -1,0 +1,111 @@
+"""Inconsistency profiling for databases.
+
+Summarizes the block structure that drives CERTAINTY's difficulty: per
+relation, how many blocks exist, how many violate the key, how large
+they get, and the resulting repair count.  Useful both for workload
+characterization (the E-series experiments) and as a production "how
+dirty is this database" report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .database import Database
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Block statistics of one relation."""
+
+    relation: str
+    facts: int
+    blocks: int
+    inconsistent_blocks: int
+    max_block_size: int
+    repair_choices: int  # product of this relation's block sizes
+
+    @property
+    def inconsistency_ratio(self) -> float:
+        """Fraction of blocks violating the primary key."""
+        return self.inconsistent_blocks / self.blocks if self.blocks else 0.0
+
+
+@dataclass(frozen=True)
+class DatabaseProfile:
+    """Inconsistency profile of a whole database."""
+
+    relations: Tuple[RelationProfile, ...]
+
+    @property
+    def facts(self) -> int:
+        return sum(r.facts for r in self.relations)
+
+    @property
+    def repair_count(self) -> int:
+        count = 1
+        for r in self.relations:
+            count *= r.repair_choices
+        return count
+
+    @property
+    def log10_repairs(self) -> float:
+        """log10 of the repair count (finite even when huge)."""
+        total = 0.0
+        for r in self.relations:
+            if r.repair_choices > 0:
+                total += math.log10(r.repair_choices)
+        return total
+
+    @property
+    def is_consistent(self) -> bool:
+        return all(r.inconsistent_blocks == 0 for r in self.relations)
+
+    def worst_relations(self, top: int = 3) -> Tuple[RelationProfile, ...]:
+        """Relations sorted by inconsistency ratio, worst first."""
+        ranked = sorted(self.relations,
+                        key=lambda r: (-r.inconsistency_ratio, r.relation))
+        return tuple(ranked[:top])
+
+    def render(self) -> str:
+        lines = [
+            f"{'relation':12s} {'facts':>6} {'blocks':>7} {'violating':>10} "
+            f"{'max block':>10} {'ratio':>6}"
+        ]
+        for r in self.relations:
+            lines.append(
+                f"{r.relation:12s} {r.facts:>6} {r.blocks:>7} "
+                f"{r.inconsistent_blocks:>10} {r.max_block_size:>10} "
+                f"{r.inconsistency_ratio:>6.2f}"
+            )
+        lines.append(
+            f"total: {self.facts} facts, ~10^{self.log10_repairs:.1f} repairs, "
+            f"consistent={self.is_consistent}"
+        )
+        return "\n".join(lines)
+
+
+def profile_relation(db: Database, relation: str) -> RelationProfile:
+    """The block statistics of one relation."""
+    blocks = db.blocks(relation)
+    sizes = [len(rows) for rows in blocks.values()]
+    choices = 1
+    for s in sizes:
+        choices *= s
+    return RelationProfile(
+        relation=relation,
+        facts=sum(sizes),
+        blocks=len(sizes),
+        inconsistent_blocks=sum(1 for s in sizes if s > 1),
+        max_block_size=max(sizes, default=0),
+        repair_choices=choices,
+    )
+
+
+def profile_database(db: Database) -> DatabaseProfile:
+    """Profile every relation of the database."""
+    return DatabaseProfile(tuple(
+        profile_relation(db, name) for name in db.relations()
+    ))

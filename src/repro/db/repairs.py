@@ -1,0 +1,96 @@
+"""Repair enumeration, counting, and sampling.
+
+A repair of **db** is a maximal consistent subset: it picks exactly one
+fact from every block.  The number of repairs is therefore the product of
+all block sizes, which makes exhaustive enumeration exponential — that is
+precisely the baseline the paper's FO rewritings beat.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .database import Database
+
+
+def _block_list(db: Database) -> List[Tuple[str, Tuple[Tuple, ...]]]:
+    """Deterministically ordered blocks as (relation, rows) pairs."""
+    return [
+        (relation, tuple(sorted(rows, key=repr)))
+        for relation, _, rows in db.all_blocks()
+    ]
+
+
+def _materialize(db: Database, blocks, choice) -> Database:
+    out = Database(db.schemas.values())
+    for (relation, _), row in zip(blocks, choice):
+        out.add(relation, row)
+    return out
+
+
+def iter_repairs(db: Database) -> Iterator[Database]:
+    """Enumerate every repair of *db* (the set rset(db)).
+
+    The empty database has exactly one repair: itself.
+    """
+    blocks = _block_list(db)
+    for choice in itertools.product(*(rows for _, rows in blocks)):
+        yield _materialize(db, blocks, choice)
+
+
+def count_repairs(db: Database) -> int:
+    """|rset(db)| without enumeration."""
+    return db.repair_count()
+
+
+def sample_repair(db: Database, rng: Optional[random.Random] = None) -> Database:
+    """One uniformly random repair."""
+    rng = rng or random.Random()
+    blocks = _block_list(db)
+    choice = tuple(rng.choice(rows) for _, rows in blocks)
+    return _materialize(db, blocks, choice)
+
+
+def sample_repairs(
+    db: Database, n: int, rng: Optional[random.Random] = None
+) -> Iterator[Database]:
+    """*n* independent uniformly random repairs (with replacement)."""
+    rng = rng or random.Random()
+    for _ in range(n):
+        yield sample_repair(db, rng)
+
+
+def find_repair_where(
+    db: Database, predicate: Callable[[Database], bool]
+) -> Optional[Database]:
+    """The first repair satisfying *predicate*, or None.
+
+    Used with a query-falsification predicate this is the certificate
+    extractor for non-certainty: a repair where the query fails.
+    """
+    for repair in iter_repairs(db):
+        if predicate(repair):
+            return repair
+    return None
+
+
+def is_repair_of(candidate: Database, db: Database) -> bool:
+    """Check the repair definition directly: consistent, subset, and
+    containing one fact from every block."""
+    if not candidate.is_consistent:
+        return False
+    for relation in db.relations():
+        if relation not in candidate.schemas:
+            return False
+        if not candidate.facts(relation) <= db.facts(relation):
+            return False
+    picked_keys = {
+        relation: {db.schemas[relation].key_of(r) for r in candidate.facts(relation)}
+        for relation in db.relations()
+    }
+    for relation, key, _ in db.all_blocks():
+        if key not in picked_keys[relation]:
+            return False
+    return True

@@ -1,0 +1,162 @@
+"""Evaluation of sjfBCQ¬≠ queries on databases.
+
+``db ⊨ q`` holds when some valuation θ over vars(q) sends every positive
+atom into the database, no negated atom into the database, and satisfies
+every disequality (Section 3 / Definition 6.3).
+
+The evaluator is a straightforward backtracking join over the positive
+atoms (most-bound-first ordering), followed by the negative and
+disequality checks.  It is used both to evaluate queries on repairs
+(brute-force certainty) and as the base case of the interpreted
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.query import Diseq, Query
+from ..core.terms import Constant, Variable, is_variable
+from .database import Database
+
+Valuation = Dict[Variable, object]
+
+
+def _match_atom(atom: Atom, row: Tuple, env: Valuation) -> Optional[Valuation]:
+    """Try to extend *env* so the atom maps onto *row*; None on clash."""
+    new_env = None
+    for term, value in zip(atom.terms, row):
+        if is_variable(term):
+            bound = env.get(term, _UNBOUND) if new_env is None else new_env.get(
+                term, env.get(term, _UNBOUND)
+            )
+            if bound is _UNBOUND:
+                if new_env is None:
+                    new_env = {}
+                new_env[term] = value
+            elif bound != value:
+                return None
+        else:
+            if term.value != value:
+                return None
+    if new_env is None:
+        return dict(env)
+    merged = dict(env)
+    merged.update(new_env)
+    return merged
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def _ground_atom_row(atom: Atom, env: Valuation) -> Optional[Tuple]:
+    """The row an atom denotes under *env*, or None if a variable is free."""
+    row = []
+    for term in atom.terms:
+        if is_variable(term):
+            if term not in env:
+                return None
+            row.append(env[term])
+        else:
+            row.append(term.value)
+    return tuple(row)
+
+
+def _diseq_holds(d: Diseq, env: Valuation) -> bool:
+    for lhs, rhs in d.pairs:
+        lv = env[lhs] if is_variable(lhs) else lhs.value
+        rv = env[rhs] if is_variable(rhs) else rhs.value
+        if lv != rv:
+            return True
+    return False
+
+
+def _order_positives(query: Query) -> List[Atom]:
+    """Join order: repeatedly pick the atom sharing most variables with
+    the already-bound set (greedy, deterministic)."""
+    remaining = list(query.positives)
+    ordered: List[Atom] = []
+    bound: set = set()
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda a: (len(a.vars & bound), -len(a.vars), -remaining.index(a)),
+        )
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.vars
+    return ordered
+
+
+def satisfying_valuations(query: Query, db: Database) -> Iterator[Valuation]:
+    """All valuations over vars(q) witnessing db ⊨ q.
+
+    Relations mentioned by the query but absent from the database are
+    treated as empty (positive atoms over them never match; negated atoms
+    over them are vacuously satisfied).
+    """
+    ordered = _order_positives(query)
+
+    def backtrack(i: int, env: Valuation) -> Iterator[Valuation]:
+        if i == len(ordered):
+            if not query.vars <= set(env):
+                # A variable occurring only in a negated atom or diseq is
+                # impossible for safe queries; guard anyway.
+                return
+            for n in query.negatives:
+                row = _ground_atom_row(n, env)
+                if row is not None and db.contains(n.relation, row):
+                    return
+            for d in query.diseqs:
+                if not _diseq_holds(d, env):
+                    return
+            yield env
+            return
+        atom = ordered[i]
+        if atom.relation not in db.schemas:
+            return
+        bindings = {}
+        for position, term in enumerate(atom.terms):
+            if is_variable(term):
+                if term in env:
+                    bindings[position] = env[term]
+            else:
+                bindings[position] = term.value
+        for row in db.lookup(atom.relation, bindings):
+            extended = _match_atom(atom, row, env)
+            if extended is not None:
+                yield from backtrack(i + 1, extended)
+
+    yield from backtrack(0, {})
+
+
+def satisfies(db: Database, query: Query) -> bool:
+    """db ⊨ q?"""
+    for _ in satisfying_valuations(query, db):
+        return True
+    return False
+
+
+def key_relevant_facts(query: Query, atom_obj: Atom, repair: Database) -> frozenset:
+    """The facts of *repair* that are key-relevant for q (Section 3).
+
+    A fact A with the relation name of F is key-relevant when some
+    valuation θ with repair ⊨ θ(q) has θ(F) key-equal to A.
+    """
+    schema = atom_obj.schema
+    relevant_keys = set()
+    for env in satisfying_valuations(query, repair):
+        key = []
+        for term in atom_obj.key_terms:
+            key.append(env[term] if is_variable(term) else term.value)
+        relevant_keys.add(tuple(key))
+    return frozenset(
+        row
+        for row in repair.facts(atom_obj.relation)
+        if schema.key_of(row) in relevant_keys
+    )

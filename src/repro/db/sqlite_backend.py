@@ -1,0 +1,79 @@
+"""Loading databases into sqlite and running compiled rewritings.
+
+This realizes the paper's practicality claim: a consistent first-order
+rewriting is a single SQL query answerable by a stock SQL engine over
+the *inconsistent* database, with no repair enumeration.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Mapping, Optional
+
+from ..core.atoms import RelationSchema
+from ..fo.formula import Formula, schemas_of
+from ..fo.sql import compile_to_sql, encode_value, table_name
+from .database import Database
+
+
+def create_tables(
+    conn: sqlite3.Connection, schemas: Iterable[RelationSchema]
+) -> None:
+    """Create one table per relation: columns c0..c{n-1}, TEXT, set semantics."""
+    cur = conn.cursor()
+    for schema in schemas:
+        cols = ", ".join(f"c{i} TEXT NOT NULL" for i in range(schema.arity))
+        col_names = ", ".join(f"c{i}" for i in range(schema.arity))
+        cur.execute(
+            f"CREATE TABLE IF NOT EXISTS {table_name(schema.name)} "
+            f"({cols}, UNIQUE ({col_names}))"
+        )
+    conn.commit()
+
+
+def load_database(db: Database, conn: Optional[sqlite3.Connection] = None) -> sqlite3.Connection:
+    """Materialize *db* into a (by default in-memory) sqlite connection."""
+    conn = conn or sqlite3.connect(":memory:")
+    create_tables(conn, db.schemas.values())
+    cur = conn.cursor()
+    for name in db.relations():
+        schema = db.schemas[name]
+        placeholders = ", ".join("?" for _ in range(schema.arity))
+        rows = [
+            tuple(encode_value(v) for v in row) for row in db.facts(name)
+        ]
+        cur.executemany(
+            f"INSERT OR IGNORE INTO {table_name(name)} VALUES ({placeholders})",
+            rows,
+        )
+    conn.commit()
+    return conn
+
+
+def run_sentence_sql(
+    formula: Formula,
+    db: Database,
+    extra_schemas: Mapping[str, RelationSchema] = (),
+    conn: Optional[sqlite3.Connection] = None,
+) -> bool:
+    """Compile *formula* to SQL and evaluate it on *db* via sqlite.
+
+    Relations mentioned by the formula but absent from *db* are created
+    empty so the query references only existing tables.
+    """
+    own_conn = conn is None
+    conn = load_database(db) if conn is None else conn
+    try:
+        needed = dict(schemas_of(formula))
+        needed.update(dict(extra_schemas))
+        missing = [s for name, s in needed.items() if name not in db.schemas]
+        if missing:
+            create_tables(conn, missing)
+        all_schemas = dict(db.schemas)
+        all_schemas.update(needed)
+        sql = compile_to_sql(formula, all_schemas)
+        row = conn.execute(sql).fetchone()
+        return bool(row[0])
+    finally:
+        if own_conn:
+            conn.close()

@@ -1,0 +1,101 @@
+"""Typed databases (Section 3 of the paper).
+
+The paper assumes, for every variable x, an infinite set type(x) of
+constants with distinct variables having disjoint types, and notes that
+"because of the absence of self-joins, a database db can be trivially
+transformed into a database db' that is typed relative to q such that
+CERTAINTY(q) yields the same answer on db and db'".
+
+This module implements that transformation:
+
+* a value in a position held by variable x becomes ``("ty", x.name, v)``
+  — injective per position, so blocks are preserved, and disjoint
+  across variables, so only columns of the same variable can join;
+* a position held in the query by a constant c keeps values equal to c
+  and maps mismatching values to an inert junk value (the fact must
+  stay in its block to keep the repair structure, but can never match
+  the query);
+* facts whose *key* positions mismatch a query constant belong to
+  blocks that can never be key-relevant, yet are kept (inert) for
+  uniformity.
+
+The equivalence CERTAINTY(q)(db) == CERTAINTY(q)(db') is property-tested
+against brute force for every canonical query.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.query import Query
+from ..core.terms import is_variable
+from .database import Database
+
+
+def type_value(variable_name: str, value) -> Tuple:
+    """The typed image of *value* in variable *variable_name*'s type."""
+    return ("ty", variable_name, value)
+
+
+def junk_value(relation: str, position: int, value) -> Tuple:
+    """An inert value for a constant-position mismatch (never equals a
+    query constant and lives in no variable's type)."""
+    return ("junk", relation, position, value)
+
+
+def typed_database(query: Query, db: Database) -> Database:
+    """The typed transform of *db* relative to *query*.
+
+    Relations of *db* not mentioned by the query are dropped: they never
+    influence CERTAINTY(q).
+    """
+    atoms_by_relation = {a.relation: a for a in query.atoms}
+    out = Database()
+    for name, atom_obj in atoms_by_relation.items():
+        out.add_relation(atom_obj.schema)
+        if name not in db.schemas:
+            continue
+        if db.schemas[name].arity != atom_obj.schema.arity:
+            raise ValueError(
+                f"arity mismatch for {name}: query {atom_obj.schema.arity}, "
+                f"database {db.schemas[name].arity}"
+            )
+        for row in db.facts(name):
+            new_row = []
+            for i, (term, value) in enumerate(zip(atom_obj.terms, row)):
+                if is_variable(term):
+                    new_row.append(type_value(term.name, value))
+                elif term.value == value:
+                    new_row.append(value)
+                else:
+                    new_row.append(junk_value(name, i, value))
+            out.add(name, tuple(new_row))
+    return out
+
+
+def is_typed(query: Query, db: Database) -> bool:
+    """Is *db* typed relative to *query* (Section 3's definition)?
+
+    Variable positions must hold values of that variable's type; the
+    values must not occur in the query; constant positions must hold
+    either the query constant or a value outside every type.
+    """
+    query_constants = {
+        t.value for a in query.atoms for t in a.terms if not is_variable(t)
+    }
+    for a in query.atoms:
+        if a.relation not in db.schemas:
+            continue
+        for row in db.facts(a.relation):
+            for term, value in zip(a.terms, row):
+                if is_variable(term):
+                    ok = (
+                        isinstance(value, tuple)
+                        and len(value) == 3
+                        and value[0] == "ty"
+                        and value[1] == term.name
+                        and value not in query_constants
+                    )
+                    if not ok:
+                        return False
+    return True

@@ -1,0 +1,141 @@
+"""E13 (ablations) — the design choices DESIGN.md calls out, measured.
+
+* guard-driven quantifier enumeration vs naive active-domain scans in
+  the FO evaluator;
+* formula simplification: size and evaluation effect;
+* memoization in the interpreted Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List
+
+from ..core.terms import is_variable
+from ..cqa.is_certain import CertaintyInterpreter
+from ..cqa.rewriting import consistent_rewriting
+from ..fo.eval import Evaluator
+from ..fo.formula import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    Falsum,
+    Forall,
+    Not,
+    Or,
+    Verum,
+    constants_of,
+)
+from ..fo.stats import stats
+from ..workloads.generators import random_small_database
+from ..workloads.poll import random_poll_database
+from ..workloads.queries import poll_qa, poll_qb, q3, q_hall
+from .harness import Table, timed
+
+
+def naive_evaluate(formula, db) -> bool:
+    """Reference evaluator: every quantifier scans the active domain."""
+    consts = {c.value for c in constants_of(formula)}
+    adom = sorted(db.active_domain() | consts, key=repr)
+
+    def go(g, env):
+        if isinstance(g, Verum):
+            return True
+        if isinstance(g, Falsum):
+            return False
+        if isinstance(g, AtomF):
+            row = tuple(env[t] if is_variable(t) else t.value
+                        for t in g.atom.terms)
+            return db.contains(g.atom.relation, row)
+        if isinstance(g, Eq):
+            lv = env[g.lhs] if is_variable(g.lhs) else g.lhs.value
+            rv = env[g.rhs] if is_variable(g.rhs) else g.rhs.value
+            return lv == rv
+        if isinstance(g, Not):
+            return not go(g.sub, env)
+        if isinstance(g, And):
+            return all(go(s, env) for s in g.subs)
+        if isinstance(g, Or):
+            return any(go(s, env) for s in g.subs)
+        if isinstance(g, (Exists, Forall)):
+            combos = itertools.product(adom, repeat=len(g.vars))
+            results = (go(g.sub, {**env, **dict(zip(g.vars, c))})
+                       for c in combos)
+            return any(results) if isinstance(g, Exists) else all(results)
+        raise TypeError(g)
+
+    return go(formula, {})
+
+
+def evaluator_ablation_table(seed: int = 19) -> Table:
+    rng = random.Random(seed)
+    table = Table(
+        "E13a: guard-driven vs naive quantifier enumeration",
+        ["query", "people", "t_guarded(s)", "t_naive(s)", "speedup", "agree"],
+    )
+    for name, query in (("poll qa", poll_qa()), ("poll qb", poll_qb())):
+        formula = consistent_rewriting(query)
+        db = random_poll_database(12, 4, conflict_rate=0.5, rng=rng)
+        guarded_ans, t_guarded = timed(
+            lambda: Evaluator(formula, db).evaluate(), repeat=3)
+        naive_ans, t_naive = timed(naive_evaluate, formula, db)
+        table.add_row(
+            name, 12, t_guarded, t_naive,
+            f"{t_naive / max(t_guarded, 1e-9):.0f}x",
+            guarded_ans == naive_ans,
+        )
+    return table
+
+
+def simplify_ablation_table() -> Table:
+    table = Table(
+        "E13b: simplification effect on rewriting size",
+        ["query", "raw nodes", "simplified nodes", "shrink"],
+    )
+    for name, query in (("q3", q3()), ("q_Hall(3)", q_hall(3)),
+                        ("poll qb", poll_qb())):
+        raw = stats(consistent_rewriting(query, simplify=False)).nodes
+        simplified = stats(consistent_rewriting(query, simplify=True)).nodes
+        table.add_row(name, raw, simplified, f"{raw / simplified:.2f}x")
+    table.add_note(
+        "a shrink of 1.00x is the finding: the rewriter's flattening "
+        "smart constructors (make_and/make_or/make_exists) already emit "
+        "normalized formulas inline, so the post-hoc fixpoint pass has "
+        "nothing left to remove on these queries."
+    )
+    return table
+
+
+def memoization_ablation_table(seed: int = 20) -> Table:
+    rng = random.Random(seed)
+    table = Table(
+        "E13c: memoization in the interpreted Algorithm 1",
+        ["query", "facts", "t_memoized(s)", "t_unmemoized(s)", "agree"],
+    )
+    for name, query in (("q3", q3()), ("q_Hall(2)", q_hall(2))):
+        db = random_small_database(query, rng, domain_size=4,
+                                   facts_per_relation=10)
+        memo_ans, t_memo = timed(
+            lambda: CertaintyInterpreter(query, db, memoize=True).run(query),
+            repeat=3)
+        plain_ans, t_plain = timed(
+            lambda: CertaintyInterpreter(query, db, memoize=False).run(query))
+        table.add_row(name, db.size(), t_memo, t_plain,
+                      memo_ans == plain_ans)
+    table.add_note(
+        "memoization pays only when distinct block facts ground the "
+        "residual query identically (shared non-key values); at these "
+        "sizes the two variants are within noise of each other."
+    )
+    return table
+
+
+def run(seed: int = 19) -> List[Table]:
+    """All E13 tables."""
+    return [
+        evaluator_ablation_table(seed=seed),
+        simplify_ablation_table(),
+        memoization_ablation_table(seed=seed + 1),
+    ]

@@ -1,0 +1,164 @@
+"""E14 (census) — the dichotomy over the COMPLETE space of small queries.
+
+Enumerates every sjfBCQ¬ query with ≤2 positive and ≤2 negated atoms
+over two variables (arities ≤2, all key sizes, up to relation renaming;
+3282 queries) and:
+
+* classifies all of them (Theorem 4.3's procedure is total and never
+  crashes; Lemma 4.9's 2-cycle guarantee is asserted internally for
+  every cyclic weakly-guarded query);
+* verifies the rewriting against brute force on random databases for a
+  deterministic sample of the FO queries — the dichotomy's sufficiency
+  direction checked across the whole structural space, not just
+  hand-picked examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.classify import Hardness, Verdict, classify
+from ..cqa.brute_force import is_certain_brute_force
+from ..cqa.engine import CertaintyEngine
+from ..workloads.census import (
+    enumerate_queries,
+    enumerate_wg_not_guarded_queries,
+)
+from ..workloads.generators import random_small_database
+from .harness import Table, timed
+
+
+def classification_census_table() -> Table:
+    """The verdict/hardness histogram over the full enumeration."""
+    table = Table(
+        "E14a: classification census (2 vars, <=2 pos, <=2 neg, arity <=2)",
+        ["verdict", "hardness", "queries"],
+    )
+    counts = {}
+    total = 0
+    for query in enumerate_queries():
+        c = classify(query)
+        counts[(c.verdict, c.hardness)] = counts.get(
+            (c.verdict, c.hardness), 0) + 1
+        total += 1
+    for (verdict, hardness), n in sorted(
+            counts.items(), key=lambda kv: (-kv[1],)):
+        table.add_row(verdict.value, hardness.value, n)
+    table.add_note(f"total queries enumerated: {total}")
+    return table
+
+
+def dichotomy_verification_table(
+    every_nth: int = 1,
+    dbs_per_query: int = 2,
+    seed: int = 23,
+) -> Table:
+    """Rewriting vs brute force across a deterministic census sample."""
+    rng = random.Random(seed)
+    table = Table(
+        "E14b: Theorem 4.3(2) verified across the census",
+        ["queries checked", "databases", "all agree", "t_total(s)"],
+    )
+
+    def run():
+        checked = 0
+        agree = True
+        for i, query in enumerate(enumerate_queries()):
+            if i % every_nth:
+                continue
+            if not classify(query).in_fo:
+                continue
+            engine = CertaintyEngine(query)
+            for _ in range(dbs_per_query):
+                db = random_small_database(query, rng, domain_size=2,
+                                           facts_per_relation=3)
+                if engine.certain(db, "rewriting") != \
+                        is_certain_brute_force(query, db):
+                    agree = False
+            checked += 1
+        return checked, agree
+
+    (checked, agree), elapsed = timed(run)
+    table.add_row(checked, checked * dbs_per_query, agree, elapsed)
+    return table
+
+
+def beyond_gnfo_table(dbs_per_query: int = 2, seed: int = 29) -> Table:
+    """The weakly-guarded-but-not-guarded family (not in GNFO, §2):
+    full classification and dichotomy verification."""
+    rng = random.Random(seed)
+    table = Table(
+        "E14c: the beyond-GNFO census (weakly guarded, not guarded)",
+        ["queries", "in FO", "not in FO", "FO verified vs brute",
+         "all agree"],
+    )
+    queries = list(enumerate_wg_not_guarded_queries())
+    in_fo = [q for q in queries if classify(q).in_fo]
+    agree = True
+    for query in in_fo:
+        engine = CertaintyEngine(query)
+        for _ in range(dbs_per_query):
+            db = random_small_database(query, rng, domain_size=2,
+                                       facts_per_relation=3)
+            if engine.certain(db, "rewriting") != \
+                    is_certain_brute_force(query, db):
+                agree = False
+    table.add_row(len(queries), len(in_fo), len(queries) - len(in_fo),
+                  len(in_fo) * dbs_per_query, agree)
+    table.add_note(
+        "these queries have a ternary negated atom guarded only "
+        "pairwise — the regime where the paper extends past "
+        "guarded-negation logics."
+    )
+    return table
+
+
+def constant_census_table(
+    every_nth: int = 50,
+    dbs_per_query: int = 1,
+    seed: int = 31,
+) -> Table:
+    """The census extended with one constant (q3/q_Hall-like shapes:
+    constants may sit in key or value positions).  40535 queries;
+    classification of all, dichotomy verification on a sample."""
+    from ..core.terms import Constant
+
+    rng = random.Random(seed)
+    table = Table(
+        "E14d: census with one constant (q3 / q_Hall shapes)",
+        ["queries", "in FO", "sampled FO verified", "all agree"],
+    )
+    total = 0
+    in_fo_count = 0
+    verified = 0
+    agree = True
+    for i, query in enumerate(
+            enumerate_queries(constants=(Constant("c"),))):
+        total += 1
+        c = classify(query)
+        if not c.in_fo:
+            continue
+        in_fo_count += 1
+        if i % every_nth:
+            continue
+        engine = CertaintyEngine(query)
+        for _ in range(dbs_per_query):
+            db = random_small_database(query, rng, domain_size=2,
+                                       facts_per_relation=3)
+            if engine.certain(db, "rewriting") != \
+                    is_certain_brute_force(query, db):
+                agree = False
+        verified += 1
+    table.add_row(total, in_fo_count, verified, agree)
+    return table
+
+
+def run(seed: int = 23) -> List[Table]:
+    """All E14 tables."""
+    return [
+        classification_census_table(),
+        dichotomy_verification_table(seed=seed),
+        beyond_gnfo_table(seed=seed + 6),
+        constant_census_table(seed=seed + 8),
+    ]

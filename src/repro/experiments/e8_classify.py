@@ -1,0 +1,63 @@
+"""E8 — Theorem 4.3's decision procedure is polynomial in |q|.
+
+The paper remarks that acyclicity of the attack graph "can be decided in
+polynomial time in the size of q".  This experiment measures the
+classifier's wall time on random query families of growing size and on
+the q_Hall family.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core.classify import Verdict, classify
+from ..workloads.generators import QueryParams, random_query
+from ..workloads.queries import q_hall
+from .harness import Table, timed
+
+
+def random_family_table(
+    sizes=(2, 4, 6, 8, 12), per_size: int = 10, seed: int = 10
+) -> Table:
+    rng = random.Random(seed)
+    table = Table(
+        "E8a: classification time on random queries",
+        ["atoms", "queries", "in FO", "not in FO", "avg t_classify(s)"],
+    )
+    for n in sizes:
+        params = QueryParams(
+            n_positive=max(1, n // 2),
+            n_negative=n - max(1, n // 2),
+            n_variables=max(3, n),
+        )
+        in_fo = 0
+        not_fo = 0
+        total_t = 0.0
+        for _ in range(per_size):
+            query = random_query(params, rng)
+            verdict, t = timed(classify, query)
+            total_t += t
+            if verdict.verdict is Verdict.IN_FO:
+                in_fo += 1
+            elif verdict.verdict is Verdict.NOT_IN_FO:
+                not_fo += 1
+        table.add_row(n, per_size, in_fo, not_fo, total_t / per_size)
+    return table
+
+
+def hall_family_table(sizes=(1, 2, 4, 8, 16, 32), seed: int = 11) -> Table:
+    table = Table(
+        "E8b: classification time on q_Hall(l)",
+        ["l", "verdict", "t_classify(s)"],
+    )
+    for l in sizes:
+        query = q_hall(l)
+        verdict, t = timed(classify, query, repeat=3)
+        table.add_row(l, verdict.verdict.value, t)
+    return table
+
+
+def run(seed: int = 10) -> List[Table]:
+    """All E8 tables."""
+    return [random_family_table(seed=seed), hall_family_table(seed=seed + 1)]

@@ -1,0 +1,105 @@
+"""E9 — Lemmas 5.4, 5.6, 5.7: the hardness reductions preserve certainty.
+
+Each reduction is run on random small source instances, and the source
+and target certainty answers (both computed by brute force) must agree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..cqa.brute_force import is_certain_brute_force
+from ..reductions.drop_negated import reduce_database
+from ..reductions.gadgets import reduce_lemma_5_6, reduce_lemma_5_7
+from ..workloads.generators import random_small_database
+from ..workloads.queries import (
+    poll_q1,
+    poll_q2,
+    q1,
+    q2,
+    q2_example41,
+    q_hall,
+)
+from .harness import Table
+
+
+def lemma54_table(trials: int = 30, seed: int = 12) -> Table:
+    """q' = q_Hall(1) embedded into q = q_Hall(3) by adding negated atoms."""
+    rng = random.Random(seed)
+    sub = q_hall(1)
+    full = q_hall(3)
+    agree = True
+    for _ in range(trials):
+        db = random_small_database(sub, rng, domain_size=3, facts_per_relation=4)
+        reduced = reduce_database(sub, full, db)
+        if is_certain_brute_force(sub, db) != is_certain_brute_force(full, reduced):
+            agree = False
+    table = Table(
+        "E9a: Lemma 5.4 — dropping negated atoms (q_Hall(1) -> q_Hall(3))",
+        ["trials", "certainty preserved"],
+    )
+    table.add_row(trials, agree)
+    return table
+
+
+def lemma56_table(trials: int = 25, seed: int = 13) -> Table:
+    """q1 reduced into queries with a positive/negative two-cycle."""
+    rng = random.Random(seed)
+    source = q1()
+    table = Table(
+        "E9b: Lemma 5.6 — q1 into two-cycles with one negated atom",
+        ["target", "trials", "certainty preserved"],
+    )
+    targets = [
+        ("q1 itself", q1(), "R", "S"),
+        ("poll_q1", poll_q1(), "Mayor", "Lives"),
+    ]
+    for name, target, f_name, g_name in targets:
+        f = target.atom_for(f_name)
+        g = target.atom_for(g_name)
+        agree = True
+        for _ in range(trials):
+            db = random_small_database(source, rng, domain_size=3,
+                                       facts_per_relation=4)
+            _, out = reduce_lemma_5_6(target, f, g, db)
+            if is_certain_brute_force(source, db) != is_certain_brute_force(target, out):
+                agree = False
+        table.add_row(name, trials, agree)
+    return table
+
+
+def lemma57_table(trials: int = 25, seed: int = 14) -> Table:
+    """q2 reduced into queries with a two-cycle of negated atoms."""
+    rng = random.Random(seed)
+    source = q2()
+    table = Table(
+        "E9c: Lemma 5.7 — q2 into two-cycles of negated atoms",
+        ["target", "trials", "certainty preserved"],
+    )
+    targets = [
+        ("q2 itself", q2(), "S", "T"),
+        ("Example 4.1", q2_example41(), "R", "S"),
+        ("poll_q2", poll_q2(), "Lives", "Mayor"),
+    ]
+    for name, target, f_name, g_name in targets:
+        f = target.atom_for(f_name)
+        g = target.atom_for(g_name)
+        agree = True
+        for _ in range(trials):
+            db = random_small_database(source, rng, domain_size=3,
+                                       facts_per_relation=4)
+            _, out = reduce_lemma_5_7(target, f, g, db)
+            if is_certain_brute_force(source, db) != is_certain_brute_force(target, out):
+                agree = False
+        table.add_row(name, trials, agree)
+    return table
+
+
+def run(seed: int = 12) -> List[Table]:
+    """All E9 tables."""
+    return [
+        lemma54_table(seed=seed),
+        lemma56_table(seed=seed + 1),
+        lemma57_table(seed=seed + 2),
+    ]

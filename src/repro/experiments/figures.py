@@ -1,0 +1,76 @@
+"""ASCII figures for the experiment reports.
+
+Textual bar charts (optionally log-scaled) keep EXPERIMENTS.md
+self-contained with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    title: str,
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """A horizontal bar chart from (label, value) pairs.
+
+    Non-positive values render as empty bars; with *log_scale* the bar
+    length is proportional to log10(value) shifted above the smallest
+    positive value.
+    """
+    lines = [f"### {title}", ""]
+    if not rows:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(label) for label, _ in rows)
+    positives = [v for _, v in rows if v > 0]
+    if not positives:
+        scale_min, scale_max = 0.0, 1.0
+    elif log_scale:
+        scale_min = math.log10(min(positives)) - 0.05
+        scale_max = math.log10(max(positives))
+    else:
+        scale_min, scale_max = 0.0, max(positives)
+    span = max(scale_max - scale_min, 1e-12)
+
+    for label, value in rows:
+        if value <= 0:
+            length = 0
+        elif log_scale:
+            length = int(round(width * (math.log10(value) - scale_min) / span))
+        else:
+            length = int(round(width * (value - scale_min) / span))
+        length = max(0, min(width, length))
+        bar = "#" * length
+        shown = f"{value:.4g}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| {shown}")
+    if log_scale:
+        lines.append(f"(log scale, {width} chars "
+                     f"= 10^{scale_max:.2f}{unit})")
+    return "\n".join(lines)
+
+
+def timing_chart(
+    title: str,
+    rows: Sequence[Tuple[str, float]],
+    width: int = 40,
+) -> str:
+    """A log-scaled chart for wall-clock timings in seconds."""
+    return bar_chart(title, rows, width=width, log_scale=True, unit="s")
+
+
+def growth_series(values: Sequence[float]) -> Optional[float]:
+    """The average ratio between consecutive values (growth factor), or
+    None when fewer than two positive values exist.  Used to assert
+    shapes like "roughly doubles per step"."""
+    pairs = [
+        (a, b) for a, b in zip(values, values[1:]) if a > 0 and b > 0
+    ]
+    if not pairs:
+        return None
+    ratios = [b / a for a, b in pairs]
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))

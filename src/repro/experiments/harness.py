@@ -1,0 +1,79 @@
+"""Experiment harness: result tables and timing helpers.
+
+Every experiment driver returns one or more :class:`Table` objects; the
+benchmark modules and the EXPERIMENTS.md generator render them as
+aligned text.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Table:
+    """A titled result table with aligned text rendering."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in self.columns]]
+        cells += [[_format_cell(v) for v in row] for row in self.rows]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [f"## {self.title}", ""]
+        header, *body = cells
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.001:
+            return f"{value:.2e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def timed(fn: Callable, *args, repeat: int = 1, **kwargs) -> Tuple[object, float]:
+    """(result, best wall-clock seconds over *repeat* runs)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def render_report(tables: Sequence[Table], heading: str = "") -> str:
+    """Concatenate tables into one report string."""
+    parts = [heading] if heading else []
+    parts += [t.render() for t in tables]
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,145 @@
+"""Randomized equivalence testing for first-order sentences.
+
+FO equivalence is undecidable in general; over *bounded* databases it
+is decidable by enumeration, and random databases give a practical
+refutation-complete check: inequivalent sentences are distinguished
+with probability growing in the trial count.  Used to compare
+constructed rewritings against hand-written formulas (experiment E6)
+and as a regression tool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.atoms import RelationSchema
+from ..db.database import Database
+from .eval import Evaluator
+from .formula import Formula, free_variables, schemas_of
+
+
+@dataclass(frozen=True)
+class Distinguisher:
+    """A database on which two sentences disagree."""
+
+    db: Database
+    first_value: bool
+    second_value: bool
+
+
+def _merged_schemas(
+    first: Formula, second: Formula,
+    extra: Mapping[str, RelationSchema],
+) -> Dict[str, RelationSchema]:
+    schemas: Dict[str, RelationSchema] = dict(extra)
+    for f in (first, second):
+        for name, schema in schemas_of(f).items():
+            existing = schemas.get(name)
+            if existing is not None and existing.arity != schema.arity:
+                raise ValueError(
+                    f"arity clash for {name}: {existing.arity} vs "
+                    f"{schema.arity}"
+                )
+            schemas.setdefault(name, schema)
+    return schemas
+
+
+def random_database_for(
+    schemas: Mapping[str, RelationSchema],
+    rng: random.Random,
+    domain_size: int = 3,
+    max_facts: int = 4,
+    extra_values: Sequence = (),
+) -> Database:
+    """A random database over the given schemas."""
+    pool: List = list(range(domain_size)) + list(extra_values)
+    db = Database(schemas.values())
+    for name, schema in schemas.items():
+        for _ in range(rng.randint(0, max_facts)):
+            db.add(name, tuple(rng.choice(pool)
+                               for _ in range(schema.arity)))
+    return db
+
+
+def find_distinguisher(
+    first: Formula,
+    second: Formula,
+    trials: int = 200,
+    rng: Optional[random.Random] = None,
+    schemas: Mapping[str, RelationSchema] = (),
+    domain_size: int = 3,
+    max_facts: int = 4,
+) -> Optional[Distinguisher]:
+    """Search for a random database where the sentences disagree.
+
+    Constants occurring in either sentence are injected into the value
+    pool so constant-sensitive differences are exercised.  Returns None
+    when no distinguisher was found (evidence of, not proof of,
+    equivalence).
+    """
+    if free_variables(first) or free_variables(second):
+        raise ValueError("equivalence testing needs sentences (no free vars)")
+    rng = rng or random.Random()
+    merged = _merged_schemas(first, second, dict(schemas))
+    from .formula import constants_of
+
+    extra_values = sorted(
+        {c.value for c in constants_of(first) | constants_of(second)},
+        key=repr,
+    )
+    for _ in range(trials):
+        db = random_database_for(merged, rng, domain_size, max_facts,
+                                 extra_values)
+        a = Evaluator(first, db).evaluate()
+        b = Evaluator(second, db).evaluate()
+        if a != b:
+            return Distinguisher(db, a, b)
+    return None
+
+
+def equivalent_on_random_dbs(
+    first: Formula,
+    second: Formula,
+    trials: int = 200,
+    rng: Optional[random.Random] = None,
+    schemas: Mapping[str, RelationSchema] = (),
+) -> bool:
+    """True when no random database distinguished the sentences."""
+    return find_distinguisher(first, second, trials, rng, schemas) is None
+
+
+def equivalent_on_all_small_dbs(
+    first: Formula,
+    second: Formula,
+    schemas: Mapping[str, RelationSchema] = (),
+    domain: Sequence = (0, 1),
+) -> Optional[Distinguisher]:
+    """Exhaustive bounded check: every database over *domain*.
+
+    Exponential in the total number of possible facts; intended for
+    single-relation or tiny multi-relation vocabularies.  Returns the
+    first distinguisher, or None when the sentences agree on the whole
+    bounded space.
+    """
+    merged = _merged_schemas(first, second, dict(schemas))
+    all_facts: List[Tuple[str, Tuple]] = []
+    for name, schema in sorted(merged.items()):
+        for row in itertools.product(domain, repeat=schema.arity):
+            all_facts.append((name, row))
+    if len(all_facts) > 20:
+        raise ValueError(
+            f"bounded space too large: 2^{len(all_facts)} databases"
+        )
+    for bits in itertools.product((False, True), repeat=len(all_facts)):
+        db = Database(merged.values())
+        for keep, (name, row) in zip(bits, all_facts):
+            if keep:
+                db.add(name, row)
+        a = Evaluator(first, db).evaluate()
+        b = Evaluator(second, db).evaluate()
+        if a != b:
+            return Distinguisher(db, a, b)
+    return None

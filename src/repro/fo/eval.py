@@ -1,0 +1,223 @@
+"""Active-domain evaluation of first-order formulas on databases.
+
+The paper's FO class is evaluated over the active domain (all constants
+of the database plus the constants of the formula).  The evaluator first
+converts to negation normal form and then exploits *guards*: in a
+conjunction ∃z⃗ (R(..z⃗..) ∧ φ) the quantified variables are enumerated
+from the rows of R rather than from the whole active domain, which is
+what makes the consistent rewritings produced by Algorithm 1 — whose
+quantifiers are always relation-guarded — fast in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.terms import Variable, is_variable
+from ..db.database import Database
+from .formula import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    FALSE,
+    Falsum,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    Verum,
+    constants_of,
+    free_variables,
+)
+
+Env = Dict[Variable, object]
+
+
+def nnf(f: Formula, negate: bool = False) -> Formula:
+    """Negation normal form: negations pushed onto atoms and equalities."""
+    if isinstance(f, Verum):
+        return FALSE if negate else TRUE
+    if isinstance(f, Falsum):
+        return TRUE if negate else FALSE
+    if isinstance(f, (AtomF, Eq)):
+        return Not(f) if negate else f
+    if isinstance(f, Not):
+        return nnf(f.sub, not negate)
+    if isinstance(f, And):
+        subs = tuple(nnf(s, negate) for s in f.subs)
+        return Or(subs) if negate else And(subs)
+    if isinstance(f, Or):
+        subs = tuple(nnf(s, negate) for s in f.subs)
+        return And(subs) if negate else Or(subs)
+    if isinstance(f, Exists):
+        sub = nnf(f.sub, negate)
+        return Forall(f.vars, sub) if negate else Exists(f.vars, sub)
+    if isinstance(f, Forall):
+        sub = nnf(f.sub, negate)
+        return Exists(f.vars, sub) if negate else Forall(f.vars, sub)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def _term_value(term, env: Env):
+    if is_variable(term):
+        return env[term]
+    return term.value
+
+
+def _atom_holds(a: AtomF, db: Database, env: Env) -> bool:
+    row = tuple(_term_value(t, env) for t in a.atom.terms)
+    return db.contains(a.atom.relation, row)
+
+
+def _match_rows(a: AtomF, db: Database, env: Env, quantified: set):
+    """Yield env extensions binding quantified vars so that the atom holds."""
+    atom = a.atom
+    if atom.relation not in db.schemas:
+        return
+    bindings = {}
+    for position, term in enumerate(atom.terms):
+        if is_variable(term):
+            if term in env:
+                bindings[position] = env[term]
+        else:
+            bindings[position] = term.value
+    for row in db.lookup(atom.relation, bindings):
+        extended = dict(env)
+        ok = True
+        for term, value in zip(atom.terms, row):
+            if is_variable(term):
+                if term in extended:
+                    if extended[term] != value:
+                        ok = False
+                        break
+                elif term in quantified:
+                    extended[term] = value
+                else:
+                    ok = False  # unbound free variable: ill-scoped
+                    break
+            elif term.value != value:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+def _pick_guard(conjuncts: Sequence[Formula], env: Env, quantified: set):
+    """A positive atom conjunct whose variables are all bound-or-quantified
+    and that binds at least one quantified variable."""
+    bound = set(env)
+    for c in conjuncts:
+        if isinstance(c, AtomF):
+            vs = c.atom.vars
+            if vs & quantified and vs <= bound | quantified:
+                return c
+    return None
+
+
+class Evaluator:
+    """Evaluates one formula against one database (reusable across envs)."""
+
+    def __init__(self, formula: Formula, db: Database):
+        self.formula = nnf(formula)
+        self.db = db
+        consts = {c.value for c in constants_of(formula)}
+        self.adom: Tuple = tuple(sorted(db.active_domain() | consts, key=repr))
+
+    def evaluate(self, env: Optional[Env] = None) -> bool:
+        """Truth value under the given environment (default: empty)."""
+        return self._eval(self.formula, dict(env or {}))
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, f: Formula, env: Env) -> bool:
+        if isinstance(f, Verum):
+            return True
+        if isinstance(f, Falsum):
+            return False
+        if isinstance(f, AtomF):
+            return _atom_holds(f, self.db, env)
+        if isinstance(f, Eq):
+            return _term_value(f.lhs, env) == _term_value(f.rhs, env)
+        if isinstance(f, Not):
+            # NNF: sub is an atom or equality.
+            return not self._eval(f.sub, env)
+        if isinstance(f, And):
+            return all(self._eval(s, env) for s in f.subs)
+        if isinstance(f, Or):
+            return any(self._eval(s, env) for s in f.subs)
+        if isinstance(f, Exists):
+            return self._eval_exists(f.vars, f.sub, self._unshadow(f.vars, env))
+        if isinstance(f, Forall):
+            return self._eval_forall(f.vars, f.sub, self._unshadow(f.vars, env))
+        raise TypeError(f"not a formula: {f!r}")
+
+    @staticmethod
+    def _unshadow(variables: Tuple[Variable, ...], env: Env) -> Env:
+        """Drop outer bindings shadowed by this quantifier's variables."""
+        if any(v in env for v in variables):
+            return {k: v for k, v in env.items() if k not in variables}
+        return env
+
+    def _eval_exists(
+        self, variables: Tuple[Variable, ...], body: Formula, env: Env
+    ) -> bool:
+        variables = tuple(v for v in variables if v not in env)
+        if not variables:
+            return self._eval(body, env)
+        quantified = set(variables)
+        conjuncts = body.subs if isinstance(body, And) else (body,)
+        guard = _pick_guard(conjuncts, env, quantified)
+        if guard is not None:
+            for extended in _match_rows(guard, self.db, env, quantified):
+                remaining = tuple(v for v in variables if v not in extended)
+                if self._eval_exists(remaining, body, extended):
+                    return True
+            return False
+        head, rest = variables[0], variables[1:]
+        for value in self.adom:
+            env[head] = value
+            if self._eval_exists(rest, body, env):
+                env.pop(head, None)
+                return True
+        env.pop(head, None)
+        return False
+
+    def _eval_forall(
+        self, variables: Tuple[Variable, ...], body: Formula, env: Env
+    ) -> bool:
+        variables = tuple(v for v in variables if v not in env)
+        if not variables:
+            return self._eval(body, env)
+        quantified = set(variables)
+        # ∀z⃗ (¬G ∨ φ): only assignments making the guard G true matter.
+        disjuncts = body.subs if isinstance(body, Or) else (body,)
+        negated_atoms = [
+            d.sub for d in disjuncts if isinstance(d, Not) and isinstance(d.sub, AtomF)
+        ]
+        guard = _pick_guard(negated_atoms, env, quantified)
+        if guard is not None:
+            for extended in _match_rows(guard, self.db, env, quantified):
+                remaining = tuple(v for v in variables if v not in extended)
+                if not self._eval_forall(remaining, body, extended):
+                    return False
+            return True
+        head, rest = variables[0], variables[1:]
+        for value in self.adom:
+            env[head] = value
+            if not self._eval_forall(rest, body, env):
+                env.pop(head, None)
+                return False
+        env.pop(head, None)
+        return True
+
+
+def evaluate(formula: Formula, db: Database, env: Optional[Env] = None) -> bool:
+    """One-shot evaluation of a sentence on a database."""
+    missing = free_variables(formula) - set(env or {})
+    if missing:
+        raise ValueError(
+            f"formula has unbound free variables: {sorted(v.name for v in missing)}"
+        )
+    return Evaluator(formula, db).evaluate(env)

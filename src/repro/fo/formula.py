@@ -1,0 +1,405 @@
+"""First-order formulas with equality and constants.
+
+This is the target language of the consistent first-order rewriting: the
+complexity class FO of the paper is "first-order logic with equality and
+constants, but without other built-in predicates or function symbols",
+evaluated under active-domain semantics.
+
+The AST is deliberately small: atoms, equality, negation, conjunction,
+disjunction, and the two quantifiers.  Implication is provided as sugar.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.terms import Constant, Term, Variable, is_variable
+
+
+class Formula:
+    """Base class for first-order formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return make_and([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return make_or([self, other])
+
+    def __invert__(self) -> "Formula":
+        return make_not(self)
+
+
+class Verum(Formula):
+    """The formula TRUE."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "true"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Verum)
+
+    def __hash__(self) -> int:
+        return hash("Verum")
+
+
+class Falsum(Formula):
+    """The formula FALSE."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "false"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Falsum)
+
+    def __hash__(self) -> int:
+        return hash("Falsum")
+
+
+TRUE = Verum()
+FALSE = Falsum()
+
+
+class AtomF(Formula):
+    """An atomic formula R(t_1, ..., t_n), wrapping a core Atom."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AtomF) and self.atom == other.atom
+
+    def __hash__(self) -> int:
+        return hash(("AtomF", self.atom))
+
+
+class Eq(Formula):
+    """The equality t1 = t2."""
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Term, rhs: Term):
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        return f"{self.lhs} = {self.rhs}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Eq) and self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash(("Eq", self.lhs, self.rhs))
+
+
+class Not(Formula):
+    """Negation."""
+
+    __slots__ = ("sub",)
+
+    def __init__(self, sub: Formula):
+        self.sub = sub
+
+    def __repr__(self) -> str:
+        return f"not({self.sub!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.sub == other.sub
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.sub))
+
+
+class And(Formula):
+    """Conjunction over a tuple of subformulas."""
+
+    __slots__ = ("subs",)
+
+    def __init__(self, subs: Iterable[Formula]):
+        self.subs = tuple(subs)
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(repr(s) for s in self.subs) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, And) and self.subs == other.subs
+
+    def __hash__(self) -> int:
+        return hash(("And", self.subs))
+
+
+class Or(Formula):
+    """Disjunction over a tuple of subformulas."""
+
+    __slots__ = ("subs",)
+
+    def __init__(self, subs: Iterable[Formula]):
+        self.subs = tuple(subs)
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(repr(s) for s in self.subs) + ")"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Or) and self.subs == other.subs
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.subs))
+
+
+class Exists(Formula):
+    """Existential quantification over a tuple of variables."""
+
+    __slots__ = ("vars", "sub")
+
+    def __init__(self, variables: Iterable[Variable], sub: Formula):
+        self.vars = tuple(variables)
+        self.sub = sub
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self.vars)
+        return f"(exists {names}. {self.sub!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Exists) and self.vars == other.vars and self.sub == other.sub
+
+    def __hash__(self) -> int:
+        return hash(("Exists", self.vars, self.sub))
+
+
+class Forall(Formula):
+    """Universal quantification over a tuple of variables."""
+
+    __slots__ = ("vars", "sub")
+
+    def __init__(self, variables: Iterable[Variable], sub: Formula):
+        self.vars = tuple(variables)
+        self.sub = sub
+
+    def __repr__(self) -> str:
+        names = " ".join(v.name for v in self.vars)
+        return f"(forall {names}. {self.sub!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Forall) and self.vars == other.vars and self.sub == other.sub
+
+    def __hash__(self) -> int:
+        return hash(("Forall", self.vars, self.sub))
+
+
+# ----------------------------------------------------------------------
+# smart constructors
+# ----------------------------------------------------------------------
+
+
+def make_and(subs: Iterable[Formula]) -> Formula:
+    """Flattening conjunction with TRUE/FALSE absorption."""
+    flat = []
+    for s in subs:
+        if isinstance(s, Falsum):
+            return FALSE
+        if isinstance(s, Verum):
+            continue
+        if isinstance(s, And):
+            flat.extend(s.subs)
+        else:
+            flat.append(s)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def make_or(subs: Iterable[Formula]) -> Formula:
+    """Flattening disjunction with TRUE/FALSE absorption."""
+    flat = []
+    for s in subs:
+        if isinstance(s, Verum):
+            return TRUE
+        if isinstance(s, Falsum):
+            continue
+        if isinstance(s, Or):
+            flat.extend(s.subs)
+        else:
+            flat.append(s)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def make_not(sub: Formula) -> Formula:
+    """Negation with double-negation and constant elimination."""
+    if isinstance(sub, Verum):
+        return FALSE
+    if isinstance(sub, Falsum):
+        return TRUE
+    if isinstance(sub, Not):
+        return sub.sub
+    return Not(sub)
+
+
+def make_exists(variables: Sequence[Variable], sub: Formula) -> Formula:
+    """∃-quantification; drops an empty variable list.
+
+    Quantifiers over the constant formulas TRUE/FALSE collapse, which
+    assumes a non-empty domain.  Under active-domain semantics the
+    domain is empty only for an entirely empty database and
+    constant-free formula, where the collapse is harmless for every
+    rewriting this library produces (their quantifiers are guarded).
+    """
+    variables = tuple(variables)
+    if not variables:
+        return sub
+    if isinstance(sub, (Verum, Falsum)):
+        return sub
+    if isinstance(sub, Exists):
+        return Exists(variables + sub.vars, sub.sub)
+    return Exists(variables, sub)
+
+
+def make_forall(variables: Sequence[Variable], sub: Formula) -> Formula:
+    """∀-quantification; drops an empty variable list.
+
+    Constant bodies collapse under the same non-empty-domain convention
+    as :func:`make_exists`.
+    """
+    variables = tuple(variables)
+    if not variables:
+        return sub
+    if isinstance(sub, (Verum, Falsum)):
+        return sub
+    if isinstance(sub, Forall):
+        return Forall(variables + sub.vars, sub.sub)
+    return Forall(variables, sub)
+
+
+def implies(premise: Formula, conclusion: Formula) -> Formula:
+    """premise → conclusion, encoded as ¬premise ∨ conclusion."""
+    return make_or([make_not(premise), conclusion])
+
+
+# ----------------------------------------------------------------------
+# traversals
+# ----------------------------------------------------------------------
+
+
+def free_variables(f: Formula) -> FrozenSet[Variable]:
+    """The free variables of a formula."""
+    if isinstance(f, (Verum, Falsum)):
+        return frozenset()
+    if isinstance(f, AtomF):
+        return f.atom.vars
+    if isinstance(f, Eq):
+        out = set()
+        for t in (f.lhs, f.rhs):
+            if is_variable(t):
+                out.add(t)
+        return frozenset(out)
+    if isinstance(f, Not):
+        return free_variables(f.sub)
+    if isinstance(f, (And, Or)):
+        out = frozenset()
+        for s in f.subs:
+            out |= free_variables(s)
+        return out
+    if isinstance(f, (Exists, Forall)):
+        return free_variables(f.sub) - frozenset(f.vars)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def constants_of(f: Formula) -> FrozenSet[Constant]:
+    """All constants occurring in the formula."""
+    if isinstance(f, (Verum, Falsum)):
+        return frozenset()
+    if isinstance(f, AtomF):
+        return frozenset(t for t in f.atom.terms if not is_variable(t))
+    if isinstance(f, Eq):
+        return frozenset(t for t in (f.lhs, f.rhs) if not is_variable(t))
+    if isinstance(f, Not):
+        return constants_of(f.sub)
+    if isinstance(f, (And, Or)):
+        out = frozenset()
+        for s in f.subs:
+            out |= constants_of(s)
+        return out
+    if isinstance(f, (Exists, Forall)):
+        return constants_of(f.sub)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def relations_of(f: Formula) -> FrozenSet[str]:
+    """All relation names occurring in the formula."""
+    if isinstance(f, AtomF):
+        return frozenset([f.atom.relation])
+    if isinstance(f, Not):
+        return relations_of(f.sub)
+    if isinstance(f, (And, Or)):
+        out = frozenset()
+        for s in f.subs:
+            out |= relations_of(s)
+        return out
+    if isinstance(f, (Exists, Forall)):
+        return relations_of(f.sub)
+    return frozenset()
+
+
+def schemas_of(f: Formula) -> Dict[str, object]:
+    """Relation name -> RelationSchema for every atom of the formula."""
+    out: Dict[str, object] = {}
+
+    def walk(g: Formula) -> None:
+        if isinstance(g, AtomF):
+            out[g.atom.relation] = g.atom.schema
+        elif isinstance(g, Not):
+            walk(g.sub)
+        elif isinstance(g, (And, Or)):
+            for s in g.subs:
+                walk(s)
+        elif isinstance(g, (Exists, Forall)):
+            walk(g.sub)
+
+    walk(f)
+    return out
+
+
+def substitute_terms(f: Formula, mapping: Mapping[Term, Term]) -> Formula:
+    """Replace terms (variables or constants) throughout a formula.
+
+    Quantified variable lists are not renamed; callers replacing
+    variables must ensure capture cannot occur.  The rewriting engine
+    only ever replaces :class:`PlaceholderConstant` objects (which cannot
+    be captured) and closed formulas' constants.
+    """
+    def sub_term(t: Term) -> Term:
+        return mapping.get(t, t)
+
+    if isinstance(f, (Verum, Falsum)):
+        return f
+    if isinstance(f, AtomF):
+        return AtomF(Atom(f.atom.schema, tuple(sub_term(t) for t in f.atom.terms)))
+    if isinstance(f, Eq):
+        return Eq(sub_term(f.lhs), sub_term(f.rhs))
+    if isinstance(f, Not):
+        return Not(substitute_terms(f.sub, mapping))
+    if isinstance(f, And):
+        return And(tuple(substitute_terms(s, mapping) for s in f.subs))
+    if isinstance(f, Or):
+        return Or(tuple(substitute_terms(s, mapping) for s in f.subs))
+    if isinstance(f, Exists):
+        return Exists(f.vars, substitute_terms(f.sub, mapping))
+    if isinstance(f, Forall):
+        return Forall(f.vars, substitute_terms(f.sub, mapping))
+    raise TypeError(f"not a formula: {f!r}")

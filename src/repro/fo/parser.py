@@ -1,0 +1,230 @@
+"""A text syntax for first-order formulas.
+
+Grammar (precedence low to high: iff/implies < or < and < not/quantifier)::
+
+    formula  := implied
+    implied  := disjunct ( '->' disjunct )*          (right-associative)
+    disjunct := conjunct ( ('or' | '|') conjunct )*
+    conjunct := unary ( ('and' | '&') unary )*
+    unary    := ('not' | '!' | '~') unary
+              | ('exists' | 'forall') NAME+ '.' formula
+              | '(' formula ')'
+              | 'true' | 'false'
+              | atom | equality
+    atom     := NAME '(' [term (',' term)*] ')'
+    equality := term ('=' | '!=') term
+    term     := NAME | INTEGER | 'string' | "string"
+
+Relations get all-key signatures (keys are irrelevant for formula
+evaluation; pass explicit schemas to the SQL compiler when they
+matter).  Examples::
+
+    parse_formula("exists x y. R(x, y) and not S(y, x)")
+    parse_formula("forall x. P(x) -> exists y. (Q(x, y) and y != 'c')")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional
+
+from ..core.atoms import Atom, RelationSchema
+from ..core.terms import Constant, Term, Variable
+from .formula import (
+    AtomF,
+    Eq,
+    FALSE,
+    Formula,
+    TRUE,
+    free_variables,
+    implies,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+)
+
+
+class FormulaParseError(ValueError):
+    """Raised on malformed formula text."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    value: str
+    position: int
+
+
+_KEYWORDS = {"exists", "forall", "and", "or", "not", "true", "false"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<neq>!=)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<int>-?\d+)
+  | (?P<str>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<punct>[().,=|&!~])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    out: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise FormulaParseError(
+                f"unexpected character {text[position]!r} at offset {position}"
+            )
+        kind = match.lastgroup
+        value = match.group()
+        if kind != "ws":
+            if kind == "name" and value in _KEYWORDS:
+                kind = value
+            out.append(_Token(kind, value, position))
+        position = match.end()
+    out.append(_Token("eof", "", position))
+    return out
+
+
+class _FormulaParser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self.advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise FormulaParseError(
+                f"expected {value or kind} at offset {token.position}, "
+                f"got {token.value or 'end of input'!r}"
+            )
+        return token
+
+    # precedence climbing ------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        left = self.parse_disjunct()
+        if self.peek().kind == "arrow":
+            self.advance()
+            right = self.parse_formula()  # right-associative
+            return implies(left, right)
+        return left
+
+    def parse_disjunct(self) -> Formula:
+        parts = [self.parse_conjunct()]
+        while self.peek().kind == "or" or self.peek().value == "|":
+            self.advance()
+            parts.append(self.parse_conjunct())
+        return make_or(parts) if len(parts) > 1 else parts[0]
+
+    def parse_conjunct(self) -> Formula:
+        parts = [self.parse_unary()]
+        while self.peek().kind == "and" or self.peek().value == "&":
+            self.advance()
+            parts.append(self.parse_unary())
+        return make_and(parts) if len(parts) > 1 else parts[0]
+
+    def parse_unary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "not" or token.value in ("!", "~"):
+            self.advance()
+            return make_not(self.parse_unary())
+        if token.kind in ("exists", "forall"):
+            self.advance()
+            variables = [Variable(self.expect("name").value)]
+            while self.peek().kind == "name" and not self._at_atom():
+                variables.append(Variable(self.advance().value))
+            self.expect("punct", ".")
+            body = self.parse_formula()
+            build = make_exists if token.kind == "exists" else make_forall
+            return build(variables, body)
+        if token.value == "(":
+            self.advance()
+            inner = self.parse_formula()
+            self.expect("punct", ")")
+            return inner
+        if token.kind == "true":
+            self.advance()
+            return TRUE
+        if token.kind == "false":
+            self.advance()
+            return FALSE
+        return self.parse_atom_or_equality()
+
+    def _at_atom(self) -> bool:
+        """Is the current NAME followed by '(' (an atom, ending the
+        quantifier's variable list)?"""
+        nxt = self.tokens[self.index + 1]
+        return nxt.value == "("
+
+    def parse_atom_or_equality(self) -> Formula:
+        token = self.peek()
+        if token.kind == "name" and self._at_atom():
+            name = self.advance().value
+            self.expect("punct", "(")
+            terms: List[Term] = []
+            if self.peek().value != ")":
+                terms.append(self.parse_term())
+                while self.peek().value == ",":
+                    self.advance()
+                    terms.append(self.parse_term())
+            self.expect("punct", ")")
+            if not terms:
+                raise FormulaParseError(f"atom {name} needs at least one term")
+            schema = RelationSchema(name, len(terms), len(terms))
+            return AtomF(Atom(schema, tuple(terms)))
+        lhs = self.parse_term()
+        op = self.advance()
+        if op.value == "=":
+            return Eq(lhs, self.parse_term())
+        if op.kind == "neq":
+            return make_not(Eq(lhs, self.parse_term()))
+        raise FormulaParseError(
+            f"expected '=' or '!=' at offset {op.position}, got {op.value!r}"
+        )
+
+    def parse_term(self) -> Term:
+        token = self.advance()
+        if token.kind == "name":
+            return Variable(token.value)
+        if token.kind == "int":
+            return Constant(int(token.value))
+        if token.kind == "str":
+            raw = token.value[1:-1]
+            return Constant(re.sub(r"\\(.)", r"\1", raw))
+        raise FormulaParseError(
+            f"expected a term at offset {token.position}, got {token.value!r}"
+        )
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a first-order formula from text (see module docstring)."""
+    parser = _FormulaParser(text)
+    formula = parser.parse_formula()
+    parser.expect("eof")
+    return formula
+
+
+def parse_sentence(text: str) -> Formula:
+    """Parse a formula and require it to be a sentence (no free vars)."""
+    formula = parse_formula(text)
+    free = free_variables(formula)
+    if free:
+        raise FormulaParseError(
+            f"formula has free variables: {sorted(v.name for v in free)}"
+        )
+    return formula

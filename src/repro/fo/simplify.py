@@ -1,0 +1,90 @@
+"""Equivalence-preserving simplification of first-order formulas.
+
+The rewriting construction of Lemma 6.1 produces formulas with some
+easily removable redundancy (trivial equalities, single-element
+connectives, vacuous quantifiers).  The passes here are purely local and
+preserve logical equivalence under active-domain semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..core.terms import Variable, is_variable
+from .formula import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    FALSE,
+    Falsum,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    TRUE,
+    Verum,
+    free_variables,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+)
+
+
+def _simplify_eq(f: Eq) -> Formula:
+    if f.lhs == f.rhs:
+        return TRUE
+    if not is_variable(f.lhs) and not is_variable(f.rhs):
+        return TRUE if f.lhs.value == f.rhs.value else FALSE
+    return f
+
+
+def simplify(f: Formula) -> Formula:
+    """One bottom-up simplification pass (idempotent in practice)."""
+    if isinstance(f, (Verum, Falsum, AtomF)):
+        return f
+    if isinstance(f, Eq):
+        return _simplify_eq(f)
+    if isinstance(f, Not):
+        return make_not(simplify(f.sub))
+    if isinstance(f, And):
+        subs = [simplify(s) for s in f.subs]
+        seen: Set[Formula] = set()
+        unique = []
+        for s in subs:
+            if s not in seen:
+                seen.add(s)
+                unique.append(s)
+        return make_and(unique)
+    if isinstance(f, Or):
+        subs = [simplify(s) for s in f.subs]
+        seen = set()
+        unique = []
+        for s in subs:
+            if s not in seen:
+                seen.add(s)
+                unique.append(s)
+        return make_or(unique)
+    if isinstance(f, Exists):
+        sub = simplify(f.sub)
+        used = free_variables(sub)
+        keep = tuple(v for v in f.vars if v in used)
+        return make_exists(keep, sub)
+    if isinstance(f, Forall):
+        sub = simplify(f.sub)
+        used = free_variables(sub)
+        keep = tuple(v for v in f.vars if v in used)
+        return make_forall(keep, sub)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def simplify_fixpoint(f: Formula, max_rounds: int = 10) -> Formula:
+    """Apply :func:`simplify` until a fixpoint (or the round limit)."""
+    for _ in range(max_rounds):
+        g = simplify(f)
+        if g == f:
+            return g
+        f = g
+    return f

@@ -1,0 +1,261 @@
+"""Compilation of first-order sentences to a single SQL query.
+
+The practical payoff of a consistent first-order rewriting is that
+CERTAINTY(q) "can be solved using standard SQL database technology"
+(Section 1).  This module compiles any sentence of our FO fragment to
+one SQL query evaluated by sqlite:
+
+* every relation R of arity n becomes a table ``"R"`` with columns
+  ``c0 .. c{n-1}``;
+* constants are stored in an order-insensitive canonical text encoding
+  (:func:`encode_value`), so structured values such as the pairs from
+  the reduction gadgets round-trip safely;
+* quantifiers are translated over an explicit active-domain CTE
+  ``adom(v)``, built from every column of every table plus the
+  constants of the formula — exactly the paper's active-domain
+  semantics;
+* the guarded shapes produced by Algorithm 1 (∃z⃗ (R(...) ∧ φ),
+  ∀z⃗ (R(...) → φ)) are detected and compiled to EXISTS/NOT EXISTS over
+  the relation itself rather than over adom, which is what a hand
+  written consistent SQL rewriting would do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.atoms import RelationSchema
+from ..core.terms import Variable, is_variable
+from .formula import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    Falsum,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Verum,
+    constants_of,
+    schemas_of,
+)
+
+
+def encode_value(value) -> str:
+    """Canonical, reversible text encoding of a constant for SQL storage.
+
+    Strings, integers, booleans, and (nested) tuples are supported; this
+    covers all workloads and all reduction gadgets in the library.
+    Tuple elements are percent-escaped so the encoding is injective and
+    :func:`decode_value` can invert it.
+    """
+    if isinstance(value, bool):
+        return f"b:{int(value)}"
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, tuple):
+        parts = [
+            encode_value(v).replace("%", "%25").replace(",", "%2C")
+            for v in value
+        ]
+        return "t:" + ",".join(parts)
+    raise TypeError(f"cannot encode value of type {type(value).__name__}: {value!r}")
+
+
+def decode_value(text: str):
+    """Invert :func:`encode_value`."""
+    tag, _, payload = text.partition(":")
+    if tag == "b":
+        return payload == "1"
+    if tag == "s":
+        return payload
+    if tag == "i":
+        return int(payload)
+    if tag == "t":
+        if not payload:
+            return ()
+        parts = payload.split(",")
+        return tuple(
+            decode_value(p.replace("%2C", ",").replace("%25", "%"))
+            for p in parts
+        )
+    raise ValueError(f"not an encoded value: {text!r}")
+
+
+def _sql_literal(value) -> str:
+    text = encode_value(value)
+    return "'" + text.replace("'", "''") + "'"
+
+
+def table_name(relation: str) -> str:
+    """The quoted SQL table name for a relation."""
+    return '"' + relation.replace('"', '""') + '"'
+
+
+class SQLCompiler:
+    """Compiles one sentence into a self-contained SELECT statement."""
+
+    def __init__(self, formula: Formula, schemas: Mapping[str, RelationSchema]):
+        self.formula = formula
+        self.schemas = dict(schemas)
+        self.schemas.update(schemas_of(formula))
+        self._alias = itertools.count()
+
+    def compile(self) -> str:
+        """The full query: SELECT 1 iff the sentence holds, else 0."""
+        adom_cte = self._adom_cte()
+        body = self._compile(self.formula, {})
+        return (
+            f"WITH adom(v) AS ({adom_cte})\n"
+            f"SELECT CASE WHEN {body} THEN 1 ELSE 0 END AS certain"
+        )
+
+    def adom_cte(self) -> str:
+        """The active-domain CTE body (public, for SELECT-building)."""
+        return self._adom_cte()
+
+    def compile_expr(self, formula: Formula, scope: Dict[Variable, str]) -> str:
+        """Compile a subformula to a boolean SQL expression under a
+        variable -> SQL-expression scope (public, for SELECT-building)."""
+        return self._compile(formula, dict(scope))
+
+    # ------------------------------------------------------------------
+
+    def _adom_cte(self) -> str:
+        selects: List[str] = []
+        for name in sorted(self.schemas):
+            schema = self.schemas[name]
+            tbl = table_name(name)
+            for i in range(schema.arity):
+                selects.append(f"SELECT c{i} AS v FROM {tbl}")
+        for const in sorted(constants_of(self.formula), key=repr):
+            selects.append(f"SELECT {_sql_literal(const.value)} AS v")
+        if not selects:
+            selects.append("SELECT NULL AS v WHERE 0")
+        return " UNION ".join(selects)
+
+    def _fresh_alias(self, prefix: str) -> str:
+        return f"{prefix}{next(self._alias)}"
+
+    def _term_sql(self, term, scope: Dict[Variable, str]) -> str:
+        if is_variable(term):
+            if term not in scope:
+                raise ValueError(f"unbound variable {term.name} in SQL compilation")
+            return scope[term]
+        return _sql_literal(term.value)
+
+    def _atom_sql(self, f: AtomF, scope: Dict[Variable, str]) -> str:
+        alias = self._fresh_alias("t")
+        tbl = table_name(f.atom.relation)
+        conds = [
+            f"{alias}.c{i} = {self._term_sql(t, scope)}"
+            for i, t in enumerate(f.atom.terms)
+        ]
+        where = " AND ".join(conds) if conds else "1=1"
+        return f"EXISTS (SELECT 1 FROM {tbl} {alias} WHERE {where})"
+
+    def _guard_atom(self, conjuncts, quantified, scope):
+        """A positive atom conjunct covering at least one quantified var
+        whose every variable is bound or quantified here."""
+        bound = set(scope)
+        for c in conjuncts:
+            if isinstance(c, AtomF):
+                vs = c.atom.vars
+                if vs & quantified and vs <= bound | quantified:
+                    return c
+        return None
+
+    def _compile_exists(self, variables, body, scope, negate: bool) -> str:
+        """EXISTS-style compilation shared by ∃ (negate=False) and the
+        ∀-as-¬∃¬ translation (negate=True compiles NOT EXISTS(.. AND NOT body))."""
+        variables = tuple(v for v in variables if v not in scope)
+        if not variables:
+            inner = self._compile(body, scope)
+            return inner if not negate else inner
+        quantified = set(variables)
+        if negate:
+            disjuncts = body.subs if isinstance(body, Or) else (body,)
+            guards = [d.sub for d in disjuncts
+                      if isinstance(d, Not) and isinstance(d.sub, AtomF)]
+            guard = self._guard_atom(guards, quantified, scope)
+        else:
+            conjuncts = body.subs if isinstance(body, And) else (body,)
+            guard = self._guard_atom(conjuncts, quantified, scope)
+
+        inner_scope = dict(scope)
+        from_items: List[str] = []
+        eq_conds: List[str] = []
+
+        if guard is not None:
+            alias = self._fresh_alias("g")
+            from_items.append(f"{table_name(guard.atom.relation)} {alias}")
+            for i, t in enumerate(guard.atom.terms):
+                col = f"{alias}.c{i}"
+                if is_variable(t):
+                    if t in inner_scope:
+                        eq_conds.append(f"{col} = {inner_scope[t]}")
+                    else:
+                        inner_scope[t] = col
+                else:
+                    eq_conds.append(f"{col} = {_sql_literal(t.value)}")
+        for v in variables:
+            if v not in inner_scope:
+                alias = self._fresh_alias("a")
+                from_items.append(f"adom {alias}")
+                inner_scope[v] = f"{alias}.v"
+
+        body_sql = self._compile(body, inner_scope)
+        if negate:
+            body_sql = f"NOT ({body_sql})"
+        conds = eq_conds + [body_sql]
+        where = " AND ".join(conds)
+        from_clause = ", ".join(from_items) if from_items else "(SELECT 1)"
+        exists = f"EXISTS (SELECT 1 FROM {from_clause} WHERE {where})"
+        return f"NOT {exists}" if negate else exists
+
+    def _compile(self, f: Formula, scope: Dict[Variable, str]) -> str:
+        if isinstance(f, Verum):
+            return "1=1"
+        if isinstance(f, Falsum):
+            return "1=0"
+        if isinstance(f, AtomF):
+            return self._atom_sql(f, scope)
+        if isinstance(f, Eq):
+            return f"{self._term_sql(f.lhs, scope)} = {self._term_sql(f.rhs, scope)}"
+        if isinstance(f, Not):
+            return f"NOT ({self._compile(f.sub, scope)})"
+        if isinstance(f, And):
+            if not f.subs:
+                return "1=1"
+            return "(" + " AND ".join(self._compile(s, scope) for s in f.subs) + ")"
+        if isinstance(f, Or):
+            if not f.subs:
+                return "1=0"
+            return "(" + " OR ".join(self._compile(s, scope) for s in f.subs) + ")"
+        if isinstance(f, Exists):
+            return self._compile_exists(
+                f.vars, f.sub, self._unshadow(f.vars, scope), negate=False
+            )
+        if isinstance(f, Forall):
+            return self._compile_exists(
+                f.vars, f.sub, self._unshadow(f.vars, scope), negate=True
+            )
+        raise TypeError(f"not a formula: {f!r}")
+
+    @staticmethod
+    def _unshadow(variables, scope: Dict[Variable, str]) -> Dict[Variable, str]:
+        """Drop outer bindings shadowed by this quantifier's variables."""
+        if any(v in scope for v in variables):
+            return {k: v for k, v in scope.items() if k not in variables}
+        return scope
+
+
+def compile_to_sql(
+    formula: Formula, schemas: Mapping[str, RelationSchema] = ()
+) -> str:
+    """Compile a sentence to one SQL query returning column ``certain``."""
+    return SQLCompiler(formula, dict(schemas)).compile()

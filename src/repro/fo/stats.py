@@ -1,0 +1,72 @@
+"""Size and shape metrics for first-order formulas.
+
+Example 6.12 notes that the length of the consistent rewriting of
+q_Hall is exponential in the size of the query; experiment E2 measures
+this with the metrics below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .formula import And, AtomF, Eq, Exists, Falsum, Forall, Formula, Not, Or, Verum
+
+
+@dataclass(frozen=True)
+class FormulaStats:
+    """Counts describing one formula."""
+
+    nodes: int
+    atoms: int
+    quantifiers: int
+    quantifier_depth: int
+    connectives: int
+
+    @property
+    def size(self) -> int:
+        """Total AST node count (the paper's notion of formula length)."""
+        return self.nodes
+
+
+def stats(f: Formula) -> FormulaStats:
+    """Compute all metrics in one traversal."""
+    if isinstance(f, (Verum, Falsum)):
+        return FormulaStats(1, 0, 0, 0, 0)
+    if isinstance(f, (AtomF, Eq)):
+        return FormulaStats(1, 1, 0, 0, 0)
+    if isinstance(f, Not):
+        s = stats(f.sub)
+        return FormulaStats(s.nodes + 1, s.atoms, s.quantifiers,
+                            s.quantifier_depth, s.connectives + 1)
+    if isinstance(f, (And, Or)):
+        subs = [stats(s) for s in f.subs]
+        return FormulaStats(
+            1 + sum(s.nodes for s in subs),
+            sum(s.atoms for s in subs),
+            sum(s.quantifiers for s in subs),
+            max((s.quantifier_depth for s in subs), default=0),
+            1 + sum(s.connectives for s in subs),
+        )
+    if isinstance(f, (Exists, Forall)):
+        s = stats(f.sub)
+        return FormulaStats(s.nodes + 1, s.atoms, s.quantifiers + len(f.vars),
+                            s.quantifier_depth + len(f.vars), s.connectives)
+    raise TypeError(f"not a formula: {f!r}")
+
+
+def pretty(f: Formula, indent: int = 0) -> str:
+    """A human-readable, indented rendering of a formula."""
+    pad = "  " * indent
+    if isinstance(f, (Verum, Falsum, AtomF, Eq)):
+        return pad + repr(f)
+    if isinstance(f, Not):
+        return pad + "not\n" + pretty(f.sub, indent + 1)
+    if isinstance(f, (And, Or)):
+        word = "and" if isinstance(f, And) else "or"
+        body = "\n".join(pretty(s, indent + 1) for s in f.subs)
+        return f"{pad}{word}\n{body}"
+    if isinstance(f, (Exists, Forall)):
+        word = "exists" if isinstance(f, Exists) else "forall"
+        names = " ".join(v.name for v in f.vars)
+        return f"{pad}{word} {names}.\n" + pretty(f.sub, indent + 1)
+    raise TypeError(f"not a formula: {f!r}")

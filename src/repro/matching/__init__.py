@@ -1,0 +1,30 @@
+"""Matching substrate: Hopcroft–Karp, Hall's theorem, S-COVERING,
+and the polynomial CERTAINTY(q1) solver of Example 1.1."""
+
+from .bpm_certainty import certainty_graph, falsifying_repair_q1, is_certain_q1
+from .hall import (
+    SCoveringInstance,
+    hall_violator,
+    satisfies_hall_condition,
+)
+from .hopcroft_karp import (
+    BipartiteGraph,
+    has_perfect_matching,
+    is_matching,
+    maximum_matching,
+    saturates_left,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "SCoveringInstance",
+    "certainty_graph",
+    "falsifying_repair_q1",
+    "hall_violator",
+    "has_perfect_matching",
+    "is_certain_q1",
+    "is_matching",
+    "maximum_matching",
+    "satisfies_hall_condition",
+    "saturates_left",
+]

@@ -1,0 +1,100 @@
+"""A polynomial-time solver for CERTAINTY(q1) via bipartite matching.
+
+q1 = {R(x̲, y), ¬S(y̲, x)} (Example 1.1).  A repair falsifies q1 exactly
+when it satisfies ∀x∀y (R(x̲, y) → S(y̲, x)): every girl's chosen boy
+must have chosen her back.  Such a repair exists iff the bipartite graph
+
+    E = { (g, b) : R(g, b) ∈ db and S(b, g) ∈ db }
+
+has a matching saturating every R-key (each boy's S-block picks one girl,
+so a boy can serve at most one girl).  Hence
+
+    CERTAINTY(q1)(db)  ⟺  E has no matching saturating the R-keys.
+
+CERTAINTY(q1) is NL-hard (Lemma 5.2) and therefore not in FO, but it is
+comfortably in P — this solver is the polynomial baseline that the E1
+benchmark races against brute-force repair enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.query import Query
+from ..db.database import Database
+from .hopcroft_karp import BipartiteGraph, maximum_matching
+
+
+def _check_shape(query: Query) -> Tuple[str, str]:
+    """Accept any renaming of q1: one positive simple-key binary atom
+    R(x̲, y) and one negated simple-key binary atom S(y̲, x) with swapped
+    variables.  Returns the (R, S) relation names."""
+    if len(query.positives) != 1 or len(query.negatives) != 1 or query.diseqs:
+        raise ValueError("not a q1-shaped query")
+    r, s = query.positives[0], query.negatives[0]
+    ok = (
+        r.schema.arity == 2 and r.schema.key_size == 1
+        and s.schema.arity == 2 and s.schema.key_size == 1
+        and r.terms == (s.terms[1], s.terms[0])
+        and r.terms[0] != r.terms[1]
+        and all(hasattr(t, "name") for t in r.terms)
+    )
+    if not ok:
+        raise ValueError("not a q1-shaped query")
+    return r.relation, s.relation
+
+
+def certainty_graph(db: Database, r_name: str = "R", s_name: str = "S") -> BipartiteGraph:
+    """The graph E above: R-keys on the left, S-keys on the right."""
+    graph = BipartiteGraph()
+    for g, in {row[:1] for row in db.facts(r_name)}:
+        graph.left.add(g)
+    s_facts = db.facts(s_name)
+    for g, b in db.facts(r_name):
+        if (b, g) in s_facts:
+            graph.add_edge(g, b)
+    return graph
+
+
+def is_certain_q1(db: Database, query: Optional[Query] = None) -> bool:
+    """CERTAINTY(q1) in polynomial time via Hopcroft–Karp."""
+    if query is not None:
+        r_name, s_name = _check_shape(query)
+    else:
+        r_name, s_name = "R", "S"
+    graph = certainty_graph(db, r_name, s_name)
+    matching = maximum_matching(graph)
+    return len(matching) < len(graph.left)
+
+
+def falsifying_repair_q1(
+    db: Database, query: Optional[Query] = None
+) -> Optional[Database]:
+    """A repair falsifying q1 built from a saturating matching, or None.
+
+    The repair picks R(g, m(g)) for every girl g and S(b, m⁻¹(b)) for
+    matched boys; unmatched S-blocks pick an arbitrary fact (they cannot
+    re-satisfy q1).
+    """
+    if query is not None:
+        r_name, s_name = _check_shape(query)
+    else:
+        r_name, s_name = "R", "S"
+    graph = certainty_graph(db, r_name, s_name)
+    matching = maximum_matching(graph)
+    if len(matching) < len(graph.left):
+        return None
+    matched_girl: Dict = {b: g for g, b in matching.items()}
+    repair = Database(db.schemas.values())
+    for g, b in matching.items():
+        repair.add(r_name, (g, b))
+        repair.add(s_name, (b, g))
+    for key, rows in db.blocks(s_name).items():
+        if key[0] not in matched_girl:
+            repair.add(s_name, sorted(rows, key=repr)[0])
+    for name in db.relations():
+        if name in (r_name, s_name):
+            continue
+        for key, rows in db.blocks(name).items():
+            repair.add(name, sorted(rows, key=repr)[0])
+    return repair

@@ -1,0 +1,109 @@
+"""Hall's Marriage Theorem and the S-COVERING problem (Example 1.2).
+
+S-COVERING: given a set S and a list T_1, ..., T_l of subsets of S, can
+we pick at most one element from each T_i such that every element of S
+is picked exactly once?  Equivalently: is there an injective function
+f : S -> {1..l} with a ∈ T_{f(a)} for every a ∈ S?
+
+This is left-saturating bipartite matching with S on the left, and
+Hall's theorem [14] characterizes solvability: every subset A ⊆ S must
+have |N(A)| ≥ |A| where N(A) = {i : A ∩ T_i ≠ ∅}.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .hopcroft_karp import BipartiteGraph, maximum_matching
+
+
+def hall_violator(graph: BipartiteGraph) -> Optional[FrozenSet]:
+    """A subset A of left vertices with |N(A)| < |A|, or None.
+
+    When the maximum matching leaves a left vertex u unmatched, the set
+    of left vertices reachable from u by alternating paths is a Hall
+    violator (standard König-style argument); otherwise Hall's condition
+    holds and None is returned.
+    """
+    matching = maximum_matching(graph)
+    unmatched = [u for u in graph.left if u not in matching]
+    if not unmatched:
+        return None
+    match_right: Dict[Hashable, Hashable] = {v: u for u, v in matching.items()}
+    start = unmatched[0]
+    reachable_left: Set[Hashable] = {start}
+    reachable_right: Set[Hashable] = set()
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbours(u):
+            if v in reachable_right:
+                continue
+            reachable_right.add(v)
+            w = match_right.get(v)
+            if w is not None and w not in reachable_left:
+                reachable_left.add(w)
+                queue.append(w)
+    violator = frozenset(reachable_left)
+    assert len(reachable_right) < len(violator), "internal: not a violator"
+    return violator
+
+
+def satisfies_hall_condition(graph: BipartiteGraph) -> bool:
+    """Does every left subset A satisfy |N(A)| >= |A|?"""
+    return hall_violator(graph) is None
+
+
+class SCoveringInstance:
+    """An S-COVERING instance: a ground set and a list of subsets."""
+
+    def __init__(self, elements: Sequence, subsets: Sequence[Sequence]):
+        self.elements: Tuple = tuple(elements)
+        self.subsets: Tuple[FrozenSet, ...] = tuple(frozenset(t) for t in subsets)
+        extra = set().union(*self.subsets) - set(self.elements) if self.subsets else set()
+        if extra:
+            raise ValueError(f"subsets mention elements outside S: {sorted(map(repr, extra))}")
+
+    def to_bipartite(self) -> BipartiteGraph:
+        """Elements on the left, subset indices (1-based) on the right."""
+        g = BipartiteGraph(left=self.elements,
+                           right=range(1, len(self.subsets) + 1))
+        for i, t in enumerate(self.subsets, start=1):
+            for a in t:
+                g.add_edge(a, i)
+        return g
+
+    def solve(self) -> Optional[Dict[Hashable, int]]:
+        """An injective assignment f : S -> subset indices, or None."""
+        matching = maximum_matching(self.to_bipartite())
+        if len(matching) < len(self.elements):
+            return None
+        return dict(matching)
+
+    @property
+    def solvable(self) -> bool:
+        """Is the covering possible (Hall's condition)?"""
+        return self.solve() is not None
+
+    def solve_brute_force(self) -> Optional[Dict[Hashable, int]]:
+        """Exponential reference solver (backtracking), for validation."""
+        elements = list(self.elements)
+        used: Set[int] = set()
+        assignment: Dict[Hashable, int] = {}
+
+        def backtrack(i: int) -> bool:
+            if i == len(elements):
+                return True
+            a = elements[i]
+            for j, t in enumerate(self.subsets, start=1):
+                if j not in used and a in t:
+                    used.add(j)
+                    assignment[a] = j
+                    if backtrack(i + 1):
+                        return True
+                    used.discard(j)
+                    del assignment[a]
+            return False
+
+        return dict(assignment) if backtrack(0) else None

@@ -1,0 +1,120 @@
+"""Maximum bipartite matching (Hopcroft–Karp), implemented from scratch.
+
+The paper reduces BIPARTITE PERFECT MATCHING to the complement of
+CERTAINTY(q1) (Lemma 5.2); this module is the polynomial-time substrate
+used both to *solve* those instances and to validate the reduction.
+
+Runs in O(E * sqrt(V)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+Vertex = Hashable
+
+
+class BipartiteGraph:
+    """A bipartite graph with explicit left and right vertex sets."""
+
+    def __init__(
+        self,
+        left: Iterable[Vertex] = (),
+        right: Iterable[Vertex] = (),
+        edges: Iterable[Tuple[Vertex, Vertex]] = (),
+    ):
+        self.left: Set[Vertex] = set(left)
+        self.right: Set[Vertex] = set(right)
+        self.adj: Dict[Vertex, Set[Vertex]] = {}
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add edge {u, v} with u on the left and v on the right."""
+        self.left.add(u)
+        self.right.add(v)
+        self.adj.setdefault(u, set()).add(v)
+
+    def neighbours(self, u: Vertex) -> Set[Vertex]:
+        """Right neighbours of a left vertex."""
+        return self.adj.get(u, set())
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(vs) for vs in self.adj.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(|L|={len(self.left)}, |R|={len(self.right)}, "
+            f"|E|={self.edge_count})"
+        )
+
+
+def maximum_matching(graph: BipartiteGraph) -> Dict[Vertex, Vertex]:
+    """A maximum matching as a left-vertex -> right-vertex map."""
+    INF = float("inf")
+    match_left: Dict[Vertex, Optional[Vertex]] = {u: None for u in graph.left}
+    match_right: Dict[Vertex, Optional[Vertex]] = {v: None for v in graph.right}
+    dist: Dict[Vertex, float] = {}
+    lefts = sorted(graph.left, key=repr)
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in lefts:
+            if match_left[u] is None:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbours(u):
+                w = match_right[v]
+                if w is None:
+                    found_free = True
+                elif dist[w] == INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found_free
+
+    def dfs(u: Vertex) -> bool:
+        for v in graph.neighbours(u):
+            w = match_right[v]
+            if w is None or (dist.get(w) == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    while bfs():
+        for u in lefts:
+            if match_left[u] is None:
+                dfs(u)
+    return {u: v for u, v in match_left.items() if v is not None}
+
+
+def has_perfect_matching(graph: BipartiteGraph) -> bool:
+    """Perfect: saturates both sides (requires |L| = |R|)."""
+    if len(graph.left) != len(graph.right):
+        return False
+    return len(maximum_matching(graph)) == len(graph.left)
+
+
+def saturates_left(graph: BipartiteGraph) -> bool:
+    """Does some matching saturate every left vertex?"""
+    return len(maximum_matching(graph)) == len(graph.left)
+
+
+def is_matching(graph: BipartiteGraph, matching: Mapping[Vertex, Vertex]) -> bool:
+    """Validate a candidate matching against the graph."""
+    used_right: Set[Vertex] = set()
+    for u, v in matching.items():
+        if v not in graph.neighbours(u):
+            return False
+        if v in used_right:
+            return False
+        used_right.add(v)
+    return True

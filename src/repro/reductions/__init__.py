@@ -1,0 +1,50 @@
+"""Executable versions of the paper's first-order reductions."""
+
+from .bpm import bpm_to_database, matching_from_repair, repair_from_matching
+from .diseq import eliminate_all_diseqs, eliminate_diseq
+from .drop_negated import check_applicable, reduce_database
+from .gadgets import (
+    BOT,
+    TwoCycleGadget,
+    pair,
+    reduce_lemma_5_6,
+    reduce_lemma_5_7,
+)
+from .q4 import is_certain_q4
+from .reify_gadget import NonReifiabilityGadget, build_gadget
+from .scovering import covering_from_repair, query_for, scovering_to_database
+from .ufa import (
+    DisjointSets,
+    Forest,
+    TAIL_CONSTANT,
+    edge_constant,
+    two_component_forest,
+    ufa_to_database,
+)
+
+__all__ = [
+    "BOT",
+    "DisjointSets",
+    "Forest",
+    "NonReifiabilityGadget",
+    "TAIL_CONSTANT",
+    "TwoCycleGadget",
+    "bpm_to_database",
+    "build_gadget",
+    "check_applicable",
+    "covering_from_repair",
+    "edge_constant",
+    "eliminate_all_diseqs",
+    "eliminate_diseq",
+    "is_certain_q4",
+    "matching_from_repair",
+    "pair",
+    "query_for",
+    "reduce_database",
+    "reduce_lemma_5_6",
+    "reduce_lemma_5_7",
+    "repair_from_matching",
+    "scovering_to_database",
+    "two_component_forest",
+    "ufa_to_database",
+]

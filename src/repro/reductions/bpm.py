@@ -1,0 +1,54 @@
+"""Lemma 5.2: BIPARTITE PERFECT MATCHING ≤fo co-CERTAINTY(q1).
+
+Given a bipartite graph G = (A, B, E) with |A| = |B| = m, build the
+database with facts R(a̲, b) and S(b̲, a) for every edge {a, b}.  Then G
+has a perfect matching iff some repair falsifies q1 = {R(x̲,y), ¬S(y̲,x)}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..core.atoms import RelationSchema
+from ..db.database import Database
+from ..matching.hopcroft_karp import BipartiteGraph
+
+
+def bpm_to_database(graph: BipartiteGraph) -> Database:
+    """The FO reduction of Lemma 5.2: one R-fact and one S-fact per edge."""
+    db = Database([RelationSchema("R", 2, 1), RelationSchema("S", 2, 1)])
+    for a in sorted(graph.left, key=repr):
+        for b in sorted(graph.neighbours(a), key=repr):
+            db.add("R", (a, b))
+            db.add("S", (b, a))
+    return db
+
+
+def matching_from_repair(repair: Database) -> Dict[Hashable, Hashable]:
+    """Extract the matching encoded by a q1-falsifying repair.
+
+    In such a repair every chosen R(a, b) has its S(b, a) chosen too, so
+    the R-facts form a matching (proof of Lemma 5.2).
+    """
+    matching: Dict[Hashable, Hashable] = {}
+    used = set()
+    for a, b in sorted(repair.facts("R"), key=repr):
+        if a in matching or b in used:
+            raise ValueError("repair does not encode a matching")
+        matching[a] = b
+        used.add(b)
+    return matching
+
+
+def repair_from_matching(
+    graph: BipartiteGraph, matching: Dict[Hashable, Hashable]
+) -> Optional[Database]:
+    """The repair built from a perfect matching (forward direction of
+    Lemma 5.2): R(a, M(a)) for every a, S(b, M⁻¹(b)) for every b."""
+    if set(matching) != graph.left or set(matching.values()) != graph.right:
+        return None
+    db = Database([RelationSchema("R", 2, 1), RelationSchema("S", 2, 1)])
+    for a, b in matching.items():
+        db.add("R", (a, b))
+        db.add("S", (b, a))
+    return db

@@ -1,0 +1,66 @@
+"""Lemma 6.6: eliminating a disequality via a fresh all-key relation.
+
+CERTAINTY(q ∪ C) with v⃗ ≠ c⃗ ∈ C reduces to CERTAINTY(q ∪ {¬E(v⃗)} ∪ C')
+where E is a fresh all-key relation: add the single fact E(c⃗) to the
+database.  All-key relations are never inconsistent, so the fact
+survives in every repair and ¬E(v⃗) enforces exactly v⃗ ≠ c⃗.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Tuple
+
+from ..core.atoms import Atom, RelationSchema
+from ..core.query import Diseq, Query, QueryError
+from ..core.terms import Constant, Variable, is_variable
+from ..db.database import Database
+
+_fresh_names = itertools.count()
+
+
+def eliminate_diseq(
+    query: Query, diseq: Diseq, db: Database
+) -> Tuple[Query, Database]:
+    """One application of Lemma 6.6: returns (q ∪ {¬E(v⃗)} ∪ C', g(db)).
+
+    Requires the disequality to have the Definition 6.3 shape: distinct
+    variables on the left, constants on the right.
+    """
+    if diseq not in query.diseqs:
+        raise QueryError("disequality does not belong to the query")
+    variables = []
+    constants = []
+    for lhs, rhs in diseq.pairs:
+        if not is_variable(lhs) or is_variable(rhs):
+            raise QueryError(
+                "Lemma 6.6 needs v ≠ c pairs (variable vs constant); "
+                f"got {lhs!r} ≠ {rhs!r}"
+            )
+        variables.append(lhs)
+        constants.append(rhs)
+    if len(set(variables)) != len(variables):
+        raise QueryError("Lemma 6.6 needs pairwise distinct variables")
+
+    name = f"E{next(_fresh_names)}"
+    while name in {a.relation for a in query.atoms} | set(db.schemas):
+        name = f"E{next(_fresh_names)}"
+    schema = RelationSchema(name, len(variables), len(variables))
+
+    new_query = Query(
+        query.positives,
+        query.negatives + (Atom(schema, tuple(variables)),),
+        tuple(d for d in query.diseqs if d != diseq),
+        check_safety=False,
+    )
+    new_db = db.copy()
+    new_db.add_relation(schema)
+    new_db.add(name, tuple(c.value for c in constants))
+    return new_query, new_db
+
+
+def eliminate_all_diseqs(query: Query, db: Database) -> Tuple[Query, Database]:
+    """Apply Lemma 6.6 until the query has no disequalities left."""
+    while query.diseqs:
+        query, db = eliminate_diseq(query, query.diseqs[0], db)
+    return query, db

@@ -1,0 +1,33 @@
+"""Lemma 5.4: CERTAINTY(q') ≤fo CERTAINTY(q) for q' ⊆ q with q⁺ ⊆ q'.
+
+Dropping negated atoms preserves hardness: given an input database for
+q', delete all facts of the relations whose negated atoms were added to
+obtain q.  Empty relations make added negated atoms vacuously true.
+"""
+
+from __future__ import annotations
+
+from ..core.query import Query
+from ..db.database import Database
+
+
+def check_applicable(sub_query: Query, query: Query) -> None:
+    """Validate the lemma's hypothesis: q⁺ ⊆ q' ⊆ q."""
+    if set(sub_query.positives) != set(query.positives):
+        raise ValueError("q' must contain exactly the positive atoms of q")
+    if not set(sub_query.negatives) <= set(query.negatives):
+        raise ValueError("q' must be a subset of q")
+
+
+def reduce_database(sub_query: Query, query: Query, db: Database) -> Database:
+    """The db₀ of the lemma's proof: drop facts of the added relations."""
+    check_applicable(sub_query, query)
+    added = {n.relation for n in query.negatives} - {
+        n.relation for n in sub_query.negatives
+    }
+    out = db.copy()
+    for a in query.negatives:
+        out.add_relation(a.schema)
+    for name in added:
+        out.clear_relation(name)
+    return out

@@ -1,0 +1,147 @@
+"""The Θᵃᵦ reduction gadgets of Lemmas 5.6 and 5.7.
+
+Both lemmas reduce a canonical hard problem to CERTAINTY(q) when q has
+an attack two-cycle F ⇄ G.  The reductions share one construction: the
+valuation Θᵃᵦ over vars(q), built from single-source attack
+reachability,
+
+    Θᵃᵦ(w) = a        if G|v_G ⇝ w and F|v_F ̸⇝ w
+             b        if F|v_F ⇝ w and G|v_G ̸⇝ w
+             ⟨a, b⟩   if F|v_F ⇝ w and G|v_G ⇝ w
+             ⊥        otherwise,
+
+where F|v_F ⇝ u ∈ key(G) and G|v_G ⇝ u' ∈ key(F) witness the two-cycle.
+
+* Lemma 5.6 (F ∈ q⁺, G ∈ q⁻): from CERTAINTY(q1), q1 = {R(x̲,y), ¬S(y̲,x)}.
+  R(a̲,b) contributes Θᵃᵦ(q⁺); S(b̲,a) contributes Θᵃᵦ(G).
+* Lemma 5.7 (F, G ∈ q⁻): from CERTAINTY(q2), q2 = {T(x̲,y), ¬R(x̲,y), ¬S(y̲,x)}.
+  T(a̲,b) contributes Θᵃᵦ(q⁺); R(a̲,b) contributes Θᵃᵦ(F); S(b̲,a)
+  contributes Θᵃᵦ(G).
+
+Pairs are encoded as ``("pair", a, b)`` and ⊥ as ``("bot",)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.attack_graph import attacked_from, attacked_variables
+from ..core.query import Query
+from ..core.terms import Constant, Variable, is_variable
+from ..db.database import Database
+
+BOT = ("bot",)
+
+
+def pair(a: Hashable, b: Hashable) -> Tuple:
+    """The ⟨a, b⟩ value of the Θᵃᵦ construction."""
+    return ("pair", a, b)
+
+
+def _find_cycle_witness(
+    query: Query, f: Atom, g: Atom
+) -> Tuple[Variable, Variable]:
+    """(v_F, v_G) with F|v_F ⇝ key(G) and G|v_G ⇝ key(F)."""
+    v_f = v_g = None
+    for v in sorted(f.vars):
+        if attacked_from(query, f, v) & g.key_vars:
+            v_f = v
+            break
+    for v in sorted(g.vars):
+        if attacked_from(query, g, v) & f.key_vars:
+            v_g = v
+            break
+    if v_f is None or v_g is None:
+        raise ValueError("the given atoms do not form an attack two-cycle")
+    return v_f, v_g
+
+
+class TwoCycleGadget:
+    """The shared Θᵃᵦ machinery for one two-cycle F ⇄ G of one query."""
+
+    def __init__(self, query: Query, f: Atom, g: Atom):
+        if f not in query.atoms or g not in query.atoms:
+            raise ValueError("F and G must be atoms of the query")
+        self.query = query
+        self.f = f
+        self.g = g
+        v_f, v_g = _find_cycle_witness(query, f, g)
+        self.v_f = v_f
+        self.v_g = v_g
+        self.reach_f = attacked_from(query, f, v_f)
+        self.reach_g = attacked_from(query, g, v_g)
+
+    def theta(self, a: Hashable, b: Hashable) -> Dict[Variable, Hashable]:
+        """The valuation Θᵃᵦ as a variable -> raw-value map."""
+        out: Dict[Variable, Hashable] = {}
+        for w in self.query.vars:
+            in_f = w in self.reach_f
+            in_g = w in self.reach_g
+            if in_g and not in_f:
+                out[w] = a
+            elif in_f and not in_g:
+                out[w] = b
+            elif in_f and in_g:
+                out[w] = pair(a, b)
+            else:
+                out[w] = BOT
+        return out
+
+    def ground(self, atom_obj: Atom, a: Hashable, b: Hashable) -> Tuple:
+        """The fact Θᵃᵦ(atom) as a raw row."""
+        theta = self.theta(a, b)
+        return tuple(
+            theta[t] if is_variable(t) else t.value for t in atom_obj.terms
+        )
+
+
+def _empty_target_db(query: Query) -> Database:
+    db = Database()
+    for atom_obj in query.atoms:
+        db.add_relation(atom_obj.schema)
+    return db
+
+
+def reduce_lemma_5_6(
+    query: Query, f: Atom, g: Atom, db: Database
+) -> Tuple[TwoCycleGadget, Database]:
+    """Lemma 5.6's f(db): a q1-instance mapped to a q-instance.
+
+    Requires F ∈ q⁺ and G ∈ q⁻ with F ⇄ G; *db* holds relations R
+    (positive role) and S (negated role) of q1.
+    """
+    if not query.is_positive(f) or not query.is_negative(g):
+        raise ValueError("Lemma 5.6 needs F ∈ q⁺ and G ∈ q⁻")
+    gadget = TwoCycleGadget(query, f, g)
+    out = _empty_target_db(query)
+    for a, b in db.facts("R"):
+        for p in query.positives:
+            out.add(p.relation, gadget.ground(p, a, b))
+    for b, a in db.facts("S"):
+        out.add(g.relation, gadget.ground(g, a, b))
+    return gadget, out
+
+
+def reduce_lemma_5_7(
+    query: Query, f: Atom, g: Atom, db: Database
+) -> Tuple[TwoCycleGadget, Database]:
+    """Lemma 5.7's f(db): a q2-instance mapped to a q-instance.
+
+    Requires F, G ∈ q⁻ with F ⇄ G; *db* holds this library's q2
+    relations: R(x̲ y̲) (positive role — the paper's proof names it T),
+    S(x̲, y) (first negated role, fed into F), and T(y̲, x) (second
+    negated role, fed into G).
+    """
+    if not query.is_negative(f) or not query.is_negative(g):
+        raise ValueError("Lemma 5.7 needs F, G ∈ q⁻")
+    gadget = TwoCycleGadget(query, f, g)
+    out = _empty_target_db(query)
+    for a, b in db.facts("R"):
+        for p in query.positives:
+            out.add(p.relation, gadget.ground(p, a, b))
+    for a, b in db.facts("S"):
+        out.add(f.relation, gadget.ground(f, a, b))
+    for b, a in db.facts("T"):
+        out.add(g.relation, gadget.ground(g, a, b))
+    return gadget, out

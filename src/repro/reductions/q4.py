@@ -1,0 +1,71 @@
+"""Example 7.1: a combinatorial FO solver for q4.
+
+q4 = {X(x̲), Y(y̲), ¬R(x̲, y), ¬S(y̲, x)} has non-weakly-guarded negation
+and a cyclic attack graph, yet CERTAINTY(q4) is in FO — by counting, not
+by reification (no primary key of q4 is reifiable).
+
+With m X-facts and n Y-facts, a repair falsifying q4 must cover all
+m·n pairs (x, y) with at most m chosen R-facts and n chosen S-facts:
+
+* m = 0 or n = 0: q4 is false in every repair — not certain;
+* m·n > m + n: no repair can cover all pairs — certain;
+* m = 1 (symmetric n = 1): the single x's R-pick covers one y; every
+  other y must have S(y, x) in the database;
+* m = n = 2: only the two "cross" configurations work
+  {R(a1,b_{j1}), R(a2,b_{j2}), S(b_{j1},a2), S(b_{j2},a1)}, j1 ≠ j2.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from ..db.database import Database
+
+
+def _covers_single_left(db: Database, a: Hashable, right: List[Hashable],
+                        r_name: str, s_name: str) -> bool:
+    """m = 1 case: can a falsifying repair exist for single left value a?
+
+    Every y must be covered; S(y, a) covers y when present; the R-block
+    of a can cover at most one remaining y.
+    """
+    uncovered = [b for b in right if not db.contains(s_name, (b, a))]
+    if not uncovered:
+        return True
+    if len(uncovered) == 1:
+        return db.contains(r_name, (a, uncovered[0]))
+    return False
+
+
+def is_certain_q4(
+    db: Database,
+    x_name: str = "X",
+    y_name: str = "Y",
+    r_name: str = "R",
+    s_name: str = "S",
+) -> bool:
+    """CERTAINTY(q4) by the counting argument of Example 7.1."""
+    xs = sorted((row[0] for row in db.facts(x_name)), key=repr)
+    ys = sorted((row[0] for row in db.facts(y_name)), key=repr)
+    m, n = len(xs), len(ys)
+    if m == 0 or n == 0:
+        return False
+    if m * n > m + n:
+        return True
+    # Degenerate cases: a falsifying repair may exist.
+    if m == 1:
+        return not _covers_single_left(db, xs[0], ys, r_name, s_name)
+    if n == 1:
+        # Mirror roles: S(y̲, x) plays R(x̲, y) and vice versa.
+        return not _covers_single_left(db, ys[0], xs, s_name, r_name)
+    # m = n = 2: check both cross configurations.
+    a1, a2 = xs
+    for b1, b2 in ((ys[0], ys[1]), (ys[1], ys[0])):
+        if (
+            db.contains(r_name, (a1, b1))
+            and db.contains(r_name, (a2, b2))
+            and db.contains(s_name, (b1, a2))
+            and db.contains(s_name, (b2, a1))
+        ):
+            return False
+    return True

@@ -1,0 +1,90 @@
+"""Proposition 7.2: attacked variables are not reifiable.
+
+Given q ∈ sjfBCQ¬ and an atom F with F ⇝ x, the proposition constructs
+a two-repair database **db** such that every repair satisfies q, yet no
+single constant c makes q_[x↦c] certain.  The construction uses the
+valuation
+
+    Θ_c(w) = c if F|v_F ⇝ w, else ⊥,
+
+with db = Θ_a(q⁺) ∪ Θ_b(q⁺) ∪ {Θ_a(F), Θ_b(F)} for distinct fresh
+constants a, b.  Θ_a(F) and Θ_b(F) are key-equal but distinct, so the
+database has exactly two repairs r_a and r_b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Tuple
+
+from ..core.atoms import Atom
+from ..core.attack_graph import attacked_from
+from ..core.query import Query
+from ..core.terms import Variable, is_variable
+from ..db.database import Database
+
+BOT = ("bot",)
+
+
+@dataclass(frozen=True)
+class NonReifiabilityGadget:
+    """The constructed instance and its two repairs."""
+
+    query: Query
+    variable: Variable
+    db: Database
+    repair_a: Database
+    repair_b: Database
+    constant_a: Hashable
+    constant_b: Hashable
+
+
+def _theta(query: Query, reach, c: Hashable) -> Dict[Variable, Hashable]:
+    return {w: (c if w in reach else BOT) for w in query.vars}
+
+
+def _ground(atom_obj: Atom, theta: Dict[Variable, Hashable]) -> Tuple:
+    return tuple(
+        theta[t] if is_variable(t) else t.value for t in atom_obj.terms
+    )
+
+
+def build_gadget(
+    query: Query,
+    f: Atom,
+    x: Variable,
+    constant_a: Hashable = "a",
+    constant_b: Hashable = "b",
+) -> NonReifiabilityGadget:
+    """The Proposition 7.2 database for an attack F ⇝ x."""
+    if constant_a == constant_b:
+        raise ValueError("the two constants must be distinct")
+    v_f = None
+    for v in sorted(f.vars):
+        if x in attacked_from(query, f, v):
+            v_f = v
+            break
+    if v_f is None:
+        raise ValueError(f"{f!r} does not attack {x}")
+    reach = attacked_from(query, f, v_f)
+
+    theta_a = _theta(query, reach, constant_a)
+    theta_b = _theta(query, reach, constant_b)
+    db = Database()
+    for atom_obj in query.atoms:
+        db.add_relation(atom_obj.schema)
+    for p in query.positives:
+        db.add(p.relation, _ground(p, theta_a))
+        db.add(p.relation, _ground(p, theta_b))
+    fact_a = _ground(f, theta_a)
+    fact_b = _ground(f, theta_b)
+    db.add(f.relation, fact_a)
+    db.add(f.relation, fact_b)
+
+    repair_a = db.copy()
+    repair_a.discard(f.relation, fact_b)
+    repair_b = db.copy()
+    repair_b.discard(f.relation, fact_a)
+    return NonReifiabilityGadget(
+        query, x, db, repair_a, repair_b, constant_a, constant_b
+    )

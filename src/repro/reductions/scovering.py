@@ -1,0 +1,57 @@
+"""Example 1.2: S-COVERING ≤fo co-CERTAINTY(q_Hall).
+
+The reduction builds a database with S(a̲) for every element a and
+N_i(c̲, a) whenever a ∈ T_i.  The repairs of the N_i relations are all
+ways of picking (at most) one element per subset; a repair falsifying
+q_Hall picks every element of S, i.e. solves S-COVERING.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from ..core.atoms import RelationSchema
+from ..core.query import Query
+from ..db.database import Database
+from ..matching.hall import SCoveringInstance
+from ..workloads.queries import q_hall
+
+
+def scovering_to_database(
+    instance: SCoveringInstance, constant: str = "c"
+) -> Database:
+    """The FO reduction of Example 1.2."""
+    db = Database([RelationSchema("S", 1, 1)])
+    for i in range(1, len(instance.subsets) + 1):
+        db.add_relation(RelationSchema(f"N{i}", 2, 1))
+    for a in instance.elements:
+        db.add("S", (a,))
+    for i, t in enumerate(instance.subsets, start=1):
+        for a in sorted(t, key=repr):
+            db.add(f"N{i}", (constant, a))
+    return db
+
+
+def query_for(instance: SCoveringInstance, constant: str = "c") -> Query:
+    """The matching q_Hall query (one negated atom per subset)."""
+    return q_hall(len(instance.subsets), constant)
+
+
+def covering_from_repair(
+    instance: SCoveringInstance, repair: Database
+) -> Optional[Dict[Hashable, int]]:
+    """Extract a covering from a q_Hall-falsifying repair, if the repair
+    indeed covers every element (None otherwise).
+
+    Each N_i block picks exactly one element, so mapping each covered
+    element to a subset that picked it is automatically injective.
+    """
+    assignment: Dict[Hashable, int] = {}
+    for i in range(1, len(instance.subsets) + 1):
+        for _, a in repair.facts(f"N{i}"):
+            if a not in assignment:
+                assignment[a] = i
+    assignment = {a: i for a, i in assignment.items() if a in set(instance.elements)}
+    if set(assignment) != set(instance.elements):
+        return None
+    return assignment

@@ -1,0 +1,147 @@
+"""Lemma 5.3: UNDIRECTED FOREST ACCESSIBILITY ≤fo CERTAINTY(q2).
+
+UFA: given an acyclic undirected graph with exactly two connected
+components and two nodes u, v, is there a path between u and v?  The
+problem is L-complete; the reduction (Figure 4) maps it to
+CERTAINTY(q2) with q2 = {R(x̲, y), ¬S(x̲, y), ¬T(y̲, x)}.
+
+This module provides the forest substrate (an undirected forest with a
+union-find connectivity oracle) and the database construction of the
+reduction, with edge constants encoded as order-insensitive tuples
+``("edge", min, max)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from ..core.atoms import RelationSchema
+from ..db.database import Database
+
+
+class DisjointSets:
+    """Union-find with path compression and union by size."""
+
+    def __init__(self):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+
+    def add(self, x: Hashable) -> None:
+        if x not in self._parent:
+            self._parent[x] = x
+            self._size[x] = 1
+
+    def find(self, x: Hashable) -> Hashable:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, x: Hashable, y: Hashable) -> bool:
+        """Merge the classes of x and y; False if already together."""
+        self.add(x)
+        self.add(y)
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        return True
+
+    def connected(self, x: Hashable, y: Hashable) -> bool:
+        self.add(x)
+        self.add(y)
+        return self.find(x) == self.find(y)
+
+    def component_count(self) -> int:
+        return sum(1 for x in self._parent if self._parent[x] == x)
+
+
+class Forest:
+    """An undirected acyclic graph (edge insertion enforces acyclicity)."""
+
+    def __init__(self, vertices: Iterable[Hashable] = ()):
+        self.vertices: Set[Hashable] = set(vertices)
+        self.edges: List[Tuple[Hashable, Hashable]] = []
+        self._dsu = DisjointSets()
+        for v in self.vertices:
+            self._dsu.add(v)
+
+    def add_vertex(self, v: Hashable) -> None:
+        self.vertices.add(v)
+        self._dsu.add(v)
+
+    def add_edge(self, a: Hashable, b: Hashable) -> None:
+        """Add edge {a, b}; raises if it would close a cycle."""
+        self.add_vertex(a)
+        self.add_vertex(b)
+        if not self._dsu.union(a, b):
+            raise ValueError(f"edge ({a!r}, {b!r}) would create a cycle")
+        self.edges.append((a, b))
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """The UFA question, answered by the union-find substrate."""
+        if a not in self.vertices or b not in self.vertices:
+            return False
+        return self._dsu.connected(a, b)
+
+    def component_count(self) -> int:
+        return self._dsu.component_count()
+
+
+def edge_constant(a: Hashable, b: Hashable) -> Tuple:
+    """The constant for undirected edge {a, b} (order-insensitive)."""
+    lo, hi = sorted((a, b), key=repr)
+    return ("edge", lo, hi)
+
+
+TAIL_CONSTANT = ("ufa-tail",)
+
+
+def ufa_to_database(forest: Forest, u: Hashable, v: Hashable) -> Database:
+    """The reduction of Lemma 5.3 (Figure 4).
+
+    For every edge {a, b}: facts R(a, e), R(b, e), S(a, e), S(b, e),
+    T(e, a), T(e, b) where e is the edge constant.  Additionally
+    R(u, t), R(v, t), S(u, t), S(v, t) for a fresh value t.
+
+    Then u and v are connected in the forest iff every repair of the
+    result satisfies q2 = {R(x̲ y̲), ¬S(x̲, y), ¬T(y̲, x)}.
+
+    The endpoints must be distinct (a UFA instance with u = v is
+    trivially connected and outside the reduction's scope).
+    """
+    if u == v:
+        raise ValueError("the reduction requires distinct endpoints u != v")
+    db = Database([
+        RelationSchema("R", 2, 2),  # all-key: every R-fact survives in every repair
+        RelationSchema("S", 2, 1),
+        RelationSchema("T", 2, 1),
+    ])
+    for a, b in forest.edges:
+        e = edge_constant(a, b)
+        for node in (a, b):
+            db.add("R", (node, e))
+            db.add("S", (node, e))
+            db.add("T", (e, node))
+    for node in (u, v):
+        db.add("R", (node, TAIL_CONSTANT))
+        db.add("S", (node, TAIL_CONSTANT))
+    return db
+
+
+def two_component_forest(edges: Iterable[Tuple[Hashable, Hashable]]) -> Forest:
+    """Build a forest and check it has exactly two components (the UFA
+    normal form used by the reduction's L-completeness argument)."""
+    forest = Forest()
+    for a, b in edges:
+        forest.add_edge(a, b)
+    if forest.component_count() != 2:
+        raise ValueError(
+            f"expected exactly two components, got {forest.component_count()}"
+        )
+    return forest

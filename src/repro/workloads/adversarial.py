@@ -1,0 +1,95 @@
+"""Adversarial / worst-case instance constructors.
+
+* Hall-critical S-COVERING instances: exactly solvable, but removing
+  any single membership breaks solvability (tight for the q_Hall
+  rewriting's block search);
+* bipartite graphs at the perfect-matching threshold: one forced
+  augmenting path of maximal length (worst case for Hopcroft–Karp);
+* maximal-repair-count databases for a fixed fact budget: block sizes
+  balanced near e ≈ 2.7, i.e. all blocks of size 3 (maximizes the
+  product of block sizes subject to a fixed sum).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.atoms import RelationSchema
+from ..db.database import Database
+from ..matching.hall import SCoveringInstance
+from ..matching.hopcroft_karp import BipartiteGraph
+
+
+def hall_critical_instance(n: int) -> SCoveringInstance:
+    """A tight S-COVERING instance: n elements, n sets forming a
+    'staircase' T_i = {e_1, ..., e_i}.
+
+    Solvable (match e_i to T_i), but every subset family T_1..T_k
+    covers only k elements — Hall's condition holds with equality
+    everywhere, so any deletion breaks it.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    elements = [f"e{i}" for i in range(1, n + 1)]
+    subsets = [elements[:i] for i in range(1, n + 1)]
+    return SCoveringInstance(elements, subsets)
+
+
+def long_augmenting_path_graph(m: int) -> BipartiteGraph:
+    """A bipartite graph whose unique perfect matching is found only
+    through a chain of augmenting paths: g_i - b_i and g_i - b_{i-1}.
+    """
+    if m < 1:
+        raise ValueError("m must be positive")
+    g = BipartiteGraph(left=[("g", i) for i in range(m)],
+                       right=[("b", i) for i in range(m)])
+    for i in range(m):
+        g.add_edge(("g", i), ("b", i))
+        if i > 0:
+            g.add_edge(("g", i), ("b", i - 1))
+    return g
+
+
+def max_repair_database(
+    fact_budget: int,
+    relation: str = "R",
+    arity: int = 2,
+) -> Database:
+    """A database maximizing the repair count for a given fact budget.
+
+    With block sizes summing to n, the product is maximized by blocks
+    of size 3 (and a 2 or 4 for the remainder) — the classic integer
+    partition result.  Facts are (key, i) rows of one simple-key
+    relation.
+    """
+    if fact_budget < 1:
+        raise ValueError("fact_budget must be positive")
+    if arity < 2:
+        raise ValueError("need a value position (arity >= 2)")
+    sizes: List[int] = []
+    remaining = fact_budget
+    while remaining > 4:
+        sizes.append(3)
+        remaining -= 3
+    if remaining:
+        sizes.append(remaining)
+    db = Database([RelationSchema(relation, arity, 1)])
+    for key, size in enumerate(sizes):
+        for i in range(size):
+            row = (f"k{key}",) + tuple(f"v{i}" for _ in range(arity - 1))
+            db.add(relation, row)
+    return db
+
+
+def repair_count_upper_bound(fact_budget: int) -> int:
+    """The maximum repair count achievable with *fact_budget* facts in
+    one simple-key relation (3^k-style partition bound)."""
+    if fact_budget <= 0:
+        return 1
+    if fact_budget == 1:
+        return 1
+    if fact_budget % 3 == 0:
+        return 3 ** (fact_budget // 3)
+    if fact_budget % 3 == 1:
+        return 4 * 3 ** ((fact_budget - 4) // 3)
+    return 2 * 3 ** ((fact_budget - 2) // 3)

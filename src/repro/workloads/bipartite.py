@@ -1,0 +1,79 @@
+"""Bipartite graph workloads for the q1 / BPM experiments (E1).
+
+The generators produce graphs with and without perfect matchings so the
+benchmark exercises both answers of CERTAINTY(q1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..matching.hopcroft_karp import BipartiteGraph
+
+
+def random_bipartite(
+    m: int,
+    edge_probability: float = 0.5,
+    rng: Optional[random.Random] = None,
+) -> BipartiteGraph:
+    """A random balanced bipartite graph G(m, m, p)."""
+    rng = rng or random.Random()
+    g = BipartiteGraph(left=[("g", i) for i in range(m)],
+                       right=[("b", j) for j in range(m)])
+    for i in range(m):
+        for j in range(m):
+            if rng.random() < edge_probability:
+                g.add_edge(("g", i), ("b", j))
+    return g
+
+
+def bipartite_with_perfect_matching(
+    m: int,
+    extra_edge_probability: float = 0.3,
+    rng: Optional[random.Random] = None,
+) -> BipartiteGraph:
+    """A graph guaranteed to contain a perfect matching: a random
+    permutation matching plus noise edges."""
+    rng = rng or random.Random()
+    g = BipartiteGraph(left=[("g", i) for i in range(m)],
+                       right=[("b", j) for j in range(m)])
+    perm = list(range(m))
+    rng.shuffle(perm)
+    for i, j in enumerate(perm):
+        g.add_edge(("g", i), ("b", j))
+    for i in range(m):
+        for j in range(m):
+            if rng.random() < extra_edge_probability:
+                g.add_edge(("g", i), ("b", j))
+    return g
+
+
+def bipartite_without_perfect_matching(
+    m: int,
+    rng: Optional[random.Random] = None,
+) -> BipartiteGraph:
+    """A graph guaranteed to have no perfect matching: two left vertices
+    share a single common neighbour and touch nothing else (a Hall
+    violator of size two), the rest is random."""
+    if m < 2:
+        raise ValueError("need m >= 2 to plant a Hall violator")
+    rng = rng or random.Random()
+    g = random_bipartite(m, edge_probability=0.5, rng=rng)
+    bottleneck = ("b", 0)
+    for i in (0, 1):
+        u = ("g", i)
+        g.adj[u] = {bottleneck}
+    return g
+
+
+def figure_1_graph() -> BipartiteGraph:
+    """The Alice/Maria/Bob/George/John database of Figure 1, as the
+    bipartite graph E = {(g, b) : R(g,b) and S(b,g) both present}."""
+    g = BipartiteGraph(left=["Alice", "Maria"], right=["Bob", "George"])
+    # R: Alice knows Bob, George; Maria knows Bob, John.
+    # S: Bob knows Alice, Maria; George knows Alice, Maria.
+    g.add_edge("Alice", "Bob")      # R(Alice,Bob) & S(Bob,Alice)
+    g.add_edge("Alice", "George")   # R(Alice,George) & S(George,Alice)
+    g.add_edge("Maria", "Bob")      # R(Maria,Bob) & S(Bob,Maria)
+    return g

@@ -1,0 +1,129 @@
+"""Exhaustive enumeration of small sjfBCQ¬ queries.
+
+The paper's classification task is *per query*; random sampling can
+miss structural corner cases.  This module enumerates EVERY query (up
+to relation renaming) within a size budget — atom shapes over a fixed
+variable pool with all arities, key sizes, and polarities — so the
+dichotomy machinery can be validated on the complete space.
+
+An *atom shape* is a (arity, key_size, terms) template; a query is a
+set of positive shapes and negated shapes satisfying self-join-freeness
+(guaranteed by numbering relations) and safety (filtered).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, RelationSchema
+from ..core.query import Query, QueryError
+from ..core.terms import Constant, Term, Variable
+
+
+def atom_shapes(
+    variables: Sequence[Variable],
+    max_arity: int = 2,
+    constants: Sequence[Constant] = (),
+) -> List[Tuple[Term, ...]]:
+    """All (terms, key_size) shape pairs, flattened as term tuples with
+    every legal key size.
+
+    Returns a list of (terms, key_size) pairs.
+    """
+    pool: List[Term] = list(variables) + list(constants)
+    shapes: List[Tuple[Tuple[Term, ...], int]] = []
+    for arity in range(1, max_arity + 1):
+        for terms in itertools.product(pool, repeat=arity):
+            for key_size in range(1, arity + 1):
+                shapes.append((tuple(terms), key_size))
+    return shapes
+
+
+def enumerate_queries(
+    variables: Sequence[Variable] = (Variable("x"), Variable("y")),
+    max_positive: int = 2,
+    max_negative: int = 2,
+    max_arity: int = 2,
+    constants: Sequence[Constant] = (),
+    require_some_variable: bool = True,
+) -> Iterator[Query]:
+    """Every safe sjfBCQ¬ query within the budget, up to renaming.
+
+    Relations are named P0, P1 (positive) and N0, N1 (negated), so the
+    enumeration is canonical up to relation names.  Shape multisets are
+    generated order-insensitively (combinations with replacement) to
+    avoid trivially isomorphic duplicates.
+    """
+    shapes = atom_shapes(variables, max_arity, constants)
+
+    def build(shape, name):
+        terms, key_size = shape
+        schema = RelationSchema(name, len(terms), key_size)
+        return Atom(schema, terms)
+
+    for n_pos in range(1, max_positive + 1):
+        for pos_shapes in itertools.combinations_with_replacement(
+                shapes, n_pos):
+            positives = [build(s, f"P{i}") for i, s in enumerate(pos_shapes)]
+            if require_some_variable and not any(a.vars for a in positives):
+                continue
+            for n_neg in range(0, max_negative + 1):
+                for neg_shapes in itertools.combinations_with_replacement(
+                        shapes, n_neg):
+                    negatives = [build(s, f"N{i}")
+                                 for i, s in enumerate(neg_shapes)]
+                    try:
+                        yield Query(positives, negatives)
+                    except QueryError:
+                        continue
+
+
+def enumerate_wg_not_guarded_queries() -> Iterator[Query]:
+    """Every weakly-guarded-but-NOT-guarded query of the canonical
+    shape: three binary positive atoms covering the variable pairs
+    {x,y}, {x,z}, {y,z}, plus one negated ternary atom over a
+    permutation of (x, y, z).
+
+    With arities ≤ 2 weak guardedness collapses to guardedness (a
+    negated atom has ≤ 2 variables, and its co-occurrence requirement
+    already forces a guard), so this is the smallest family exercising
+    the paper's distinctive regime — note these queries are not in GNFO
+    (Section 2).  1152 queries.
+    """
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+    def binary_variants(u: Variable, v: Variable, name: str):
+        out = []
+        for terms in ((u, v), (v, u)):
+            for key_size in (1, 2):
+                schema = RelationSchema(name, 2, key_size)
+                out.append(Atom(schema, terms))
+        return out
+
+    pair_atoms = [
+        binary_variants(x, y, "P0"),
+        binary_variants(x, z, "P1"),
+        binary_variants(y, z, "P2"),
+    ]
+    for positives in itertools.product(*pair_atoms):
+        for perm in itertools.permutations((x, y, z)):
+            for key_size in (1, 2, 3):
+                schema = RelationSchema("N0", 3, key_size)
+                negated = Atom(schema, perm)
+                query = Query(list(positives), [negated])
+                assert query.has_weakly_guarded_negation
+                assert not query.has_guarded_negation
+                yield query
+
+
+def census_size(
+    variables: Sequence[Variable] = (Variable("x"), Variable("y")),
+    max_positive: int = 2,
+    max_negative: int = 2,
+    max_arity: int = 2,
+    constants: Sequence[Constant] = (),
+) -> int:
+    """The number of queries the enumeration yields."""
+    return sum(1 for _ in enumerate_queries(
+        variables, max_positive, max_negative, max_arity, constants))

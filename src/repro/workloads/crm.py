@@ -1,0 +1,98 @@
+"""A customer-data-integration workload: the classic CQA motivation.
+
+Two source systems were merged; per-customer records conflict on the
+primary keys.  Schema:
+
+* ``Customer(id̲ | city)`` — one registered city per customer;
+* ``Email(id̲ | addr)`` — one primary address per customer;
+* ``Blocklist(addr̲)`` — all-key set of undeliverable addresses;
+* ``Consent(id̲)`` — all-key set of marketing consents;
+* ``Ships(city̲ | id)`` — per city, the designated pilot customer.
+
+Canonical queries (classifications are asserted in the tests):
+
+* :func:`crm_deliverable` — someone consented and their email is
+  certainly not blocked (acyclic → FO);
+* :func:`crm_blocked` — someone's email is certainly blocked
+  (negation-free, acyclic → FO);
+* :func:`crm_pilot_mismatch` — some city's pilot customer certainly is
+  not registered in that city (the q1 two-cycle → NL-hard).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.atoms import RelationSchema, atom
+from ..core.query import Query
+from ..core.terms import Variable
+from .generators import DatabaseParams
+from ..db.database import Database
+
+CRM_SCHEMAS = (
+    RelationSchema("Customer", 2, 1),
+    RelationSchema("Email", 2, 1),
+    RelationSchema("Blocklist", 1, 1),
+    RelationSchema("Consent", 1, 1),
+    RelationSchema("Ships", 2, 1),
+)
+
+
+def empty_crm_database() -> Database:
+    """A database with the CRM schema and no facts."""
+    return Database(CRM_SCHEMAS)
+
+
+def crm_deliverable() -> Query:
+    """{Consent(i̲), Email(i̲, a), ¬Blocklist(a̲)}."""
+    i, a = Variable("i"), Variable("a")
+    return Query(
+        [atom("Consent", [i]), atom("Email", [i], [a])],
+        [atom("Blocklist", [a])],
+    )
+
+
+def crm_blocked() -> Query:
+    """{Email(i̲, a), Blocklist(a̲)} — no negation."""
+    i, a = Variable("i"), Variable("a")
+    return Query([atom("Email", [i], [a]), atom("Blocklist", [a])])
+
+
+def crm_pilot_mismatch() -> Query:
+    """{Ships(c̲, i), ¬Customer(i̲, c)} — the q1 shape, NL-hard."""
+    c, i = Variable("c"), Variable("i")
+    return Query([atom("Ships", [c], [i])], [atom("Customer", [i], [c])])
+
+
+def random_crm_database(
+    n_customers: int = 20,
+    n_cities: int = 6,
+    conflict_rate: float = 0.4,
+    blocklist_rate: float = 0.3,
+    consent_rate: float = 0.6,
+    rng: Optional[random.Random] = None,
+) -> Database:
+    """A random merged-CRM database with controlled key violations."""
+    rng = rng or random.Random()
+    customers = [f"cust{i}" for i in range(n_customers)]
+    cities = [f"city{j}" for j in range(n_cities)]
+    addresses = [f"addr{i}" for i in range(n_customers + 5)]
+    db = empty_crm_database()
+    for cust in customers:
+        db.add("Customer", (cust, rng.choice(cities)))
+        if rng.random() < conflict_rate:
+            db.add("Customer", (cust, rng.choice(cities)))
+        db.add("Email", (cust, rng.choice(addresses)))
+        if rng.random() < conflict_rate:
+            db.add("Email", (cust, rng.choice(addresses)))
+        if rng.random() < consent_rate:
+            db.add("Consent", (cust,))
+    for addr in addresses:
+        if rng.random() < blocklist_rate:
+            db.add("Blocklist", (addr,))
+    for city in cities:
+        db.add("Ships", (city, rng.choice(customers)))
+        if rng.random() < conflict_rate:
+            db.add("Ships", (city, rng.choice(customers)))
+    return db

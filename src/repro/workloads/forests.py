@@ -1,0 +1,59 @@
+"""Two-component forest workloads for the UFA experiments (E4)."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..reductions.ufa import Forest
+
+
+def random_tree_edges(
+    labels: List, rng: random.Random
+) -> List[Tuple]:
+    """A random tree over *labels* (each new vertex attaches uniformly)."""
+    edges = []
+    for i in range(1, len(labels)):
+        parent = labels[rng.randrange(i)]
+        edges.append((parent, labels[i]))
+    return edges
+
+
+def random_two_component_forest(
+    size_a: int,
+    size_b: int,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Forest, List, List]:
+    """A forest with two random trees; returns (forest, nodes_a, nodes_b).
+
+    Both components contain at least one edge, as required by the
+    reduction of Lemma 5.3.
+    """
+    if size_a < 2 or size_b < 2:
+        raise ValueError("each component needs at least two vertices")
+    rng = rng or random.Random()
+    nodes_a = [("a", i) for i in range(size_a)]
+    nodes_b = [("b", i) for i in range(size_b)]
+    forest = Forest()
+    for e in random_tree_edges(nodes_a, rng):
+        forest.add_edge(*e)
+    for e in random_tree_edges(nodes_b, rng):
+        forest.add_edge(*e)
+    return forest, nodes_a, nodes_b
+
+
+def ufa_instance(
+    size_a: int,
+    size_b: int,
+    connected: bool,
+    rng: Optional[random.Random] = None,
+) -> Tuple[Forest, Tuple, Tuple]:
+    """A UFA instance (forest, u, v) with the requested answer."""
+    rng = rng or random.Random()
+    forest, nodes_a, nodes_b = random_two_component_forest(size_a, size_b, rng)
+    u = rng.choice(nodes_a)
+    if connected:
+        v = rng.choice([n for n in nodes_a if n != u])
+    else:
+        v = rng.choice(nodes_b)
+    return forest, u, v

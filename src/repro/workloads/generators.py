@@ -1,0 +1,170 @@
+"""Synthetic inconsistent databases and random queries.
+
+The paper has no datasets; CERTAINTY complexity depends only on block
+structure, so the generators expose exactly those knobs: number of
+blocks, block-size distribution, and domain size.  Random queries are
+used to property-test the dichotomy machinery and to benchmark the
+polynomial-time classifier (experiment E8).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom, RelationSchema, atom
+from ..core.query import Query, QueryError
+from ..core.terms import Constant, Variable, is_variable
+from ..db.database import Database
+
+
+@dataclass(frozen=True)
+class DatabaseParams:
+    """Knobs for random inconsistent database generation.
+
+    Attributes
+    ----------
+    blocks_per_relation: how many distinct key values per relation.
+    max_block_size: block sizes are uniform in [1, max_block_size];
+        sizes above 1 make the database inconsistent.
+    domain_size: values are drawn from range(domain_size).
+    inconsistent_fraction: fraction of blocks receiving more than one
+        fact (the rest stay singletons).
+    """
+
+    blocks_per_relation: int = 4
+    max_block_size: int = 3
+    domain_size: int = 6
+    inconsistent_fraction: float = 0.5
+
+
+def random_database(
+    query: Query,
+    params: DatabaseParams = DatabaseParams(),
+    rng: Optional[random.Random] = None,
+) -> Database:
+    """A random database over the query's schema.
+
+    Constants appearing in the query are added to the value pool so that
+    queries with constants (q3, q_Hall, ...) are exercised nontrivially.
+    """
+    rng = rng or random.Random()
+    pool: List = list(range(params.domain_size))
+    for a in query.atoms:
+        for t in a.terms:
+            if not is_variable(t) and t.value not in pool:
+                pool.append(t.value)
+
+    db = Database()
+    for a in query.atoms:
+        db.add_relation(a.schema)
+    for a in query.atoms:
+        schema = a.schema
+        n_value = schema.arity - schema.key_size
+        keys = set()
+        while len(keys) < params.blocks_per_relation:
+            keys.add(tuple(rng.choice(pool) for _ in range(schema.key_size)))
+            if len(keys) >= params.domain_size ** schema.key_size:
+                break
+        for key in keys:
+            if rng.random() < params.inconsistent_fraction:
+                size = rng.randint(1, params.max_block_size)
+            else:
+                size = 1
+            for _ in range(size):
+                db.add(
+                    schema.name,
+                    key + tuple(rng.choice(pool) for _ in range(n_value)),
+                )
+    return db
+
+
+def random_small_database(
+    query: Query,
+    rng: Optional[random.Random] = None,
+    domain_size: int = 4,
+    facts_per_relation: int = 4,
+) -> Database:
+    """A tiny fully random database: suited to brute-force comparison."""
+    rng = rng or random.Random()
+    pool: List = list(range(domain_size))
+    for a in query.atoms:
+        for t in a.terms:
+            if not is_variable(t) and t.value not in pool:
+                pool.append(t.value)
+    db = Database()
+    for a in query.atoms:
+        db.add_relation(a.schema)
+        for _ in range(rng.randint(0, facts_per_relation)):
+            db.add(a.relation, tuple(rng.choice(pool) for _ in range(a.schema.arity)))
+    return db
+
+
+@dataclass(frozen=True)
+class QueryParams:
+    """Knobs for random sjfBCQ¬ query generation."""
+
+    n_positive: int = 3
+    n_negative: int = 2
+    max_arity: int = 3
+    n_variables: int = 4
+    constant_probability: float = 0.1
+    require_weakly_guarded: bool = True
+
+
+def random_query(
+    params: QueryParams = QueryParams(),
+    rng: Optional[random.Random] = None,
+    max_attempts: int = 200,
+) -> Query:
+    """A random safe self-join-free query (weakly guarded if requested).
+
+    Raises RuntimeError when no valid query is found in *max_attempts*
+    draws (only plausible for contradictory parameter choices).
+    """
+    rng = rng or random.Random()
+    for _ in range(max_attempts):
+        q = _try_random_query(params, rng)
+        if q is None:
+            continue
+        if params.require_weakly_guarded and not q.has_weakly_guarded_negation:
+            continue
+        return q
+    raise RuntimeError(f"could not generate a valid query with {params}")
+
+
+def _try_random_query(params: QueryParams, rng: random.Random) -> Optional[Query]:
+    variables = [Variable(f"v{i}") for i in range(params.n_variables)]
+
+    def draw_terms(count: int, pool: Sequence[Variable]) -> Tuple:
+        out = []
+        for _ in range(count):
+            if rng.random() < params.constant_probability:
+                out.append(Constant(rng.randint(0, 2)))
+            else:
+                out.append(rng.choice(list(pool)))
+        return tuple(out)
+
+    positives = []
+    for i in range(params.n_positive):
+        arity = rng.randint(1, params.max_arity)
+        key_size = rng.randint(1, arity)
+        schema = RelationSchema(f"P{i}", arity, key_size)
+        positives.append(Atom(schema, draw_terms(arity, variables)))
+
+    positive_vars = sorted(set().union(*(a.vars for a in positives)) or set())
+    if not positive_vars:
+        return None
+
+    negatives = []
+    for i in range(params.n_negative):
+        arity = rng.randint(1, params.max_arity)
+        key_size = rng.randint(1, arity)
+        schema = RelationSchema(f"N{i}", arity, key_size)
+        negatives.append(Atom(schema, draw_terms(arity, positive_vars)))
+
+    try:
+        return Query(positives, negatives)
+    except QueryError:
+        return None

@@ -1,0 +1,191 @@
+"""The paper's canonical queries, by example/lemma number.
+
+Primary keys are the leading positions, exactly as underlined in the
+paper.  All constructors return fresh Query objects.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..core.atoms import atom
+from ..core.query import Query
+from ..core.terms import Constant, Variable
+
+_X, _Y, _P, _T = Variable("x"), Variable("y"), Variable("p"), Variable("t")
+
+
+def q0() -> Query:
+    """Section 5.1: q0 = {R(x̲, y), S(y̲, x)} — the classic cyclic pair
+    without negation (L-hard by [19])."""
+    x, y = Variable("x"), Variable("y")
+    return Query([atom("R", [x], [y]), atom("S", [y], [x])])
+
+
+def q1() -> Query:
+    """Example 1.1 / Lemma 5.2: q1 = {R(x̲, y), ¬S(y̲, x)} — equivalent
+    to the complement of BIPARTITE PERFECT MATCHING (NL-hard)."""
+    x, y = Variable("x"), Variable("y")
+    return Query([atom("R", [x], [y])], [atom("S", [y], [x])])
+
+
+def q2() -> Query:
+    """Section 5.1 / Lemma 5.3: q2 = {R(x̲ y̲), ¬S(x̲, y), ¬T(y̲, x)} —
+    L-hard via Undirected Forest Accessibility.
+
+    R is all-key (the proof of Lemma 5.3 keeps several R-facts with the
+    same first component in one repair, and Lemma 5.7 needs the attack
+    two-cycle to run between the two *negated* atoms); the query is
+    Example 4.1's up to renaming.
+    """
+    x, y = Variable("x"), Variable("y")
+    return Query(
+        [atom("R", [x, y])],
+        [atom("S", [x], [y]), atom("T", [y], [x])],
+    )
+
+
+def q2_example41() -> Query:
+    """Example 4.1: q2 = {P(x̲ y̲), ¬R(x̲, y), ¬S(y̲, x)} with an all-key
+    positive atom; its attack graph has four edges."""
+    x, y = Variable("x"), Variable("y")
+    return Query(
+        [atom("P", [x, y])],
+        [atom("R", [x], [y]), atom("S", [y], [x])],
+    )
+
+
+def q3(constant="c") -> Query:
+    """Examples 4.2 / 4.5: q3 = {P(x̲, y), ¬N(c̲, y)} — acyclic attack
+    graph, hence a consistent FO rewriting exists."""
+    x, y = Variable("x"), Variable("y")
+    return Query([atom("P", [x], [y])], [atom("N", [Constant(constant)], [y])])
+
+
+def q4() -> Query:
+    """Example 7.1: q4 = {X(x̲), Y(y̲), ¬R(x̲, y), ¬S(y̲, x)} — negation
+    NOT weakly guarded; cyclic attack graph yet in FO (combinatorially)."""
+    x, y = Variable("x"), Variable("y")
+    return Query(
+        [atom("X", [x]), atom("Y", [y])],
+        [atom("R", [x], [y]), atom("S", [y], [x])],
+    )
+
+
+def q_hall(num_sets: int, constant="c") -> Query:
+    """Examples 1.2 / 6.12: q_Hall = {S(x̲), ¬N_1(c̲, x), ..., ¬N_l(c̲, x)}.
+
+    The complement of CERTAINTY(q_Hall) captures S-COVERING; the query
+    is acyclic, and Figure 2 shows its rewriting for l = 3.
+    """
+    if num_sets < 0:
+        raise ValueError("num_sets must be non-negative")
+    x = Variable("x")
+    c = Constant(constant)
+    return Query(
+        [atom("S", [x])],
+        [atom(f"N{i}", [c], [x]) for i in range(1, num_sets + 1)],
+    )
+
+
+def q_example32_not_weakly_guarded() -> Query:
+    """Example 3.2 (first query): {X(x̲), Y(y̲), ¬R(x̲, y), ¬S(y̲, x)} —
+    x and y co-occur negated but never positively."""
+    return q4()
+
+
+def q_example32_weakly_guarded_not_guarded() -> Query:
+    """Example 3.2 (second query): weakly guarded but not guarded:
+    {R(x̲, y, z, u), S(y̲, w, z), T(x̲, u, w), ¬N(x̲, y, z, u, w)}."""
+    x, y, z, u, w = (Variable(n) for n in "xyzuw")
+    return Query(
+        [
+            atom("R", [x], [y, z, u]),
+            atom("S", [y], [w, z]),
+            atom("T", [x], [u, w]),
+        ],
+        [atom("N", [x], [y, z, u, w])],
+    )
+
+
+def q_gnfo_example() -> Query:
+    """Section 2's non-GNFO example:
+    {R(x̲, y), S(y̲, z), T(z̲, x), ¬N(x̲, y, z)}."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    return Query(
+        [atom("R", [x], [y]), atom("S", [y], [z]), atom("T", [z], [x])],
+        [atom("N", [x], [y, z])],
+    )
+
+
+def q_example611(constant="c", value="a") -> Query:
+    """Example 6.11: q = {P(y̲), ¬N(c̲, a, y, y)} — a negated atom whose
+    value positions mix a constant with a repeated variable."""
+    y = Variable("y")
+    return Query(
+        [atom("P", [y])],
+        [atom("N", [Constant(constant)], [Constant(value), y, y])],
+    )
+
+
+# ----------------------------------------------------------------------
+# Example 4.6: the town-poll schema
+# ----------------------------------------------------------------------
+
+
+def poll_q1() -> Query:
+    """Ex 4.6: q1 = {Mayor(t̲, p), ¬Lives(p̲, t)} — towns whose mayor
+    does not live there.  Cyclic attack graph."""
+    p, t = Variable("p"), Variable("t")
+    return Query([atom("Mayor", [t], [p])], [atom("Lives", [p], [t])])
+
+
+def poll_q2() -> Query:
+    """Ex 4.6: q2 = {Likes(p̲ t̲), ¬Lives(p̲, t), ¬Mayor(t̲, p)}.
+    Cyclic attack graph."""
+    p, t = Variable("p"), Variable("t")
+    return Query(
+        [atom("Likes", [p, t])],
+        [atom("Lives", [p], [t]), atom("Mayor", [t], [p])],
+    )
+
+
+def poll_qa() -> Query:
+    """Ex 4.6: q_a = {Lives(p̲, t), ¬Born(p̲, t), ¬Likes(p̲ t̲)} —
+    acyclic; its only attack goes from Lives to Likes."""
+    p, t = Variable("p"), Variable("t")
+    return Query(
+        [atom("Lives", [p], [t])],
+        [atom("Born", [p], [t]), atom("Likes", [p, t])],
+    )
+
+
+def poll_qb() -> Query:
+    """Ex 4.6: q_b = {Likes(p̲ t̲), ¬Born(p̲, t), ¬Lives(p̲, t)} —
+    acyclic; both attacks end in Likes."""
+    p, t = Variable("p"), Variable("t")
+    return Query(
+        [atom("Likes", [p, t])],
+        [atom("Born", [p], [t]), atom("Lives", [p], [t])],
+    )
+
+
+def all_named_queries() -> Tuple[Tuple[str, Query], ...]:
+    """Every canonical query with a short label (for tests and benches)."""
+    return (
+        ("q0", q0()),
+        ("q1", q1()),
+        ("q2", q2()),
+        ("q2_ex41", q2_example41()),
+        ("q3", q3()),
+        ("q4", q4()),
+        ("q_hall_2", q_hall(2)),
+        ("q_hall_3", q_hall(3)),
+        ("q_ex32_wg", q_example32_weakly_guarded_not_guarded()),
+        ("q_gnfo", q_gnfo_example()),
+        ("q_ex611", q_example611()),
+        ("poll_q1", poll_q1()),
+        ("poll_q2", poll_q2()),
+        ("poll_qa", poll_qa()),
+        ("poll_qb", poll_qb()),
+    )

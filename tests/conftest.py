@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.terms import Constant, Variable
+from repro.db.database import Database
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def xy():
+    """The ubiquitous variables x and y."""
+    return Variable("x"), Variable("y")
+
+
+def db_from(spec: dict) -> Database:
+    """Build a database from {"R/arity/key": [rows...]} specs.
+
+    Example: db_from({"R/2/1": [(1, 2), (1, 3)], "S/2/2": [(2, 1)]})
+    """
+    from repro.core.atoms import RelationSchema
+
+    db = Database()
+    for key, rows in spec.items():
+        name, arity, k = key.split("/")
+        db.add_relation(RelationSchema(name, int(arity), int(k)))
+        for row in rows:
+            db.add(name, row)
+    return db

@@ -1,0 +1,64 @@
+"""Tests for the structural analysis report."""
+
+from repro.core.analysis import analyze
+from repro.workloads.queries import poll_qa, q1, q3, q_hall
+
+
+class TestAnalyze:
+    def test_q3_report_content(self):
+        report = analyze(q3())
+        assert report.safe
+        assert report.weakly_guarded
+        assert report.edges == [("N", "P")]
+        assert report.cycle is None
+        assert report.topological_order[0] == "N"
+        assert report.rewriting_stats is not None
+        assert report.rewriting_stats["nodes"] > 0
+
+    def test_q1_report_has_cycle_no_rewriting(self):
+        report = analyze(q1())
+        assert report.cycle is not None
+        assert report.topological_order is None
+        assert report.rewriting_stats is None
+
+    def test_atom_analyses_complete(self):
+        report = analyze(poll_qa())
+        names = [a.relation for a in report.atoms]
+        assert names == ["Lives", "Born", "Likes"]
+        lives = report.atoms[0]
+        assert not lives.negated
+        assert lives.attacked_vars == ("t",)
+        assert lives.witnesses["t"] == ("t",)
+
+    def test_oplus_matches_paper_example41(self):
+        from repro.workloads.queries import q2_example41
+
+        report = analyze(q2_example41())
+        by_name = {a.relation: a for a in report.atoms}
+        assert by_name["P"].oplus_vars == ("x", "y")
+        assert by_name["R"].oplus_vars == ("x",)
+        assert by_name["S"].oplus_vars == ("y",)
+
+    def test_render_mentions_everything(self):
+        text = analyze(q3()).render()
+        for needle in ("query:", "verdict: in FO", "attack edges: N->P",
+                       "rewriting:", "elimination order"):
+            assert needle in text
+
+    def test_render_cyclic_mentions_cycle(self):
+        text = analyze(q1()).render()
+        assert "cycle:" in text
+
+    def test_skip_rewriting_flag(self):
+        report = analyze(q_hall(3), include_rewriting=False)
+        assert report.rewriting_stats is None
+
+
+class TestAnalyzeCli:
+    def test_cli_analyze(self, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "P(x | y), not N('c' | y)"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: in FO" in out
+        assert "witness" in out

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.atoms."""
+
+import pytest
+
+from repro.core.atoms import Atom, RelationSchema, atom
+from repro.core.terms import Constant, Variable
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestRelationSchema:
+    def test_signature_bounds(self):
+        with pytest.raises(ValueError):
+            RelationSchema("R", 2, 0)
+        with pytest.raises(ValueError):
+            RelationSchema("R", 2, 3)
+
+    def test_all_key(self):
+        assert RelationSchema("R", 2, 2).is_all_key
+        assert not RelationSchema("R", 2, 1).is_all_key
+
+    def test_simple_key(self):
+        assert RelationSchema("R", 3, 1).is_simple_key
+        assert not RelationSchema("R", 3, 2).is_simple_key
+
+    def test_key_of(self):
+        s = RelationSchema("R", 3, 2)
+        assert s.key_of((1, 2, 3)) == (1, 2)
+
+    def test_equality(self):
+        assert RelationSchema("R", 2, 1) == RelationSchema("R", 2, 1)
+        assert RelationSchema("R", 2, 1) != RelationSchema("R", 2, 2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TypeError):
+            RelationSchema("", 2, 1)
+
+
+class TestAtom:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(RelationSchema("R", 2, 1), (x,))
+
+    def test_key_terms(self):
+        a = atom("R", [x, y], [z])
+        assert a.key_terms == (x, y)
+        assert a.value_terms == (z,)
+
+    def test_key_vars_excludes_constants(self):
+        a = atom("R", [Constant("c"), x], [y])
+        assert a.key_vars == {x}
+
+    def test_vars(self):
+        a = atom("R", [x], [y, Constant(1)])
+        assert a.vars == {x, y}
+
+    def test_is_fact(self):
+        assert atom("R", [Constant(1)], [Constant(2)]).is_fact
+        assert not atom("R", [x], [Constant(2)]).is_fact
+
+    def test_as_row(self):
+        a = atom("R", [Constant(1)], [Constant("b")])
+        assert a.as_row() == (1, "b")
+
+    def test_as_row_rejects_variables(self):
+        with pytest.raises(ValueError):
+            atom("R", [x], []).as_row()
+
+    def test_substitute(self):
+        a = atom("R", [x], [y])
+        b = a.substitute({x: Constant(1)})
+        assert b.key_terms == (Constant(1),)
+        assert b.value_terms == (y,)
+
+    def test_substitute_leaves_original(self):
+        a = atom("R", [x], [y])
+        a.substitute({x: Constant(1)})
+        assert a.key_terms == (x,)
+
+    def test_key_equal(self):
+        a = atom("R", [Constant(1)], [Constant(2)])
+        b = atom("R", [Constant(1)], [Constant(3)])
+        c = atom("R", [Constant(2)], [Constant(2)])
+        assert a.key_equal(b)
+        assert not a.key_equal(c)
+
+    def test_key_equal_requires_same_relation(self):
+        a = atom("R", [Constant(1)], [Constant(2)])
+        b = atom("S", [Constant(1)], [Constant(2)])
+        assert not a.key_equal(b)
+
+    def test_all_key_property(self):
+        assert atom("R", [x, y]).is_all_key
+        assert not atom("R", [x], [y]).is_all_key
+
+    def test_equality_and_hash(self):
+        assert atom("R", [x], [y]) == atom("R", [x], [y])
+        assert hash(atom("R", [x], [y])) == hash(atom("R", [x], [y]))
+
+    def test_inequality_on_terms(self):
+        assert atom("R", [x], [y]) != atom("R", [y], [x])
+
+    def test_rejects_raw_python_values(self):
+        with pytest.raises(TypeError):
+            atom("R", [1], [2])
+
+
+class TestAtomHelper:
+    def test_builds_signature_from_lengths(self):
+        a = atom("R", [x, y], [z])
+        assert a.schema.arity == 3
+        assert a.schema.key_size == 2
+
+    def test_all_key_when_no_values(self):
+        assert atom("R", [x]).schema.is_all_key

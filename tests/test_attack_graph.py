@@ -1,0 +1,247 @@
+"""Unit and property tests for the attack graph (Section 4.1)."""
+
+import random
+
+import pytest
+
+from repro.core.attack_graph import (
+    AttackGraph,
+    attack_witness,
+    attacked_from,
+    attacked_variables,
+    attacks_atom,
+    attacks_variable,
+    cooccurrence_graph,
+)
+from repro.core.atoms import atom
+from repro.core.query import Query
+from repro.core.terms import Constant, Variable
+from repro.workloads.generators import QueryParams, random_query
+from repro.workloads.queries import (
+    poll_q1,
+    poll_q2,
+    poll_qa,
+    poll_qb,
+    q0,
+    q1,
+    q2,
+    q2_example41,
+    q3,
+    q_hall,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def edge_names(graph: AttackGraph):
+    return sorted((f.relation, g.relation) for f, g in graph.edges)
+
+
+class TestPaperExamples:
+    def test_example41_edges(self):
+        """Example 4.1: exactly R->S, S->R, R->P, S->P."""
+        g = AttackGraph(q2_example41())
+        assert edge_names(g) == [("R", "P"), ("R", "S"), ("S", "P"), ("S", "R")]
+
+    def test_example42_edges(self):
+        """Example 4.2: exactly N->P."""
+        g = AttackGraph(q3())
+        assert edge_names(g) == [("N", "P")]
+
+    def test_example42_witness(self):
+        """Example 4.2: (y, x) is a witness for N|y ~> x."""
+        q = q3()
+        w = attack_witness(q, q.atom_for("N"), x)
+        assert w == (y, x)
+
+    def test_example42_p_does_not_attack_n(self):
+        q = q3()
+        assert not attacks_atom(q, q.atom_for("P"), q.atom_for("N"))
+
+    def test_q0_two_cycle(self):
+        g = AttackGraph(q0())
+        assert edge_names(g) == [("R", "S"), ("S", "R")]
+
+    def test_q1_two_cycle(self):
+        g = AttackGraph(q1())
+        assert edge_names(g) == [("R", "S"), ("S", "R")]
+
+    def test_q2_cycle_between_negated_atoms(self):
+        g = AttackGraph(q2())
+        names = edge_names(g)
+        assert ("S", "T") in names and ("T", "S") in names
+
+    def test_poll_qa_single_attack(self):
+        """Example 4.6: one attack, Lives -> Likes."""
+        assert edge_names(AttackGraph(poll_qa())) == [("Lives", "Likes")]
+
+    def test_poll_qb_two_attacks_into_likes(self):
+        """Example 4.6: Born -> Likes and Lives -> Likes."""
+        assert edge_names(AttackGraph(poll_qb())) == [
+            ("Born", "Likes"), ("Lives", "Likes")]
+
+    def test_poll_q1_cyclic(self):
+        assert not AttackGraph(poll_q1()).is_acyclic
+
+    def test_poll_q2_cyclic(self):
+        assert not AttackGraph(poll_q2()).is_acyclic
+
+    def test_q_hall_acyclic_all_sizes(self):
+        for l in range(0, 5):
+            assert AttackGraph(q_hall(l)).is_acyclic
+
+
+class TestVariableAttacks:
+    def test_attack_includes_own_variables(self):
+        # N|y ~> y in q3 (length-zero witness).
+        q = q3()
+        assert attacks_variable(q, q.atom_for("N"), y)
+
+    def test_no_attack_into_oplus(self):
+        q = q3()
+        assert not attacks_variable(q, q.atom_for("P"), x)
+
+    def test_attacked_from_subset_of_attacked(self):
+        q = q2_example41()
+        for a in q.atoms:
+            union = frozenset()
+            for v in a.vars:
+                union |= attacked_from(q, a, v)
+            assert union == attacked_variables(q, a)
+
+    def test_attacked_from_requires_membership(self):
+        q = q3()
+        with pytest.raises(ValueError):
+            attacked_from(q, q.atom_for("N"), x)
+
+    def test_witness_none_when_no_attack(self):
+        q = q3()
+        assert attack_witness(q, q.atom_for("P"), x) is None
+
+    def test_witness_validity(self):
+        """Any returned witness satisfies the three defining conditions."""
+        from repro.core.fds import oplus
+
+        for q in (q1(), q2(), q2_example41(), poll_qa()):
+            adj = cooccurrence_graph(q)
+            for a in q.atoms:
+                forbidden = oplus(q, a)
+                for target in attacked_variables(q, a):
+                    w = attack_witness(q, a, target)
+                    assert w is not None
+                    assert w[0] in a.vars and w[-1] == target
+                    assert all(v not in forbidden for v in w)
+                    for i in range(len(w) - 1):
+                        assert w[i + 1] in adj[w[i]]
+
+
+class TestGraphStructure:
+    def test_all_key_atoms_have_zero_outdegree(self):
+        for q in (q2_example41(), q2(), poll_qa(), poll_qb()):
+            g = AttackGraph(q)
+            for a in q.atoms:
+                if a.is_all_key:
+                    assert g.successors(a) == ()
+
+    def test_no_self_loops(self):
+        for q in (q0(), q1(), q2(), q3(), q_hall(3)):
+            for f, g in AttackGraph(q).edges:
+                assert f != g
+
+    def test_find_cycle_consistency(self):
+        for q in (q0(), q1(), q2(), q3(), poll_qa(), poll_q2()):
+            g = AttackGraph(q)
+            cycle = g.find_cycle()
+            assert (cycle is None) == g.is_acyclic
+            if cycle is not None:
+                edges = set(g.edges)
+                for i, a in enumerate(cycle):
+                    assert (a, cycle[(i + 1) % len(cycle)]) in edges
+
+    def test_two_cycle_detection(self):
+        assert AttackGraph(q1()).find_two_cycle() is not None
+        assert AttackGraph(q3()).find_two_cycle() is None
+
+    def test_unattacked_atoms(self):
+        g = AttackGraph(q3())
+        assert [a.relation for a in g.unattacked_atoms()] == ["N"]
+
+    def test_unattacked_variables(self):
+        # In q3, N attacks x and y; nothing else attacks.
+        g = AttackGraph(q3())
+        assert g.unattacked_variables() == frozenset()
+
+    def test_predecessors_successors(self):
+        q = q3()
+        g = AttackGraph(q)
+        n, p = q.atom_for("N"), q.atom_for("P")
+        assert g.successors(n) == (p,)
+        assert g.predecessors(p) == (n,)
+        assert g.has_edge(n, p)
+        assert not g.has_edge(p, n)
+
+
+class TestLemma49Property:
+    """Lemma 4.9: for weakly-guarded q, F~>G~>H implies F~>H or G~>F.
+    Consequence: cyclic implies a 2-cycle exists."""
+
+    def test_transitivity_like_property_on_random_queries(self):
+        rng = random.Random(11)
+        for _ in range(40):
+            q = random_query(QueryParams(n_positive=2, n_negative=2,
+                                         n_variables=4), rng)
+            g = AttackGraph(q)
+            edges = set(g.edges)
+            for f, gg in edges:
+                for gg2, h in edges:
+                    if gg2 == gg and f != h:
+                        assert (f, h) in edges or (gg, f) in edges, (
+                            f"Lemma 4.9 violated on {q}"
+                        )
+
+    def test_cyclic_implies_two_cycle_on_random_queries(self):
+        rng = random.Random(13)
+        found_cyclic = 0
+        for _ in range(120):
+            q = random_query(QueryParams(n_positive=2, n_negative=2,
+                                         n_variables=3), rng)
+            g = AttackGraph(q)
+            if not g.is_acyclic:
+                found_cyclic += 1
+                assert g.find_two_cycle() is not None
+        assert found_cyclic > 0, "generator never produced a cyclic query"
+
+
+class TestConstantsInAtoms:
+    def test_constant_only_key_never_attacked(self):
+        q = q3()
+        g = AttackGraph(q)
+        assert g.predecessors(q.atom_for("N")) == ()
+
+    def test_lemma_610_attack_preservation(self):
+        """Substituting a constant can only remove attacks."""
+        rng = random.Random(17)
+        for _ in range(30):
+            q = random_query(QueryParams(n_positive=2, n_negative=1,
+                                         n_variables=3), rng)
+            if not q.vars:
+                continue
+            v = sorted(q.vars)[0]
+            sub = q.substitute({v: Constant("c99")})
+            edges_before = {
+                (f.relation, g_.relation) for f, g_ in AttackGraph(q).edges
+            }
+            edges_after = {
+                (f.relation, g_.relation) for f, g_ in AttackGraph(sub).edges
+            }
+            assert edges_after <= edges_before
+
+    def test_lemma_610_weak_guardedness_preserved(self):
+        rng = random.Random(19)
+        for _ in range(30):
+            q = random_query(QueryParams(n_positive=2, n_negative=2,
+                                         n_variables=4), rng)
+            if not q.vars:
+                continue
+            v = sorted(q.vars)[0]
+            assert q.substitute({v: Constant("c99")}).has_weakly_guarded_negation

@@ -1,0 +1,85 @@
+"""Tests for the brute-force certainty baseline."""
+
+import random
+
+from repro.core.atoms import atom
+from repro.core.query import Query
+from repro.core.terms import Variable
+from repro.cqa.brute_force import (
+    certainty_fraction,
+    find_falsifying_repair,
+    is_certain_brute_force,
+    is_certain_sampled,
+)
+from repro.db.satisfaction import satisfies
+from repro.workloads.queries import q1, q3
+
+from conftest import db_from
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestBasics:
+    def test_certain_on_consistent_satisfying_db(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 9)]})
+        assert is_certain_brute_force(q1(), db)
+
+    def test_not_certain_when_some_repair_fails(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 1)]})
+        assert not is_certain_brute_force(q1(), db)
+
+    def test_empty_db_not_certain_for_positive_query(self):
+        db = db_from({"R/2/1": [], "S/2/1": []})
+        assert not is_certain_brute_force(q1(), db)
+
+    def test_empty_query_always_certain(self):
+        assert is_certain_brute_force(Query(), db_from({"R/2/1": [(1, 2)]}))
+
+    def test_irrelevant_relations_ignored(self):
+        # A huge unrelated relation must not blow up enumeration.
+        db = db_from({
+            "P/2/1": [(1, "v")],
+            "N/2/1": [],
+            "Huge/2/1": [(i, j) for i in range(8) for j in range(4)],
+        })
+        assert is_certain_brute_force(q3(), db)
+
+
+class TestFalsifyingRepair:
+    def test_repair_actually_falsifies(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)], "S/2/1": [(2, 1), (3, 1)]})
+        repair = find_falsifying_repair(q1(), db)
+        assert repair is not None
+        assert not satisfies(repair, q1())
+
+    def test_none_when_certain(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 9)]})
+        assert find_falsifying_repair(q1(), db) is None
+
+
+class TestSampled:
+    def test_sampled_false_is_definitive(self, rng):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 1)]})
+        assert not is_certain_sampled(q1(), db, samples=50, rng=rng)
+
+    def test_sampled_agrees_on_certain(self, rng):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 9)]})
+        assert is_certain_sampled(q1(), db, samples=20, rng=rng)
+
+
+class TestCertaintyFraction:
+    def test_fraction_bounds(self, rng):
+        from repro.workloads.generators import random_small_database
+
+        q = q3()
+        for _ in range(10):
+            db = random_small_database(q, rng, domain_size=3)
+            frac = certainty_fraction(q, db)
+            assert 0.0 <= frac <= 1.0
+            assert (frac == 1.0) == is_certain_brute_force(q, db)
+
+    def test_fraction_exact_small_case(self):
+        # R-block {(1,2),(1,3)}; q = exists R(x,2-ish)... build explicit:
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")], "N/2/1": [("c", "a")]})
+        # Repairs: {(1,a)} fails (a blocked), {(1,b)} succeeds.
+        assert certainty_fraction(q3(), db) == 0.5

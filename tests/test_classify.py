@@ -1,0 +1,124 @@
+"""Tests for the Theorem 4.3 classifier."""
+
+import random
+
+from repro.core.classify import Hardness, Verdict, classify
+from repro.workloads.generators import QueryParams, random_query
+from repro.workloads.queries import (
+    all_named_queries,
+    poll_q1,
+    poll_q2,
+    poll_qa,
+    poll_qb,
+    q0,
+    q1,
+    q2,
+    q2_example41,
+    q3,
+    q4,
+    q_example611,
+    q_hall,
+)
+
+
+class TestCanonicalVerdicts:
+    def test_q0_not_in_fo(self):
+        """[19]: the classic cyclic pair is L-hard."""
+        c = classify(q0())
+        assert c.verdict is Verdict.NOT_IN_FO
+        assert c.hardness is Hardness.L_HARD
+
+    def test_q1_nl_hard(self):
+        """Lemma 5.2: one negated atom in the 2-cycle — NL-hard."""
+        c = classify(q1())
+        assert c.verdict is Verdict.NOT_IN_FO
+        assert c.hardness is Hardness.NL_HARD
+
+    def test_q2_l_hard(self):
+        """Lemma 5.3/5.7: two negated atoms in the 2-cycle — L-hard."""
+        c = classify(q2())
+        assert c.verdict is Verdict.NOT_IN_FO
+        assert c.hardness is Hardness.L_HARD
+
+    def test_q2_example41_l_hard(self):
+        c = classify(q2_example41())
+        assert c.verdict is Verdict.NOT_IN_FO
+        assert c.hardness is Hardness.L_HARD
+
+    def test_q3_in_fo(self):
+        """Example 4.5."""
+        assert classify(q3()).verdict is Verdict.IN_FO
+
+    def test_q_hall_in_fo(self):
+        """Example 6.12: for fixed l, CERTAINTY(q_Hall) is in FO."""
+        for l in range(0, 5):
+            assert classify(q_hall(l)).verdict is Verdict.IN_FO
+
+    def test_q_example611_in_fo(self):
+        assert classify(q_example611()).verdict is Verdict.IN_FO
+
+    def test_q4_undecided(self):
+        """Example 7.1: cyclic, not weakly guarded, no hardness lemma
+        applies — and indeed q4 IS in FO, so UNDECIDED is the only
+        honest verdict for the attack-graph test."""
+        c = classify(q4())
+        assert c.verdict is Verdict.UNDECIDED
+        assert not c.weakly_guarded
+        assert not c.acyclic
+
+    def test_poll_queries(self):
+        """Example 4.6's table."""
+        assert classify(poll_q1()).verdict is Verdict.NOT_IN_FO
+        assert classify(poll_q2()).verdict is Verdict.NOT_IN_FO
+        assert classify(poll_qa()).verdict is Verdict.IN_FO
+        assert classify(poll_qb()).verdict is Verdict.IN_FO
+
+
+class TestCertificates:
+    def test_cycle_certificate_present_when_cyclic(self):
+        c = classify(q1())
+        assert c.cycle is not None
+        assert c.two_cycle is not None
+
+    def test_two_cycle_is_mutual(self):
+        c = classify(q1())
+        f, g = c.two_cycle
+        from repro.core.attack_graph import attacks_atom
+
+        assert attacks_atom(c.query, f, g)
+        assert attacks_atom(c.query, g, f)
+
+    def test_reason_names_a_lemma(self):
+        assert "Lemma" in classify(q1()).reason
+        assert "6.1" in classify(q3()).reason or "Theorem" in classify(q3()).reason
+
+    def test_in_fo_convenience(self):
+        assert classify(q3()).in_fo
+        assert not classify(q1()).in_fo
+
+    def test_guarded_flag(self):
+        assert classify(q1()).guarded
+        assert not classify(q4()).guarded
+
+
+class TestConsistencyProperties:
+    def test_acyclic_weakly_guarded_is_always_in_fo(self):
+        rng = random.Random(23)
+        for _ in range(50):
+            q = random_query(QueryParams(n_positive=2, n_negative=2), rng)
+            c = classify(q)
+            if c.weakly_guarded and c.acyclic:
+                assert c.verdict is Verdict.IN_FO
+
+    def test_weakly_guarded_never_undecided(self):
+        rng = random.Random(29)
+        for _ in range(50):
+            q = random_query(QueryParams(n_positive=2, n_negative=2), rng)
+            c = classify(q)
+            assert c.verdict is not Verdict.UNDECIDED
+
+    def test_all_named_queries_classify_without_error(self):
+        for name, q in all_named_queries():
+            c = classify(q)
+            assert c.verdict in (Verdict.IN_FO, Verdict.NOT_IN_FO,
+                                 Verdict.UNDECIDED), name

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.db.io import save_database
+from repro.workloads.poll import paper_flavoured_poll_database
+
+QA = "Lives(p | t), not Born(p | t), not Likes(p, t)"
+Q1 = "R(x | y), not S(y | x)"
+Q3 = "P(x | y), not N('c' | y)"
+
+
+@pytest.fixture
+def poll_file(tmp_path):
+    path = tmp_path / "poll.json"
+    save_database(paper_flavoured_poll_database(), path)
+    return str(path)
+
+
+class TestClassify:
+    def test_cyclic(self, capsys):
+        assert main(["classify", Q1]) == 0
+        out = capsys.readouterr().out
+        assert "not in FO" in out
+        assert "NL-hard" in out
+
+    def test_acyclic(self, capsys):
+        assert main(["classify", Q3]) == 0
+        out = capsys.readouterr().out
+        assert "in FO" in out
+        assert "N->P" in out
+
+    def test_parse_error_exits(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "R(x | y"])
+
+
+class TestRewrite:
+    def test_prints_formula(self, capsys):
+        assert main(["rewrite", Q3]) == 0
+        out = capsys.readouterr().out
+        assert "rewriting size" in out
+
+    def test_pretty_and_sql(self, capsys):
+        assert main(["rewrite", Q3, "--pretty", "--sql"]) == 0
+        out = capsys.readouterr().out
+        assert "forall" in out
+        assert "WITH adom" in out
+
+    def test_cyclic_fails_gracefully(self, capsys):
+        assert main(["rewrite", Q1]) == 1
+        assert "no consistent first-order rewriting" in capsys.readouterr().err
+
+
+class TestCertain:
+    def test_default_method(self, capsys, poll_file):
+        assert main(["certain", QA, "--db", poll_file]) == 0
+        out = capsys.readouterr().out
+        assert "CERTAINTY = " in out
+
+    @pytest.mark.parametrize("method", ["brute", "interpreted",
+                                        "rewriting", "sql"])
+    def test_all_methods_agree(self, capsys, poll_file, method):
+        assert main(["certain", QA, "--db", poll_file,
+                     "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "CERTAINTY = True" in out
+
+
+class TestAnswers:
+    def test_free_variable_answers(self, capsys, poll_file):
+        assert main(["answers", QA, "--free", "p", "--db", poll_file]) == 0
+        out = capsys.readouterr().out
+        assert "certain answers (p)" in out
+        assert "'cal'" in out
+
+    def test_show_sql(self, capsys, poll_file):
+        assert main(["answers", QA, "--free", "p", "--db", poll_file,
+                     "--show-sql"]) == 0
+        assert "SELECT DISTINCT" in capsys.readouterr().out
+
+
+class TestGraph:
+    def test_dot_output(self, capsys):
+        assert main(["graph", Q3]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"N" -> "P"' in out
+        assert "shape=box" in out  # negated atom rendered as box

@@ -1,0 +1,99 @@
+"""Tests for repair counting (#CERTAINTY)."""
+
+import random
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.counting import (
+    FractionEstimate,
+    RepairCount,
+    count_satisfying_repairs,
+    estimate_satisfying_fraction,
+)
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import q1, q3
+
+from conftest import db_from
+
+
+class TestExactCount:
+    def test_simple_half(self):
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")], "N/2/1": [("c", "a")]})
+        count = count_satisfying_repairs(q3(), db)
+        assert count == RepairCount(satisfying=1, total=2)
+        assert count.fraction == 0.5
+        assert not count.certain
+        assert count.possible
+
+    def test_certain_iff_all_satisfy(self, rng):
+        for _ in range(25):
+            db = random_small_database(q3(), rng, domain_size=3)
+            count = count_satisfying_repairs(q3(), db)
+            assert count.certain == is_certain_brute_force(q3(), db)
+
+    def test_total_matches_block_product(self, rng):
+        db = random_small_database(q1(), rng, domain_size=3,
+                                   facts_per_relation=5)
+        count = count_satisfying_repairs(q1(), db)
+        assert count.total == db.restrict(["R", "S"]).repair_count()
+
+    def test_empty_query_relations(self):
+        db = db_from({})
+        count = count_satisfying_repairs(q3(), db)
+        assert count.total == 1
+        assert count.satisfying == 0  # positive atom unmatched
+
+    def test_possible_flag(self):
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": [("c", "a")]})
+        count = count_satisfying_repairs(q3(), db)
+        assert not count.possible
+
+
+class TestEstimate:
+    def test_interval_contains_truth(self):
+        rng = random.Random(3)
+        # One block {a, b} with a blocked: exactly half the repairs
+        # satisfy q3.
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")],
+                      "N/2/1": [("c", "a")]})
+        exact = count_satisfying_repairs(q3(), db).fraction
+        assert exact == 0.5
+        estimate = estimate_satisfying_fraction(q3(), db, samples=500,
+                                                rng=rng)
+        assert estimate.contains(exact)
+
+    def test_interval_contains_truth_boundary(self):
+        rng = random.Random(3)
+        db = db_from({"P/2/1": [(1, "a"), (1, "b"), (2, "z")],
+                      "N/2/1": [("c", "a")]})
+        exact = count_satisfying_repairs(q3(), db).fraction
+        assert exact == 1.0
+        estimate = estimate_satisfying_fraction(q3(), db, samples=300,
+                                                rng=rng)
+        assert estimate.contains(exact)
+
+    def test_extremes(self):
+        rng = random.Random(4)
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": []})
+        est = estimate_satisfying_fraction(q3(), db, samples=50, rng=rng)
+        assert est.estimate == 1.0
+        assert est.high == 1.0
+
+    def test_confidence_bounds_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            estimate_satisfying_fraction(q3(), db_from({}), confidence=1.5)
+
+    def test_wider_interval_with_fewer_samples(self):
+        rng1, rng2 = random.Random(5), random.Random(5)
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")], "N/2/1": [("c", "a")]})
+        small = estimate_satisfying_fraction(q3(), db, samples=20, rng=rng1)
+        large = estimate_satisfying_fraction(q3(), db, samples=2000, rng=rng2)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_z_value_sane(self):
+        from repro.cqa.counting import _erfinv
+        import math
+
+        z95 = math.sqrt(2) * _erfinv(0.95)
+        assert abs(z95 - 1.96) < 0.01

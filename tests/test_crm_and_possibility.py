@@ -1,0 +1,111 @@
+"""Tests for the CRM workload and the possibility module."""
+
+import pytest
+
+from repro.core.classify import Hardness, Verdict, classify
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.engine import CertaintyEngine
+from repro.cqa.possibility import (
+    find_satisfying_repair,
+    is_possible,
+    is_possible_sampled,
+)
+from repro.db.satisfaction import satisfies
+from repro.workloads.crm import (
+    crm_blocked,
+    crm_deliverable,
+    crm_pilot_mismatch,
+    empty_crm_database,
+    random_crm_database,
+)
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import q1, q3
+
+from conftest import db_from
+
+
+class TestCrmClassification:
+    def test_deliverable_in_fo(self):
+        c = classify(crm_deliverable())
+        assert c.verdict is Verdict.IN_FO
+
+    def test_blocked_in_fo(self):
+        c = classify(crm_blocked())
+        assert c.verdict is Verdict.IN_FO
+
+    def test_pilot_mismatch_nl_hard(self):
+        c = classify(crm_pilot_mismatch())
+        assert c.verdict is Verdict.NOT_IN_FO
+        assert c.hardness is Hardness.NL_HARD
+
+
+class TestCrmWorkload:
+    def test_schema_shapes(self):
+        db = empty_crm_database()
+        assert db.schemas["Blocklist"].is_all_key
+        assert db.schemas["Email"].key_size == 1
+
+    def test_random_db_inconsistent_at_high_conflict(self, rng):
+        db = random_crm_database(10, 4, conflict_rate=1.0, rng=rng)
+        assert not db.is_consistent
+
+    def test_strategies_agree_on_crm_queries(self, rng):
+        for make in (crm_deliverable, crm_blocked):
+            engine = CertaintyEngine(make())
+            for _ in range(10):
+                db = random_crm_database(4, 3, conflict_rate=0.6, rng=rng)
+                assert engine.cross_validate(db).consistent
+
+    def test_pilot_mismatch_answerable_by_brute(self, rng):
+        db = random_crm_database(4, 3, conflict_rate=0.6, rng=rng)
+        assert is_certain_brute_force(crm_pilot_mismatch(), db) in (True, False)
+
+
+class TestPossibility:
+    def test_negation_free_shortcut_matches_enumeration(self, rng):
+        query = crm_blocked()
+        for _ in range(15):
+            db = random_crm_database(4, 3, conflict_rate=0.6, rng=rng)
+            fast = is_possible(query, db)
+            slow = find_satisfying_repair(query, db) is not None
+            assert fast == slow
+
+    def test_with_negation_uses_enumeration(self, rng):
+        query = q3()
+        for _ in range(20):
+            db = random_small_database(query, rng, domain_size=3)
+            expected = find_satisfying_repair(query, db) is not None
+            assert is_possible(query, db) == expected
+
+    def test_satisfying_repair_satisfies(self, rng):
+        query = q1()
+        found_one = False
+        for _ in range(15):
+            db = random_small_database(query, rng, domain_size=3)
+            repair = find_satisfying_repair(query, db)
+            if repair is not None:
+                found_one = True
+                assert satisfies(repair, query)
+        assert found_one
+
+    def test_certain_implies_possible(self, rng):
+        query = q3()
+        for _ in range(15):
+            db = random_small_database(query, rng, domain_size=3)
+            if db.facts("P") and is_certain_brute_force(query, db):
+                assert is_possible(query, db)
+
+    def test_possible_on_empty_db(self):
+        db = db_from({"P/2/1": [], "N/2/1": []})
+        assert not is_possible(q3(), db)
+
+    def test_sampled_true_is_definitive(self, rng):
+        db = db_from({"P/2/1": [(1, "z")], "N/2/1": []})
+        assert is_possible_sampled(q3(), db, samples=5, rng=rng)
+
+    def test_negated_only_difference_case(self):
+        """The negation shortcut would be unsound: db satisfies q but
+        here every repair keeps the blocking fact."""
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": [("c", "a")]})
+        assert satisfies(db, q3()) is False  # blocked directly
+        assert not is_possible(q3(), db)

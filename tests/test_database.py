@@ -1,0 +1,130 @@
+"""Tests for repro.db.database."""
+
+import pytest
+
+from repro.core.atoms import RelationSchema, atom
+from repro.core.terms import Constant
+from repro.db.database import Database, SchemaError, database_from_facts
+
+from conftest import db_from
+
+
+class TestConstruction:
+    def test_add_requires_registered_relation(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.add("R", (1, 2))
+
+    def test_arity_checked(self):
+        db = Database([RelationSchema("R", 2, 1)])
+        with pytest.raises(SchemaError):
+            db.add("R", (1,))
+
+    def test_conflicting_signature_rejected(self):
+        db = Database([RelationSchema("R", 2, 1)])
+        with pytest.raises(SchemaError):
+            db.add_relation(RelationSchema("R", 2, 2))
+
+    def test_reregistering_same_schema_ok(self):
+        db = Database([RelationSchema("R", 2, 1)])
+        db.add_relation(RelationSchema("R", 2, 1))
+        assert db.relations() == ("R",)
+
+    def test_set_semantics(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 2)]})
+        assert db.size() == 1
+
+    def test_add_fact_from_atom(self):
+        db = Database()
+        db.add_fact(atom("R", [Constant(1)], [Constant(2)]))
+        assert db.contains("R", (1, 2))
+
+    def test_database_from_facts(self):
+        db = database_from_facts([
+            atom("R", [Constant(1)], [Constant(2)]),
+            atom("S", [Constant(3)]),
+        ])
+        assert db.size() == 2
+
+
+class TestBlocks:
+    def test_blocks_grouped_by_key(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3), (2, 2)]})
+        blocks = db.blocks("R")
+        assert blocks[(1,)] == {(1, 2), (1, 3)}
+        assert blocks[(2,)] == {(2, 2)}
+
+    def test_block_of(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        assert db.block_of("R", (1,)) == {(1, 2), (1, 3)}
+        assert db.block_of("R", (9,)) == frozenset()
+
+    def test_all_key_blocks_are_singletons(self):
+        db = db_from({"R/2/2": [(1, 2), (1, 3)]})
+        assert all(len(b) == 1 for b in db.blocks("R").values())
+
+    def test_all_blocks_iteration(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/1/1": [(5,)]})
+        items = list(db.all_blocks())
+        assert len(items) == 2
+        assert items[0][0] == "R"
+
+    def test_all_blocks_mixed_type_keys(self):
+        db = db_from({"R/2/1": [(1, 2), ("a", 2)]})
+        assert len(list(db.all_blocks())) == 2
+
+
+class TestConsistency:
+    def test_consistent(self):
+        assert db_from({"R/2/1": [(1, 2), (2, 2)]}).is_consistent
+
+    def test_inconsistent(self):
+        assert not db_from({"R/2/1": [(1, 2), (1, 3)]}).is_consistent
+
+    def test_all_key_relation_always_consistent(self):
+        assert db_from({"R/2/2": [(1, 2), (1, 3), (2, 3)]}).is_consistent
+
+    def test_repair_count(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3), (2, 1)],
+                      "S/2/1": [(1, 1), (1, 2)]})
+        assert db.repair_count() == 2 * 1 * 2
+
+    def test_repair_count_empty(self):
+        assert Database().repair_count() == 1
+
+
+class TestOperations:
+    def test_copy_is_independent(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        other = db.copy()
+        other.add("R", (3, 4))
+        assert not db.contains("R", (3, 4))
+
+    def test_union(self):
+        a = db_from({"R/2/1": [(1, 2)]})
+        b = db_from({"R/2/1": [(3, 4)], "S/1/1": [(9,)]})
+        u = a.union(b)
+        assert u.size() == 3
+        assert a.size() == 1
+
+    def test_restrict(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/1/1": [(9,)]})
+        r = db.restrict(["R"])
+        assert r.relations() == ("R",)
+
+    def test_discard(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        db.discard("R", (1, 2))
+        assert db.size() == 0
+        db.discard("R", (1, 2))  # idempotent
+
+    def test_active_domain(self):
+        db = db_from({"R/2/1": [(1, "a")], "S/1/1": [(2,)]})
+        assert db.active_domain() == {1, "a", 2}
+
+    def test_equality(self):
+        assert db_from({"R/2/1": [(1, 2)]}) == db_from({"R/2/1": [(1, 2)]})
+        assert db_from({"R/2/1": [(1, 2)]}) != db_from({"R/2/1": [(1, 3)]})
+
+    def test_len(self):
+        assert len(db_from({"R/2/1": [(1, 2), (2, 3)]})) == 2

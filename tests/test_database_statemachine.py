@@ -1,0 +1,116 @@
+"""Stateful property testing of the Database substrate.
+
+A hypothesis rule-based state machine drives add/discard/copy against a
+reference model (plain dict of sets) and checks blocks, consistency,
+repair counts, lookups, and index freshness after every step.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.core.atoms import RelationSchema
+from repro.db.database import Database
+
+RELATIONS = {
+    "R": RelationSchema("R", 2, 1),
+    "S": RelationSchema("S", 3, 2),
+    "T": RelationSchema("T", 1, 1),
+}
+
+values = st.integers(min_value=0, max_value=3)
+
+
+def row_for(name):
+    arity = RELATIONS[name].arity
+    return st.tuples(*[values] * arity)
+
+
+class DatabaseMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database(RELATIONS.values())
+        self.model = {name: set() for name in RELATIONS}
+
+    @rule(name=st.sampled_from(sorted(RELATIONS)), data=st.data())
+    def add_fact(self, name, data):
+        row = data.draw(row_for(name))
+        self.db.add(name, row)
+        self.model[name].add(row)
+
+    @rule(name=st.sampled_from(sorted(RELATIONS)), data=st.data())
+    def discard_fact(self, name, data):
+        row = data.draw(row_for(name))
+        self.db.discard(name, row)
+        self.model[name].discard(row)
+
+    @rule(name=st.sampled_from(sorted(RELATIONS)))
+    def clear(self, name):
+        self.db.clear_relation(name)
+        self.model[name] = set()
+
+    @rule()
+    def replace_with_copy(self):
+        self.db = self.db.copy()
+
+    @rule(name=st.sampled_from(sorted(RELATIONS)), data=st.data())
+    def lookup_matches_scan(self, name, data):
+        schema = RELATIONS[name]
+        bindings = {
+            i: data.draw(values)
+            for i in range(schema.arity)
+            if data.draw(st.booleans())
+        }
+        expected = frozenset(
+            row for row in self.model[name]
+            if all(row[i] == v for i, v in bindings.items())
+        )
+        assert self.db.lookup(name, bindings) == expected
+
+    @invariant()
+    def facts_match_model(self):
+        for name, rows in self.model.items():
+            assert self.db.facts(name) == frozenset(rows)
+
+    @invariant()
+    def blocks_partition_facts(self):
+        for name in RELATIONS:
+            blocks = self.db.blocks(name)
+            union = set()
+            for key, rows in blocks.items():
+                assert rows, "empty block"
+                for row in rows:
+                    assert RELATIONS[name].key_of(row) == key
+                union |= rows
+            assert union == self.model[name]
+
+    @invariant()
+    def repair_count_is_block_product(self):
+        expected = 1
+        for name, schema in RELATIONS.items():
+            sizes = {}
+            for row in self.model[name]:
+                key = schema.key_of(row)
+                sizes[key] = sizes.get(key, 0) + 1
+            for s in sizes.values():
+                expected *= s
+        assert self.db.repair_count() == expected
+
+    @invariant()
+    def consistency_matches_model(self):
+        expected = True
+        for name, schema in RELATIONS.items():
+            keys = [schema.key_of(row) for row in self.model[name]]
+            if len(keys) != len(set(keys)):
+                expected = False
+        assert self.db.is_consistent == expected
+
+
+TestDatabaseMachine = DatabaseMachine.TestCase
+TestDatabaseMachine.settings = __import__("hypothesis").settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLES) >= 3
+
+
+def test_quickstart_mentions_all_strategies():
+    script = [p for p in EXAMPLES if p.name == "quickstart.py"][0]
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=240)
+    for method in ("brute", "interpreted", "rewriting", "sql"):
+        assert method in result.stdout

@@ -1,0 +1,89 @@
+"""Tests for certainty explanations."""
+
+import random
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.explain import (
+    CertaintyEvidence,
+    UncertaintyExplanation,
+    certainty_evidence,
+    explain,
+    explain_uncertainty,
+)
+from repro.db.satisfaction import satisfies
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import q1, q3
+
+from conftest import db_from
+
+
+class TestUncertaintyExplanation:
+    def test_repair_actually_falsifies(self):
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")], "N/2/1": [("c", "a"),
+                                                               ("c", "b")]})
+        exp = explain_uncertainty(q3(), db)
+        assert exp is not None
+        assert not satisfies(exp.repair, q3())
+
+    def test_none_when_certain(self):
+        db = db_from({"P/2/1": [(1, "z")], "N/2/1": [("c", "a")]})
+        assert explain_uncertainty(q3(), db) is None
+
+    def test_block_choices_cover_inconsistent_blocks(self):
+        db = db_from({"P/2/1": [(1, "a"), (1, "b"), (2, "a")],
+                      "N/2/1": [("c", "a")]})
+        exp = explain_uncertainty(q3(), db)
+        assert exp is not None
+        assert all(len(c.dropped) >= 1 for c in exp.choices)
+        # Only block P(1) is inconsistent; its repair kept the blocked
+        # value 'a'.
+        assert [c.relation for c in exp.choices] == ["P"]
+        assert exp.choices[0].kept == (1, "a")
+
+    def test_render(self):
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")],
+                      "N/2/1": [("c", "a"), ("c", "b")]})
+        text = explain_uncertainty(q3(), db).render()
+        assert "NOT certain" in text
+        assert "kept" in text
+
+    def test_consistent_falsifying_db(self):
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": [("c", "a")]})
+        exp = explain_uncertainty(q3(), db)
+        assert exp is not None
+        assert exp.choices == []
+        assert "consistent" in exp.render()
+
+
+class TestCertaintyEvidence:
+    def test_witnesses_returned_when_certain(self, rng):
+        db = db_from({"P/2/1": [(1, "z")], "N/2/1": [("c", "a")]})
+        evidence = certainty_evidence(q3(), db, samples=10, rng=rng)
+        assert evidence is not None
+        assert len(evidence.witnesses) == 10
+
+    def test_none_when_sampling_finds_falsifier(self):
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": [("c", "a")]})
+        rng = random.Random(1)
+        assert certainty_evidence(q3(), db, samples=5, rng=rng) is None
+
+    def test_render(self, rng):
+        db = db_from({"P/2/1": [(1, "z")], "N/2/1": []})
+        text = certainty_evidence(q3(), db, samples=3, rng=rng).render()
+        assert "sampled" in text
+        assert "x=" in text
+
+
+class TestExplainDispatch:
+    def test_matches_brute_force(self, rng):
+        for make in (q1, q3):
+            query = make()
+            for _ in range(20):
+                db = random_small_database(query, rng, domain_size=3,
+                                           facts_per_relation=4)
+                result = explain(query, db, rng=rng)
+                certain = is_certain_brute_force(query, db)
+                if certain:
+                    assert isinstance(result, CertaintyEvidence)
+                else:
+                    assert isinstance(result, UncertaintyExplanation)

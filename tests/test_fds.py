@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.fds (K(p) and F^{+,q})."""
+
+from repro.core.atoms import atom
+from repro.core.fds import FD, closure, fds_of_atoms, implies, oplus
+from repro.core.query import Query
+from repro.core.terms import Constant, Variable
+from repro.workloads.queries import q2_example41, q3
+
+x, y, z, u, w = (Variable(n) for n in "xyzuw")
+
+
+class TestClosure:
+    def test_empty_fds(self):
+        assert closure([x], []) == {x}
+
+    def test_single_fd(self):
+        assert closure([x], [FD([x], [y])]) == {x, y}
+
+    def test_chained(self):
+        fds = [FD([x], [y]), FD([y], [z])]
+        assert closure([x], fds) == {x, y, z}
+
+    def test_not_triggered(self):
+        assert closure([y], [FD([x], [z])]) == {y}
+
+    def test_composite_lhs(self):
+        fds = [FD([x, y], [z])]
+        assert closure([x], fds) == {x}
+        assert closure([x, y], fds) == {x, y, z}
+
+    def test_empty_lhs_fd_always_fires(self):
+        assert closure([], [FD([], [x])]) == {x}
+
+    def test_closure_is_monotone(self):
+        fds = [FD([x], [y]), FD([y], [z]), FD([z], [u])]
+        small = closure([x], fds[:1])
+        big = closure([x], fds)
+        assert small <= big
+
+
+class TestImplies:
+    def test_trivial(self):
+        assert implies([], FD([x], [x]))
+
+    def test_transitivity(self):
+        fds = [FD([x], [y]), FD([y], [z])]
+        assert implies(fds, FD([x], [z]))
+
+    def test_non_implication(self):
+        assert not implies([FD([x], [y])], FD([y], [x]))
+
+
+class TestKp:
+    def test_one_fd_per_atom(self):
+        atoms = [atom("R", [x], [y]), atom("S", [y], [z])]
+        fds = fds_of_atoms(atoms)
+        assert FD([x], [x, y]) in fds
+        assert FD([y], [y, z]) in fds
+
+    def test_constants_ignored(self):
+        fds = fds_of_atoms([atom("N", [Constant("c")], [y])])
+        assert fds == (FD([], [y]),)
+
+
+class TestOplus:
+    def test_example41(self):
+        """Example 4.1: P+ = {x,y}, R+ = {x}, S+ = {y}."""
+        q = q2_example41()
+        assert oplus(q, q.atom_for("P")) == {x, y}
+        assert oplus(q, q.atom_for("R")) == {x}
+        assert oplus(q, q.atom_for("S")) == {y}
+
+    def test_example42(self):
+        """Example 4.2: P+ = {x}, N+ = {} for q3."""
+        q = q3()
+        assert oplus(q, q.atom_for("P")) == {x}
+        assert oplus(q, q.atom_for("N")) == frozenset()
+
+    def test_excludes_own_fd_for_positive(self):
+        # q = {R(x̲, y)}: R+ must not use R's own FD x -> y.
+        q = Query([atom("R", [x], [y])])
+        assert oplus(q, q.atom_for("R")) == {x}
+
+    def test_negative_atom_uses_all_positive_fds(self):
+        q = Query([atom("R", [x], [y])], [atom("N", [x], [y])])
+        assert oplus(q, q.atom_for("N")) == {x, y}

@@ -1,0 +1,214 @@
+"""Tests for the active-domain FO evaluator (repro.fo.eval)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.terms import Constant, Variable
+from repro.fo.eval import Evaluator, evaluate, nnf
+from repro.fo.formula import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    FALSE,
+    Forall,
+    Not,
+    Or,
+    TRUE,
+    implies,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+)
+
+from conftest import db_from
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+r_xy = AtomF(atom("R", [x], [y]))
+
+
+class TestNNF:
+    def test_pushes_not_over_and(self):
+        f = nnf(Not(And((r_xy, Eq(x, y)))))
+        assert isinstance(f, Or)
+        assert all(isinstance(s, Not) for s in f.subs)
+
+    def test_pushes_not_over_quantifiers(self):
+        f = nnf(Not(Exists((x,), r_xy)))
+        assert isinstance(f, Forall)
+        f = nnf(Not(Forall((x,), r_xy)))
+        assert isinstance(f, Exists)
+
+    def test_double_negation_removed(self):
+        assert nnf(Not(Not(r_xy))) == r_xy
+
+    def test_constants(self):
+        assert nnf(Not(TRUE)) == FALSE
+
+
+class TestBasicEvaluation:
+    def test_atom_true(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        f = make_exists([x, y], r_xy)
+        assert evaluate(f, db)
+
+    def test_atom_false(self):
+        db = db_from({"R/2/1": []})
+        assert not evaluate(make_exists([x, y], r_xy), db)
+
+    def test_verum_falsum(self):
+        db = db_from({})
+        assert evaluate(TRUE, db)
+        assert not evaluate(FALSE, db)
+
+    def test_unbound_free_variable_rejected(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        with pytest.raises(ValueError):
+            evaluate(r_xy, db)
+
+    def test_env_binding(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        ev = Evaluator(r_xy, db)
+        assert ev.evaluate({x: 1, y: 2})
+        assert not ev.evaluate({x: 1, y: 3})
+
+    def test_equality(self):
+        db = db_from({"R/2/1": [(1, 1), (2, 3)]})
+        f = make_exists([x, y], make_and([r_xy, Eq(x, y)]))
+        assert evaluate(f, db)
+
+    def test_forall_over_relation(self):
+        db = db_from({"R/2/1": [(1, 1), (2, 2)]})
+        f = make_forall([x, y], implies(r_xy, Eq(x, y)))
+        assert evaluate(f, db)
+        db.add("R", (3, 4))
+        assert not evaluate(f, db)
+
+    def test_constants_join_active_domain(self):
+        # ∃x (x = c) must be true even if c is not in the database.
+        db = db_from({})
+        f = make_exists([x], Eq(x, Constant("ghost")))
+        assert evaluate(f, db)
+
+    def test_forall_constant_body_collapses(self):
+        # make_forall collapses constant bodies (non-empty-domain
+        # convention documented on the constructor).
+        assert make_forall([x], FALSE) == FALSE
+        assert make_forall([x], TRUE) == TRUE
+
+    def test_shadowed_quantifier_rebinds(self):
+        db = db_from({"R/2/1": [(1, 0)]})
+        # ∀y ∃y∃z R(x,y): inner y shadows outer y.
+        f = Forall((y,), Exists((y, z), r_xy))
+        assert Evaluator(f, db).evaluate({x: 1})
+        assert not Evaluator(f, db).evaluate({x: 2})
+
+
+class TestGuardOptimization:
+    def test_guarded_exists_matches_bruteforce_quantification(self):
+        db = db_from({"R/2/1": [(1, 2), (3, 4)], "S/2/1": [(2, 3)]})
+        s_yz = AtomF(atom("S", [y], [z]))
+        f = make_exists([x, y, z], make_and([r_xy, s_yz]))
+        assert evaluate(f, db)
+
+    def test_guarded_forall(self):
+        db = db_from({"R/2/1": [(1, 2), (3, 4)], "S/1/1": [(2,), (4,)]})
+        f = make_forall([x, y], implies(r_xy, AtomF(atom("S", [y]))))
+        assert evaluate(f, db)
+        db.discard("S", (4,))
+        assert not evaluate(f, db)
+
+    def test_partially_guarded_exists(self):
+        # Guard binds y; z ranges over the active domain.
+        db = db_from({"R/2/1": [(1, 2)]})
+        f = make_exists([x, y, z], make_and([r_xy, Not(Eq(z, y))]))
+        assert evaluate(f, db)
+
+    def test_unguarded_negated_atom_exists(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        f = make_exists([x, y], Not(r_xy))
+        assert evaluate(f, db)  # e.g. x=2, y=1
+
+
+class TestAgainstNaiveEvaluator:
+    """Cross-check the guarded evaluator against a naive one on random
+    small formulas and databases."""
+
+    def _naive(self, f, db, env):
+        consts = {c.value for c in __import__(
+            "repro.fo.formula", fromlist=["constants_of"]).constants_of(f)}
+        adom = sorted(db.active_domain() | consts, key=repr)
+
+        def go(g, e):
+            from repro.fo.formula import (AtomF, And, Or, Not, Eq, Exists,
+                                          Forall, Verum, Falsum)
+            from repro.core.terms import is_variable
+            if isinstance(g, Verum):
+                return True
+            if isinstance(g, Falsum):
+                return False
+            if isinstance(g, AtomF):
+                row = tuple(e[t] if is_variable(t) else t.value
+                            for t in g.atom.terms)
+                return db.contains(g.atom.relation, row)
+            if isinstance(g, Eq):
+                lv = e[g.lhs] if is_variable(g.lhs) else g.lhs.value
+                rv = e[g.rhs] if is_variable(g.rhs) else g.rhs.value
+                return lv == rv
+            if isinstance(g, Not):
+                return not go(g.sub, e)
+            if isinstance(g, And):
+                return all(go(s, e) for s in g.subs)
+            if isinstance(g, Or):
+                return any(go(s, e) for s in g.subs)
+            if isinstance(g, (Exists, Forall)):
+                combos = itertools.product(adom, repeat=len(g.vars))
+                results = (
+                    go(g.sub, {**e, **dict(zip(g.vars, c))}) for c in combos
+                )
+                return any(results) if isinstance(g, Exists) else all(results)
+            raise TypeError(g)
+
+        return go(f, dict(env))
+
+    def _random_formula(self, rng, depth=3):
+        if depth == 0 or rng.random() < 0.3:
+            choice = rng.random()
+            if choice < 0.5:
+                return AtomF(atom("R", [rng.choice([x, y, z])],
+                                  [rng.choice([x, y, z])]))
+            if choice < 0.8:
+                return Eq(rng.choice([x, y, z]), rng.choice([x, y, z, Constant(1)]))
+            return AtomF(atom("S", [rng.choice([x, y, z])]))
+        op = rng.choice(["and", "or", "not", "exists", "forall"])
+        if op == "and":
+            return make_and([self._random_formula(rng, depth - 1),
+                             self._random_formula(rng, depth - 1)])
+        if op == "or":
+            return make_or([self._random_formula(rng, depth - 1),
+                            self._random_formula(rng, depth - 1)])
+        if op == "not":
+            return make_not(self._random_formula(rng, depth - 1))
+        sub = self._random_formula(rng, depth - 1)
+        v = rng.choice([x, y, z])
+        return make_exists([v], sub) if op == "exists" else make_forall([v], sub)
+
+    def test_random_formulas_agree(self):
+        rng = random.Random(31)
+        for _ in range(60):
+            f = self._random_formula(rng)
+            db = db_from({
+                "R/2/1": [(rng.randint(0, 2), rng.randint(0, 2))
+                          for _ in range(rng.randint(0, 4))],
+                "S/1/1": [(rng.randint(0, 2),)
+                          for _ in range(rng.randint(0, 3))],
+            })
+            env = {v: rng.randint(0, 2) for v in (x, y, z)}
+            fast = Evaluator(f, db).evaluate(env)
+            slow = self._naive(f, db, env)
+            assert fast == slow, f"disagreement on {f!r} with {db!r}"

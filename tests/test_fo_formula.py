@@ -1,0 +1,146 @@
+"""Tests for the FO AST (repro.fo.formula)."""
+
+from repro.core.atoms import atom
+from repro.core.terms import Constant, PlaceholderConstant, Variable
+from repro.fo.formula import (
+    And,
+    AtomF,
+    Eq,
+    Exists,
+    FALSE,
+    Forall,
+    Not,
+    Or,
+    TRUE,
+    constants_of,
+    free_variables,
+    implies,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+    relations_of,
+    schemas_of,
+    substitute_terms,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+r_xy = AtomF(atom("R", [x], [y]))
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        f = make_and([make_and([r_xy, TRUE]), r_xy])
+        assert isinstance(f, And)
+        assert len(f.subs) == 2
+
+    def test_and_absorbs_false(self):
+        assert make_and([r_xy, FALSE]) == FALSE
+
+    def test_and_empty_is_true(self):
+        assert make_and([]) == TRUE
+
+    def test_and_singleton_unwrapped(self):
+        assert make_and([r_xy]) == r_xy
+
+    def test_or_flattens(self):
+        f = make_or([make_or([r_xy, FALSE]), r_xy])
+        assert isinstance(f, Or)
+        assert len(f.subs) == 2
+
+    def test_or_absorbs_true(self):
+        assert make_or([r_xy, TRUE]) == TRUE
+
+    def test_or_empty_is_false(self):
+        assert make_or([]) == FALSE
+
+    def test_not_double_negation(self):
+        assert make_not(make_not(r_xy)) == r_xy
+
+    def test_not_constants(self):
+        assert make_not(TRUE) == FALSE
+        assert make_not(FALSE) == TRUE
+
+    def test_exists_empty_vars(self):
+        assert make_exists([], r_xy) == r_xy
+
+    def test_exists_merges_nested(self):
+        f = make_exists([x], make_exists([y], r_xy))
+        assert isinstance(f, Exists)
+        assert f.vars == (x, y)
+
+    def test_forall_merges_nested(self):
+        f = make_forall([x], make_forall([y], r_xy))
+        assert isinstance(f, Forall)
+        assert f.vars == (x, y)
+
+    def test_exists_over_constant_formula(self):
+        assert make_exists([x], TRUE) == TRUE
+
+    def test_implies_encoding(self):
+        f = implies(r_xy, TRUE)
+        assert f == TRUE
+        f = implies(r_xy, FALSE)
+        assert f == Not(r_xy)
+
+    def test_operator_sugar(self):
+        assert (r_xy & TRUE) == r_xy
+        assert (r_xy | TRUE) == TRUE
+        assert (~TRUE) == FALSE
+
+
+class TestTraversals:
+    def test_free_variables_atom(self):
+        assert free_variables(r_xy) == {x, y}
+
+    def test_free_variables_quantified(self):
+        assert free_variables(Exists((x,), r_xy)) == {y}
+        assert free_variables(Forall((x, y), r_xy)) == frozenset()
+
+    def test_free_variables_eq(self):
+        assert free_variables(Eq(x, Constant(1))) == {x}
+
+    def test_constants_of(self):
+        f = make_and([AtomF(atom("R", [Constant("c")], [y])), Eq(x, Constant(3))])
+        assert {c.value for c in constants_of(f)} == {"c", 3}
+
+    def test_relations_of(self):
+        f = make_and([r_xy, Not(AtomF(atom("S", [y])))])
+        assert relations_of(f) == {"R", "S"}
+
+    def test_schemas_of(self):
+        f = make_and([r_xy, AtomF(atom("S", [y]))])
+        schemas = schemas_of(f)
+        assert schemas["R"].arity == 2
+        assert schemas["S"].arity == 1
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        f = substitute_terms(r_xy, {x: Constant(1)})
+        assert free_variables(f) == {y}
+
+    def test_substitute_placeholder(self):
+        p = PlaceholderConstant(x)
+        f = AtomF(atom("R", [p], [y]))
+        g = substitute_terms(f, {p: x})
+        assert free_variables(g) == {x, y}
+
+    def test_substitute_inside_quantifier_body(self):
+        p = PlaceholderConstant(z)
+        f = Exists((x,), AtomF(atom("R", [x], [p])))
+        g = substitute_terms(f, {p: z})
+        assert free_variables(g) == {z}
+
+    def test_substitute_eq(self):
+        f = substitute_terms(Eq(x, y), {x: Constant(1), y: Constant(2)})
+        assert f == Eq(Constant(1), Constant(2))
+
+
+class TestEqualityHash:
+    def test_structural_equality(self):
+        assert make_and([r_xy, Eq(x, y)]) == make_and([r_xy, Eq(x, y)])
+
+    def test_hashable(self):
+        assert len({TRUE, FALSE, r_xy, r_xy}) == 3

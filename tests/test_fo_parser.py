@@ -1,0 +1,145 @@
+"""Tests for the FO formula text parser."""
+
+import pytest
+
+from repro.core.terms import Constant, Variable
+from repro.fo.eval import Evaluator
+from repro.fo.formula import (
+    AtomF,
+    Eq,
+    Exists,
+    FALSE,
+    Forall,
+    Not,
+    TRUE,
+    free_variables,
+)
+from repro.fo.parser import FormulaParseError, parse_formula, parse_sentence
+
+from conftest import db_from
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestParsing:
+    def test_atom(self):
+        f = parse_formula("R(x, y)")
+        assert isinstance(f, AtomF)
+        assert f.atom.relation == "R"
+        assert f.atom.terms == (x, y)
+
+    def test_constants_in_atoms(self):
+        f = parse_formula("R('c', 3)")
+        assert f.atom.terms == (Constant("c"), Constant(3))
+
+    def test_equality_and_disequality(self):
+        assert parse_formula("x = y") == Eq(x, y)
+        assert parse_formula("x != y") == Not(Eq(x, y))
+
+    def test_boolean_constants(self):
+        assert parse_formula("true") == TRUE
+        assert parse_formula("false") == FALSE
+
+    def test_negation_spellings(self):
+        for text in ("not R(x)", "!R(x)", "~R(x)"):
+            f = parse_formula(text)
+            assert isinstance(f, Not)
+
+    def test_quantifiers(self):
+        f = parse_formula("exists x y. R(x, y)")
+        assert isinstance(f, Exists)
+        assert f.vars == (x, y)
+        f = parse_formula("forall x. R(x, x)")
+        assert isinstance(f, Forall)
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        f = parse_formula("R(x) or S(x) and T(x)")
+        from repro.fo.formula import And, Or
+
+        assert isinstance(f, Or)
+        assert isinstance(f.subs[1], And)
+
+    def test_implication_desugars(self):
+        f = parse_formula("R(x) -> S(x)")
+        from repro.fo.formula import Or
+
+        assert isinstance(f, Or)
+        assert isinstance(f.subs[0], Not)
+
+    def test_implication_right_associative(self):
+        f = parse_formula("R(x) -> S(x) -> T(x)")
+        g = parse_formula("R(x) -> (S(x) -> T(x))")
+        assert f == g
+
+    def test_parentheses(self):
+        f = parse_formula("(R(x) or S(x)) and T(x)")
+        from repro.fo.formula import And
+
+        assert isinstance(f, And)
+
+    def test_quantifier_scope_extends_right(self):
+        f = parse_formula("exists x. R(x) and S(x)")
+        assert free_variables(f) == frozenset()
+
+    def test_ampersand_pipe_spellings(self):
+        assert parse_formula("R(x) & S(x)") == parse_formula("R(x) and S(x)")
+        assert parse_formula("R(x) | S(x)") == parse_formula("R(x) or S(x)")
+
+
+class TestErrors:
+    def test_missing_dot(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("exists x R(x)")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("(R(x) and S(x)")
+
+    def test_empty_atom(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("R()")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(FormulaParseError):
+            parse_formula("R(x) R(y)")
+
+    def test_sentence_rejects_free_vars(self):
+        with pytest.raises(FormulaParseError):
+            parse_sentence("R(x, y)")
+        assert parse_sentence("exists x y. R(x, y)") is not None
+
+
+class TestEvaluationOfParsedFormulas:
+    def test_parsed_formula_evaluates(self):
+        db = db_from({"R/2/2": [(1, 2)], "S/2/2": [(2, 1)]})
+        f = parse_sentence("exists x y. R(x, y) and S(y, x)")
+        assert Evaluator(f, db).evaluate()
+
+    def test_parsed_guarded_forall(self):
+        db = db_from({"R/2/2": [(1, 1), (2, 2)]})
+        f = parse_sentence("forall x y. R(x, y) -> x = y")
+        assert Evaluator(f, db).evaluate()
+        db.add("R", (1, 2))
+        assert not Evaluator(f, db).evaluate()
+
+    def test_sql_and_python_agree_on_parsed(self):
+        from repro.db.sqlite_backend import run_sentence_sql
+
+        db = db_from({"R/2/2": [(1, 2), (3, 3)]})
+        for text in (
+            "exists x. R(x, x)",
+            "forall x y. R(x, y) -> exists z. R(z, x)",
+            "exists x y. R(x, y) and x != y",
+        ):
+            f = parse_sentence(text)
+            assert Evaluator(f, db).evaluate() == run_sentence_sql(f, db), text
+
+    def test_cli_eval(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.db.io import save_database
+
+        db = db_from({"R/2/2": [(1, 2)]})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        assert main(["eval", "exists x y. R(x, y)", "--db", str(path)]) == 0
+        assert "True" in capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""Tests for formula simplification (repro.fo.simplify)."""
+
+import random
+
+from repro.core.atoms import atom
+from repro.core.terms import Constant, Variable
+from repro.fo.eval import Evaluator
+from repro.fo.formula import (
+    And,
+    AtomF,
+    Eq,
+    FALSE,
+    Not,
+    Or,
+    TRUE,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+)
+from repro.fo.simplify import simplify, simplify_fixpoint
+from repro.fo.stats import stats
+
+from conftest import db_from
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+r_xy = AtomF(atom("R", [x], [y]))
+
+
+class TestLocalRules:
+    def test_trivial_eq_removed(self):
+        assert simplify(Eq(x, x)) == TRUE
+
+    def test_ground_eq_decided(self):
+        assert simplify(Eq(Constant(1), Constant(1))) == TRUE
+        assert simplify(Eq(Constant(1), Constant(2))) == FALSE
+
+    def test_and_dedup(self):
+        f = And((r_xy, r_xy, Eq(x, y)))
+        g = simplify(f)
+        assert isinstance(g, And)
+        assert len(g.subs) == 2
+
+    def test_or_dedup(self):
+        g = simplify(Or((r_xy, r_xy)))
+        assert g == r_xy
+
+    def test_unused_quantified_var_dropped(self):
+        f = make_exists([x, z], r_xy.__class__(r_xy.atom))
+        g = simplify(make_exists([z], r_xy))
+        assert g == r_xy  # z unused
+
+    def test_forall_unused_var_dropped(self):
+        g = simplify(make_forall([z], r_xy))
+        assert g == r_xy
+
+    def test_nested_constant_propagation(self):
+        f = And((Or((FALSE, Eq(x, x))), r_xy))
+        assert simplify(f) == r_xy
+
+    def test_not_constant(self):
+        assert simplify(Not(Eq(x, x))) == FALSE
+
+
+class TestFixpoint:
+    def test_fixpoint_idempotent(self):
+        f = And((Or((FALSE, Eq(x, x), r_xy)), r_xy))
+        g = simplify_fixpoint(f)
+        assert simplify(g) == g
+
+    def test_size_never_grows(self):
+        f = make_and([make_or([r_xy, FALSE]), Eq(x, x),
+                      make_exists([z], r_xy)])
+        assert stats(simplify_fixpoint(f)).nodes <= stats(f).nodes
+
+
+class TestSemanticPreservation:
+    def test_simplify_preserves_truth_on_random_dbs(self):
+        rng = random.Random(37)
+        f = make_forall(
+            [x, y],
+            make_or([
+                make_not(r_xy),
+                make_and([Eq(x, x), make_exists([z], AtomF(atom("S", [z], [y])))]),
+            ]),
+        )
+        g = simplify_fixpoint(f)
+        for _ in range(25):
+            db = db_from({
+                "R/2/1": [(rng.randint(0, 2), rng.randint(0, 2))
+                          for _ in range(rng.randint(0, 4))],
+                "S/2/1": [(rng.randint(0, 2), rng.randint(0, 2))
+                          for _ in range(rng.randint(0, 4))],
+            })
+            assert Evaluator(f, db).evaluate() == Evaluator(g, db).evaluate()

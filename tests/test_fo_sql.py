@@ -1,0 +1,159 @@
+"""Tests for the FO -> SQL compiler and the sqlite backend."""
+
+import random
+
+import pytest
+
+from repro.core.atoms import RelationSchema, atom
+from repro.core.terms import Constant, Variable
+from repro.db.sqlite_backend import load_database, run_sentence_sql
+from repro.fo.eval import Evaluator
+from repro.fo.formula import (
+    AtomF,
+    Eq,
+    Exists,
+    FALSE,
+    Forall,
+    TRUE,
+    implies,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+)
+from repro.fo.sql import compile_to_sql, encode_value
+
+from conftest import db_from
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+r_xy = AtomF(atom("R", [x], [y]))
+
+
+class TestEncodeValue:
+    def test_types_distinguished(self):
+        assert encode_value(1) != encode_value("1")
+        assert encode_value(True) != encode_value(1)
+
+    def test_tuples(self):
+        assert encode_value(("pair", 1, 2)) == encode_value(("pair", 1, 2))
+        assert encode_value(("a",)) != encode_value(("a", "a"))
+
+    def test_nested_tuples(self):
+        v1 = ("edge", ("a", 1), ("b", 2))
+        v2 = ("edge", ("a", 1), ("b", 3))
+        assert encode_value(v1) != encode_value(v2)
+
+    def test_injective_on_tricky_strings(self):
+        # Separator characters inside strings must not collide.
+        assert encode_value(("a|b",)) != encode_value(("a", "b"))
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(3.14)
+
+
+class TestLoadDatabase:
+    def test_roundtrip_count(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)], "S/1/1": [("a",)]})
+        conn = load_database(db)
+        n = conn.execute('SELECT COUNT(*) FROM "R"').fetchone()[0]
+        assert n == 2
+        conn.close()
+
+    def test_duplicate_inserts_ignored(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        conn = load_database(db)
+        conn.execute('INSERT OR IGNORE INTO "R" VALUES (?, ?)',
+                     (encode_value(1), encode_value(2)))
+        n = conn.execute('SELECT COUNT(*) FROM "R"').fetchone()[0]
+        assert n == 1
+        conn.close()
+
+
+class TestCompilation:
+    def test_simple_exists(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        f = make_exists([x, y], r_xy)
+        assert run_sentence_sql(f, db)
+
+    def test_false_on_empty(self):
+        db = db_from({"R/2/1": []})
+        f = make_exists([x, y], r_xy)
+        assert not run_sentence_sql(f, db)
+
+    def test_constants(self):
+        db = db_from({"R/2/1": [("c", 5)]})
+        f = make_exists([y], AtomF(atom("R", [Constant("c")], [y])))
+        assert run_sentence_sql(f, db)
+        f = make_exists([y], AtomF(atom("R", [Constant("z")], [y])))
+        assert not run_sentence_sql(f, db)
+
+    def test_forall_guarded(self):
+        db = db_from({"R/2/1": [(1, 1), (2, 2)]})
+        f = make_forall([x, y], implies(r_xy, Eq(x, y)))
+        assert run_sentence_sql(f, db)
+        db.add("R", (3, 4))
+        assert not run_sentence_sql(f, db)
+
+    def test_unguarded_exists_uses_adom(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        f = make_exists([x, y], make_not(r_xy))
+        assert run_sentence_sql(f, db)
+
+    def test_missing_relation_created_empty(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        f = make_exists([x], AtomF(atom("Z", [x])))
+        assert not run_sentence_sql(f, db)
+
+    def test_verum_falsum(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        assert run_sentence_sql(TRUE, db)
+        assert not run_sentence_sql(FALSE, db)
+
+    def test_tuple_valued_constants(self):
+        pair = ("pair", "a", "b")
+        db = db_from({"R/2/1": [(pair, 1)]})
+        f = make_exists([y], AtomF(atom("R", [Constant(pair)], [y])))
+        assert run_sentence_sql(f, db)
+
+    def test_quoted_relation_names(self):
+        db = db_from({})
+        db.add_relation(RelationSchema("weird name", 1, 1))
+        db.add("weird name", ("v",))
+        f = make_exists([x], AtomF(atom("weird name", [x])))
+        assert run_sentence_sql(f, db)
+
+
+class TestSqlMatchesPythonEvaluator:
+    def test_random_guarded_sentences_agree(self):
+        rng = random.Random(41)
+        s_yz = AtomF(atom("S", [y], [z]))
+        shapes = [
+            make_exists([x, y], r_xy),
+            make_exists([x, y, z], make_and([r_xy, s_yz])),
+            make_forall([x, y], implies(r_xy, make_exists([z], s_yz))),
+            make_and([
+                make_exists([x, y], r_xy),
+                make_forall([y, z], implies(s_yz, make_exists([x], r_xy))),
+            ]),
+            make_forall([x, y], implies(r_xy, make_not(AtomF(atom("S", [x], [y]))))),
+            make_exists([x, y], make_and([r_xy, make_not(Eq(x, y))])),
+        ]
+        for _ in range(20):
+            db = db_from({
+                "R/2/1": [(rng.randint(0, 2), rng.randint(0, 2))
+                          for _ in range(rng.randint(0, 4))],
+                "S/2/1": [(rng.randint(0, 2), rng.randint(0, 2))
+                          for _ in range(rng.randint(0, 4))],
+            })
+            for f in shapes:
+                assert run_sentence_sql(f, db) == Evaluator(f, db).evaluate(), \
+                    f"SQL/Python disagreement on {f!r} with {db!r}"
+
+    def test_shadowed_quantifier(self):
+        db = db_from({"R/2/1": [(1, 0)]})
+        inner = Exists((y, z), r_xy)
+        f = Exists((x,), make_and([AtomF(atom("R", [x], [y])).__class__(
+            atom("R", [x], [Constant(0)])), Forall((y,), inner)]))
+        assert run_sentence_sql(f, db) == Evaluator(f, db).evaluate()

@@ -1,0 +1,67 @@
+"""Tests for formula metrics and pretty printing."""
+
+from repro.core.atoms import atom
+from repro.core.terms import Variable
+from repro.fo.formula import (
+    AtomF,
+    Eq,
+    FALSE,
+    Not,
+    TRUE,
+    make_and,
+    make_exists,
+    make_forall,
+    make_or,
+)
+from repro.fo.stats import pretty, stats
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+r_xy = AtomF(atom("R", [x], [y]))
+
+
+class TestStats:
+    def test_atom(self):
+        s = stats(r_xy)
+        assert s.nodes == 1
+        assert s.atoms == 1
+        assert s.quantifiers == 0
+
+    def test_constants(self):
+        assert stats(TRUE).nodes == 1
+        assert stats(FALSE).atoms == 0
+
+    def test_conjunction(self):
+        s = stats(make_and([r_xy, Eq(x, y)]))
+        assert s.nodes == 3
+        assert s.atoms == 2
+        assert s.connectives == 1
+
+    def test_quantifier_depth_counts_variables(self):
+        f = make_exists([x, y], make_forall([z], r_xy))
+        s = stats(f)
+        assert s.quantifiers == 3
+        assert s.quantifier_depth == 3
+
+    def test_depth_takes_max_over_branches(self):
+        f = make_and([make_exists([x], Eq(x, y)),
+                      make_exists([x, z], Eq(x, z))])
+        assert stats(f).quantifier_depth == 2
+
+    def test_not_counts_as_connective(self):
+        assert stats(Not(r_xy)).connectives == 1
+
+    def test_size_alias(self):
+        s = stats(r_xy)
+        assert s.size == s.nodes
+
+
+class TestPretty:
+    def test_mentions_quantified_names(self):
+        out = pretty(make_exists([x, y], r_xy))
+        assert "exists x y" in out
+
+    def test_indents_nested(self):
+        out = pretty(make_forall([z], make_or([Not(r_xy), Eq(x, z)])))
+        lines = out.splitlines()
+        assert lines[0].startswith("forall")
+        assert all(line.startswith("  ") for line in lines[1:])

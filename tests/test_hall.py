@@ -1,0 +1,103 @@
+"""Tests for Hall's theorem and S-COVERING (Example 1.2)."""
+
+import itertools
+
+import pytest
+
+from repro.matching.hall import (
+    SCoveringInstance,
+    hall_violator,
+    satisfies_hall_condition,
+)
+from repro.matching.hopcroft_karp import BipartiteGraph
+
+
+class TestHallViolator:
+    def test_none_when_saturating(self):
+        g = BipartiteGraph(edges=[(1, "a"), (2, "b")])
+        assert hall_violator(g) is None
+        assert satisfies_hall_condition(g)
+
+    def test_violator_found(self):
+        g = BipartiteGraph(edges=[(1, "a"), (2, "a")])
+        v = hall_violator(g)
+        assert v == {1, 2}
+
+    def test_violator_is_actually_deficient(self, rng):
+        for _ in range(30):
+            m = rng.randint(1, 6)
+            g = BipartiteGraph(left=range(m), right=range(m))
+            for i in range(m):
+                for j in range(m):
+                    if rng.random() < 0.3:
+                        g.add_edge(i, j)
+            v = hall_violator(g)
+            if v is not None:
+                neighbourhood = set()
+                for u in v:
+                    neighbourhood |= g.neighbours(u)
+                assert len(neighbourhood) < len(v)
+
+    def test_isolated_left_vertex_is_violator(self):
+        g = BipartiteGraph(left=[1], right=["a"])
+        assert hall_violator(g) == {1}
+
+
+class TestSCovering:
+    def test_basic_solvable(self):
+        inst = SCoveringInstance(["a", "b"], [["a"], ["b"]])
+        sol = inst.solve()
+        assert sol == {"a": 1, "b": 2}
+
+    def test_solution_is_valid(self):
+        inst = SCoveringInstance(
+            ["a", "b", "c"], [["a", "b"], ["b", "c"], ["a", "c"]])
+        sol = inst.solve()
+        assert sol is not None
+        assert len(set(sol.values())) == len(sol)
+        for element, i in sol.items():
+            assert element in inst.subsets[i - 1]
+
+    def test_unsolvable_more_elements_than_sets(self):
+        inst = SCoveringInstance(["a", "b"], [["a", "b"]])
+        assert not inst.solvable
+
+    def test_empty_subsets_allowed(self):
+        inst = SCoveringInstance(["a"], [[], ["a"], []])
+        assert inst.solve() == {"a": 2}
+
+    def test_empty_elements_trivially_solvable(self):
+        assert SCoveringInstance([], []).solvable
+        assert SCoveringInstance([], [[], []]).solvable
+
+    def test_foreign_elements_rejected(self):
+        with pytest.raises(ValueError):
+            SCoveringInstance(["a"], [["a", "zzz"]])
+
+    def test_matches_brute_force_exhaustively(self):
+        """All instances with |S| <= 3 and l <= 3 over subsets of S."""
+        elements = ["a", "b", "c"]
+        all_subsets = list(
+            itertools.chain.from_iterable(
+                itertools.combinations(elements, k) for k in range(4))
+        )
+        count = 0
+        for l in range(3):
+            for subsets in itertools.product(all_subsets, repeat=l):
+                inst = SCoveringInstance(elements[:2], [
+                    [e for e in t if e in elements[:2]] for t in subsets])
+                fast = inst.solve() is not None
+                slow = inst.solve_brute_force() is not None
+                assert fast == slow
+                count += 1
+        assert count > 50
+
+    def test_hall_condition_equivalence(self, rng):
+        for _ in range(30):
+            n = rng.randint(0, 4)
+            l = rng.randint(0, 4)
+            elements = list(range(n))
+            subsets = [[e for e in elements if rng.random() < 0.5]
+                       for _ in range(l)]
+            inst = SCoveringInstance(elements, subsets)
+            assert inst.solvable == satisfies_hall_condition(inst.to_bipartite())

@@ -1,0 +1,73 @@
+"""Tests for database JSON I/O."""
+
+import json
+
+import pytest
+
+from repro.db.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database_file,
+    save_database,
+)
+from repro.workloads.poll import paper_flavoured_poll_database
+
+from conftest import db_from
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path):
+        db = db_from({"R/2/1": [(1, 2), ("a", "b")], "S/1/1": [(True,)]})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database_file(path)
+        assert loaded == db
+
+    def test_tuple_values(self, tmp_path):
+        db = db_from({"R/2/1": [(("edge", "a", "b"), 1)]})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        assert load_database_file(path) == db
+
+    def test_poll_database(self, tmp_path):
+        db = paper_flavoured_poll_database()
+        path = tmp_path / "poll.json"
+        save_database(db, path)
+        loaded = load_database_file(path)
+        assert loaded == db
+        assert loaded.schemas["Likes"].is_all_key
+
+    def test_empty_relation_preserved(self, tmp_path):
+        db = db_from({"R/2/1": []})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        loaded = load_database_file(path)
+        assert loaded.relations() == ("R",)
+        assert loaded.facts("R") == frozenset()
+
+
+class TestDictFormat:
+    def test_shape(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        data = database_to_dict(db)
+        assert data["relations"]["R"]["arity"] == 2
+        assert data["relations"]["R"]["key"] == 1
+        assert data["relations"]["R"]["facts"] == [[1, 2]]
+
+    def test_json_serializable(self):
+        db = db_from({"R/2/1": [(("pair", 1, 2), "x")]})
+        json.dumps(database_to_dict(db))
+
+    def test_missing_relations_key_rejected(self):
+        with pytest.raises(ValueError):
+            database_from_dict({})
+
+    def test_unsupported_values_rejected(self):
+        db = db_from({"R/1/1": []})
+        db.add("R", (3.14,))
+        with pytest.raises(TypeError):
+            database_to_dict(db)
+
+    def test_deterministic_output(self):
+        db = db_from({"R/2/1": [(2, 1), (1, 2)]})
+        assert database_to_dict(db) == database_to_dict(db.copy())

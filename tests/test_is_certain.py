@@ -1,0 +1,110 @@
+"""Tests for the interpreted Algorithm 1 (repro.cqa.is_certain)."""
+
+import random
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.classify import classify
+from repro.core.query import Query
+from repro.core.terms import Constant, Variable
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.is_certain import is_certain
+from repro.cqa.rewriting import NotInFO
+from repro.workloads.generators import (
+    QueryParams,
+    random_query,
+    random_small_database,
+)
+from repro.workloads.queries import (
+    poll_qa,
+    poll_qb,
+    q1,
+    q3,
+    q_example611,
+    q_hall,
+)
+
+from conftest import db_from
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestApplicability:
+    def test_rejects_cyclic(self):
+        db = db_from({"R/2/1": [], "S/2/1": []})
+        with pytest.raises(NotInFO):
+            is_certain(q1(), db)
+
+
+class TestBaseCases:
+    def test_all_key_query_is_satisfaction(self):
+        q = Query([atom("R", [x, y])])
+        assert is_certain(q, db_from({"R/2/2": [(1, 2)]}))
+        assert not is_certain(q, db_from({"R/2/2": []}))
+
+    def test_empty_relation_positive_atom(self):
+        q = q3()
+        assert not is_certain(q, db_from({"P/2/1": [], "N/2/1": []}))
+
+    def test_missing_relation_positive_atom(self):
+        q = q3()
+        assert not is_certain(q, db_from({}))
+
+    def test_ground_negated_atom_present(self):
+        q = Query([atom("R", [x], [y])],
+                  [atom("N", [Constant("c")], [Constant("d")])])
+        db = db_from({"R/2/1": [(1, 2)], "N/2/1": [("c", "d")]})
+        assert not is_certain(q, db)
+        db = db_from({"R/2/1": [(1, 2)], "N/2/1": [("c", "e")]})
+        assert is_certain(q, db)
+
+
+class TestWorkedExamples:
+    def test_q3_certain_instance(self):
+        # Both P-blocks avoid the blocked value in some fact... the
+        # rewriting requires a block where z never occurs.
+        db = db_from({"P/2/1": [(1, "a"), (2, "b")], "N/2/1": [("c", "a")]})
+        assert is_certain(q3(), db)
+
+    def test_q3_uncertain_instance(self):
+        # The only P-block can pick the blocked value 'a' in every fact.
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": [("c", "a")]})
+        assert not is_certain(q3(), db)
+
+    def test_hall_instance(self):
+        # S = {a, b}, one set {a, b}: cannot cover both -> certain.
+        db = db_from({"S/1/1": [("a",), ("b",)],
+                      "N1/2/1": [("c", "a"), ("c", "b")]})
+        assert is_certain(q_hall(1), db)
+
+    def test_hall_coverable(self):
+        db = db_from({"S/1/1": [("a",)], "N1/2/1": [("c", "a")]})
+        assert not is_certain(q_hall(1), db)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("make", [q3, poll_qa, poll_qb, q_example611,
+                                      lambda: q_hall(2)])
+    def test_canonical_queries(self, make, rng):
+        q = make()
+        for _ in range(30):
+            db = random_small_database(q, rng, domain_size=3,
+                                       facts_per_relation=4)
+            assert is_certain(q, db) == is_certain_brute_force(q, db), repr(db)
+
+    def test_random_acyclic_queries(self):
+        rng = random.Random(47)
+        tested = 0
+        while tested < 20:
+            q = random_query(
+                QueryParams(n_positive=2, n_negative=1, n_variables=3,
+                            max_arity=2), rng)
+            if not classify(q).in_fo:
+                continue
+            tested += 1
+            for _ in range(8):
+                db = random_small_database(q, rng, domain_size=2,
+                                           facts_per_relation=3)
+                assert is_certain(q, db) == is_certain_brute_force(q, db), \
+                    f"{q} on {db!r}"

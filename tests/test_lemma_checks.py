@@ -1,0 +1,98 @@
+"""Tests for the executable lemma checks and attack-graph extras."""
+
+import random
+
+import pytest
+
+from repro.core.attack_graph import AttackGraph
+from repro.core.lemma_checks import (
+    check_all,
+    check_all_key_zero_outdegree,
+    check_lemma_4_7,
+    check_lemma_4_8,
+    check_lemma_4_9,
+    check_lemma_6_10,
+)
+from repro.core.terms import Constant, Variable
+from repro.workloads.generators import QueryParams, random_query
+from repro.workloads.queries import all_named_queries, q3, q_hall
+
+
+class TestLemmaChecksOnCanonicalQueries:
+    @pytest.mark.parametrize("name,query", all_named_queries())
+    def test_all_structural_lemmas_hold(self, name, query):
+        assert check_all(query) == [], name
+
+    def test_lemma_6_10_on_named_queries(self):
+        for name, query in all_named_queries():
+            for v in sorted(query.vars):
+                assert check_lemma_6_10(query, v, Constant("k0")) == [], name
+
+
+class TestLemmaChecksOnRandomQueries:
+    def test_random_weakly_guarded(self):
+        rng = random.Random(53)
+        for _ in range(60):
+            q = random_query(QueryParams(n_positive=2, n_negative=2,
+                                         n_variables=4), rng)
+            assert check_lemma_4_7(q) == []
+            assert check_lemma_4_8(q) == []
+            assert check_lemma_4_9(q) == []
+            assert check_all_key_zero_outdegree(q) == []
+
+    def test_random_unguarded_47_48_still_hold(self):
+        # Lemmas 4.7/4.8 do not assume weak guardedness.
+        rng = random.Random(59)
+        for _ in range(40):
+            q = random_query(QueryParams(n_positive=2, n_negative=2,
+                                         require_weakly_guarded=False), rng)
+            assert check_lemma_4_7(q) == []
+            assert check_lemma_4_8(q) == []
+
+
+class TestTopologicalOrder:
+    def test_respects_edges(self):
+        for name, query in all_named_queries():
+            graph = AttackGraph(query)
+            if not graph.is_acyclic:
+                continue
+            order = graph.topological_order()
+            position = {a: i for i, a in enumerate(order)}
+            for f, g in graph.edges:
+                assert position[f] < position[g], name
+
+    def test_covers_all_atoms(self):
+        graph = AttackGraph(q_hall(3))
+        assert set(graph.topological_order()) == set(q_hall(3).atoms)
+
+    def test_cyclic_rejected(self):
+        from repro.workloads.queries import q1
+
+        with pytest.raises(ValueError):
+            AttackGraph(q1()).topological_order()
+
+
+class TestDot:
+    def test_dot_structure(self):
+        dot = AttackGraph(q3()).to_dot()
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"N" -> "P";' in dot
+
+    def test_negated_atoms_boxed(self):
+        dot = AttackGraph(q3()).to_dot()
+        assert '"N" [shape=box' in dot
+        assert '"P" [shape=ellipse' in dot
+
+
+class TestInterpreterMemoization:
+    def test_cache_populated_and_consistent(self):
+        from repro.cqa.is_certain import CertaintyInterpreter
+        from conftest import db_from
+
+        db = db_from({"P/2/1": [(1, "a"), (1, "b"), (2, "a")],
+                      "N/2/1": [("c", "a")]})
+        interp = CertaintyInterpreter(q3(), db)
+        first = interp.run(q3())
+        assert interp._cache  # subproblems were memoized
+        assert interp.run(q3()) == first

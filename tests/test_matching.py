@@ -1,0 +1,136 @@
+"""Tests for the matching substrate (Hopcroft–Karp, q1-certainty)."""
+
+import random
+
+import networkx as nx
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.db.satisfaction import satisfies
+from repro.matching.bpm_certainty import (
+    certainty_graph,
+    falsifying_repair_q1,
+    is_certain_q1,
+)
+from repro.matching.hopcroft_karp import (
+    BipartiteGraph,
+    has_perfect_matching,
+    is_matching,
+    maximum_matching,
+    saturates_left,
+)
+from repro.workloads.bipartite import (
+    bipartite_with_perfect_matching,
+    bipartite_without_perfect_matching,
+    random_bipartite,
+)
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import q1
+
+from conftest import db_from
+
+
+def nx_max_matching_size(graph: BipartiteGraph) -> int:
+    g = nx.Graph()
+    g.add_nodes_from((("L", u) for u in graph.left), bipartite=0)
+    g.add_nodes_from((("R", v) for v in graph.right), bipartite=1)
+    for u in graph.left:
+        for v in graph.neighbours(u):
+            g.add_edge(("L", u), ("R", v))
+    matching = nx.algorithms.bipartite.maximum_matching(
+        g, top_nodes={("L", u) for u in graph.left})
+    return sum(1 for k in matching if k[0] == "L")
+
+
+class TestHopcroftKarp:
+    def test_empty_graph(self):
+        assert maximum_matching(BipartiteGraph()) == {}
+
+    def test_single_edge(self):
+        g = BipartiteGraph(edges=[("a", 1)])
+        assert maximum_matching(g) == {"a": 1}
+
+    def test_returned_matching_is_valid(self, rng):
+        for _ in range(20):
+            g = random_bipartite(rng.randint(1, 8), 0.4, rng)
+            m = maximum_matching(g)
+            assert is_matching(g, m)
+
+    def test_size_matches_networkx(self, rng):
+        for _ in range(30):
+            g = random_bipartite(rng.randint(1, 8), rng.random(), rng)
+            assert len(maximum_matching(g)) == nx_max_matching_size(g)
+
+    def test_perfect_matching_planted(self, rng):
+        for _ in range(10):
+            g = bipartite_with_perfect_matching(rng.randint(2, 8), 0.2, rng)
+            assert has_perfect_matching(g)
+
+    def test_no_perfect_matching_planted(self, rng):
+        for _ in range(10):
+            g = bipartite_without_perfect_matching(rng.randint(2, 8), rng)
+            assert not has_perfect_matching(g)
+
+    def test_unbalanced_never_perfect(self):
+        g = BipartiteGraph(left=[1, 2], right=["a"], edges=[(1, "a")])
+        assert not has_perfect_matching(g)
+
+    def test_saturates_left(self):
+        g = BipartiteGraph(edges=[(1, "a"), (2, "a")])
+        assert not saturates_left(g)
+        g.add_edge(2, "b")
+        assert saturates_left(g)
+
+    def test_is_matching_rejects_shared_right(self):
+        g = BipartiteGraph(edges=[(1, "a"), (2, "a")])
+        assert not is_matching(g, {1: "a", 2: "a"})
+
+    def test_is_matching_rejects_non_edges(self):
+        g = BipartiteGraph(edges=[(1, "a")])
+        assert not is_matching(g, {1: "b"})
+
+
+class TestQ1Certainty:
+    def test_certainty_graph_edges(self):
+        db = db_from({"R/2/1": [("g", "b"), ("g", "c")],
+                      "S/2/1": [("b", "g")]})
+        g = certainty_graph(db)
+        assert g.neighbours("g") == {"b"}
+
+    def test_matches_brute_force(self, rng):
+        query = q1()
+        for _ in range(40):
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=5)
+            assert is_certain_q1(db) == is_certain_brute_force(query, db), \
+                repr(db)
+
+    def test_falsifying_repair_falsifies(self, rng):
+        query = q1()
+        for _ in range(30):
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=5)
+            repair = falsifying_repair_q1(db)
+            if repair is None:
+                assert is_certain_brute_force(query, db)
+            else:
+                assert not satisfies(repair, query)
+                from repro.db.repairs import is_repair_of
+                assert is_repair_of(repair.restrict(["R", "S"]),
+                                    db.restrict(["R", "S"]))
+
+    def test_accepts_renamed_q1_shape(self):
+        from repro.core.atoms import atom
+        from repro.core.query import Query
+        from repro.core.terms import Variable
+
+        u, w = Variable("u"), Variable("w")
+        q = Query([atom("Knows", [u], [w])], [atom("Liked", [w], [u])])
+        db = db_from({"Knows/2/1": [(1, 2)], "Liked/2/1": []})
+        assert is_certain_q1(db, q) == is_certain_brute_force(q, db)
+
+    def test_rejects_non_q1_shape(self):
+        import pytest
+        from repro.workloads.queries import q3
+
+        with pytest.raises(ValueError):
+            is_certain_q1(db_from({}), q3())

@@ -1,0 +1,237 @@
+"""Every worked example of the paper, as executable assertions.
+
+This file is the reproduction ledger: each test names the figure or
+example it replays.
+"""
+
+from repro.core.attack_graph import AttackGraph
+from repro.core.classify import Hardness, Verdict, classify
+from repro.core.terms import Constant, Variable
+from repro.cqa.brute_force import (
+    find_falsifying_repair,
+    is_certain_brute_force,
+)
+from repro.cqa.engine import CertaintyEngine
+from repro.db.satisfaction import key_relevant_facts, satisfies
+from repro.matching.hall import SCoveringInstance
+from repro.reductions.bpm import bpm_to_database, matching_from_repair
+from repro.reductions.scovering import query_for, scovering_to_database
+from repro.workloads.bipartite import figure_1_graph
+from repro.workloads.queries import (
+    poll_q1,
+    poll_q2,
+    poll_qa,
+    poll_qb,
+    q1,
+    q2_example41,
+    q3,
+    q4,
+    q_example32_weakly_guarded_not_guarded,
+    q_example611,
+    q_hall,
+)
+
+from conftest import db_from
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestFigure1Example11:
+    """Figure 1 + Example 1.1: the girls/boys database."""
+
+    def test_database_has_a_falsifying_repair(self):
+        db = bpm_to_database(figure_1_graph())
+        assert not is_certain_brute_force(q1(), db)
+
+    def test_the_pairing_is_alice_george_maria_bob(self):
+        db = bpm_to_database(figure_1_graph())
+        repair = find_falsifying_repair(q1(), db)
+        matching = matching_from_repair(repair.restrict(["R", "S"]))
+        assert matching == {"Alice": "George", "Maria": "Bob"}
+
+    def test_paper_repair_verbatim(self):
+        """The repair named in Example 1.1: R(Alice,George),
+        R(Maria,Bob), S(George,Alice), S(Bob,Maria) falsifies q1."""
+        repair = db_from({
+            "R/2/1": [("Alice", "George"), ("Maria", "Bob")],
+            "S/2/1": [("George", "Alice"), ("Bob", "Maria")],
+        })
+        assert not satisfies(repair, q1())
+
+
+class TestExample12And612:
+    """Examples 1.2 / 6.12: S-COVERING and q_Hall."""
+
+    def test_reduction_equivalence_for_paper_shape(self):
+        inst = SCoveringInstance(
+            ["a", "b", "c"], [["a", "b"], ["b", "c"], []])
+        db = scovering_to_database(inst)
+        certain = is_certain_brute_force(query_for(inst), db)
+        assert certain == (not inst.solvable)
+
+    def test_figure2_rewriting_answers_correctly(self):
+        """The l = 3 rewriting of Figure 2, via our construction."""
+        engine = CertaintyEngine(q_hall(3))
+        inst = SCoveringInstance(["a", "b"], [["a", "b"], ["a"], []])
+        db = scovering_to_database(inst)
+        assert engine.certain(db, "rewriting") == (not inst.solvable)
+
+    def test_rewriting_length_exponential(self):
+        from repro.cqa.rewriting import consistent_rewriting
+        from repro.fo.stats import stats
+
+        sizes = [stats(consistent_rewriting(q_hall(l))).nodes
+                 for l in (1, 2, 3, 4)]
+        assert sizes[3] > 4 * sizes[1]
+
+
+class TestExample33:
+    """Example 3.3: key-relevant facts."""
+
+    def test_key_relevance(self):
+        q = q1()
+        r = db_from({"R/2/1": [("b", 1)], "S/2/1": [(1, "a"), (2, "a")]})
+        relevant = key_relevant_facts(q, q.atom_for("S"), r)
+        assert (1, "a") in relevant
+        assert (2, "a") not in relevant
+
+
+class TestExample41:
+    """Example 4.1: the attack graph of q2."""
+
+    def test_four_edges(self):
+        g = AttackGraph(q2_example41())
+        assert sorted((f.relation, t.relation) for f, t in g.edges) == [
+            ("R", "P"), ("R", "S"), ("S", "P"), ("S", "R")]
+
+    def test_example44_not_in_fo(self):
+        """Example 4.4 concludes CERTAINTY(q2) is not in FO."""
+        assert classify(q2_example41()).verdict is Verdict.NOT_IN_FO
+
+
+class TestExample42And45:
+    """Examples 4.2 / 4.5: q3 and its rewriting."""
+
+    def test_one_edge(self):
+        g = AttackGraph(q3())
+        assert sorted((f.relation, t.relation) for f, t in g.edges) == [
+            ("N", "P")]
+
+    def test_in_fo(self):
+        assert classify(q3()).in_fo
+
+    def test_rewriting_semantics_block_avoiding_blocked_value(self):
+        """Example 4.5 explains the rewriting: for every N-fact N(c,a)
+        there must be a P-block in which a does not occur."""
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [(1, "a"), (1, "z"), (2, "b")],
+                      "N/2/1": [("c", "b")]})
+        # Block 1 never mentions b, so it survives any repair choice.
+        assert engine.certain(db, "rewriting")
+        db2 = db_from({"P/2/1": [(1, "a"), (1, "b"), (2, "b")],
+                       "N/2/1": [("c", "b")]})
+        # Every block mentions b: the repair picking b everywhere fails.
+        assert not engine.certain(db2, "rewriting")
+        assert not engine.certain(db2, "brute")
+
+
+class TestExample46:
+    """Example 4.6: the town-poll queries."""
+
+    def test_cyclic_pair(self):
+        assert classify(poll_q1()).verdict is Verdict.NOT_IN_FO
+        assert classify(poll_q2()).verdict is Verdict.NOT_IN_FO
+
+    def test_acyclic_pair_with_named_attacks(self):
+        ga = AttackGraph(poll_qa())
+        assert [(f.relation, t.relation) for f, t in ga.edges] == [
+            ("Lives", "Likes")]
+        gb = AttackGraph(poll_qb())
+        assert sorted((f.relation, t.relation) for f, t in gb.edges) == [
+            ("Born", "Likes"), ("Lives", "Likes")]
+
+
+class TestSection51Hardness:
+    """The canonical hard queries of Section 5.1."""
+
+    def test_q1_nl_hard(self):
+        c = classify(q1())
+        assert c.hardness is Hardness.NL_HARD
+
+    def test_q2_l_hard(self):
+        from repro.workloads.queries import q2
+
+        c = classify(q2())
+        assert c.hardness is Hardness.L_HARD
+
+
+class TestExample611:
+    """Example 6.11: the rewriting with constants and repeated vars."""
+
+    def test_in_fo(self):
+        assert classify(q_example611()).in_fo
+
+    def test_semantics(self):
+        engine = CertaintyEngine(q_example611())
+        # N-fact (c, a, 5, 5) matches the pattern: P-block must be able
+        # to avoid nothing (q' has no shared vars except y via diseq).
+        db = db_from({"P/1/1": [(5,)], "N/4/1": [("c", "a", 5, 5)]})
+        assert not engine.certain(db, "brute")
+        assert not engine.certain(db, "rewriting")
+        db2 = db_from({"P/1/1": [(5,), (6,)], "N/4/1": [("c", "a", 5, 5)]})
+        assert engine.certain(db2, "rewriting")
+        # Non-matching N-fact (wrong constant) is harmless.
+        db3 = db_from({"P/1/1": [(5,)], "N/4/1": [("c", "zzz", 5, 5)]})
+        assert engine.certain(db3, "rewriting")
+
+
+class TestExample71:
+    """Example 7.1: q4 beyond weak guardedness."""
+
+    def test_not_weakly_guarded(self):
+        assert not q4().has_weakly_guarded_negation
+
+    def test_cyclic_yet_in_fo(self):
+        c = classify(q4())
+        assert not c.acyclic
+        assert c.verdict is Verdict.UNDECIDED  # attack-graph test silent
+
+    def test_figure3_counting(self):
+        """m = 3, n = 2: 6 > 5 so every repair satisfies q4."""
+        db = db_from({
+            "X/1/1": [(f"a{i}",) for i in (1, 2, 3)],
+            "Y/1/1": [(f"b{j}",) for j in (1, 2)],
+            "R/2/1": [("a1", "b1"), ("a2", "b2")],
+            "S/2/1": [("b1", "a3")],
+        })
+        assert is_certain_brute_force(q4(), db)
+
+    def test_neither_x_nor_y_reifiable_on_figure3(self):
+        # Complete bipartite R and S content: every single grounding
+        # q[x->a_i] / q[y->b_j] can be falsified by some repair, while
+        # q4 itself holds in every repair (3*2 > 3+2).
+        db = db_from({
+            "X/1/1": [(f"a{i}",) for i in (1, 2, 3)],
+            "Y/1/1": [(f"b{j}",) for j in (1, 2)],
+            "R/2/1": [(f"a{i}", f"b{j}") for i in (1, 2, 3) for j in (1, 2)],
+            "S/2/1": [(f"b{j}", f"a{i}") for i in (1, 2, 3) for j in (1, 2)],
+        })
+        assert is_certain_brute_force(q4(), db)
+        for i in (1, 2, 3):
+            grounded = q4().substitute({x: Constant(f"a{i}")})
+            assert not is_certain_brute_force(grounded, db)
+        for j in (1, 2):
+            grounded = q4().substitute({y: Constant(f"b{j}")})
+            assert not is_certain_brute_force(grounded, db)
+
+
+class TestExample32:
+    """Example 3.2: guardedness boundary cases."""
+
+    def test_first_query_not_weakly_guarded(self):
+        assert not q4().has_weakly_guarded_negation
+
+    def test_second_query_weakly_guarded_not_guarded(self):
+        q = q_example32_weakly_guarded_not_guarded()
+        assert q.has_weakly_guarded_negation
+        assert not q.has_guarded_negation

@@ -1,0 +1,146 @@
+"""Tests for the query text parser."""
+
+import pytest
+
+from repro.core.parser import ParseError, parse_atom, parse_query, query_to_text
+from repro.core.terms import Constant, Variable
+from repro.workloads.queries import poll_q2, poll_qa, q1, q2, q3, q_hall
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestParseAtom:
+    def test_simple_key(self):
+        a = parse_atom("R(x | y)")
+        assert a.relation == "R"
+        assert a.key_terms == (x,)
+        assert a.value_terms == (y,)
+
+    def test_all_key_without_bar(self):
+        a = parse_atom("R(x, y)")
+        assert a.is_all_key
+
+    def test_all_key_with_trailing_bar(self):
+        a = parse_atom("R(x, y |)")
+        assert a.is_all_key
+
+    def test_composite_key(self):
+        a = parse_atom("R(x, y | x)")
+        assert a.schema.key_size == 2
+        assert a.schema.arity == 3
+
+    def test_string_constants(self):
+        a = parse_atom("N('c' | y)")
+        assert a.key_terms == (Constant("c"),)
+
+    def test_double_quoted_constants(self):
+        a = parse_atom('N("hello world" | y)')
+        assert a.key_terms == (Constant("hello world"),)
+
+    def test_escaped_quote(self):
+        a = parse_atom(r"N('it\'s' | y)")
+        assert a.key_terms == (Constant("it's"),)
+
+    def test_integer_constants(self):
+        a = parse_atom("R(42 | y)")
+        assert a.key_terms == (Constant(42),)
+
+    def test_negative_integer(self):
+        a = parse_atom("R(-7 | y)")
+        assert a.key_terms == (Constant(-7),)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(| y)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x | y) extra")
+
+
+class TestParseQuery:
+    def test_q1(self):
+        assert parse_query("R(x | y), not S(y | x)") == q1()
+
+    def test_q2_with_all_key_positive(self):
+        assert parse_query("R(x, y), not S(x | y), not T(y | x)") == q2()
+
+    def test_q3_with_constant(self):
+        assert parse_query("P(x | y), not N('c' | y)") == q3()
+
+    def test_bang_negation(self):
+        assert parse_query("R(x | y), !S(y | x)") == q1()
+
+    def test_unicode_negation(self):
+        assert parse_query("R(x | y), ¬S(y | x)") == q1()
+
+    def test_poll_queries(self):
+        assert parse_query(
+            "Likes(p, t), not Lives(p | t), not Mayor(t | p)") == poll_q2()
+        assert parse_query(
+            "Lives(p | t), not Born(p | t), not Likes(p, t)") == poll_qa()
+
+    def test_unsafe_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x | x), not N(x | y)")
+
+    def test_self_join_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x | y), R(y | x)")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x | y) @ S(y | x)")
+
+    def test_missing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x | y) S(y | x)")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("make", [q1, q2, q3, poll_qa, poll_q2,
+                                      lambda: q_hall(3)])
+    def test_query_to_text_roundtrips(self, make):
+        q = make()
+        assert parse_query(query_to_text(q)) == q
+
+    def test_text_uses_not_keyword(self):
+        assert "not " in query_to_text(q1())
+
+
+class TestDisequalities:
+    def test_single_pair(self):
+        from repro.core.query import Diseq
+
+        q = parse_query("R(x | y), y != 0")
+        assert q.diseqs == (Diseq([(y, Constant(0))]),)
+
+    def test_tuple_form(self):
+        q = parse_query("R(x | y, z), (y, z) != ('a', 'b')")
+        assert len(q.diseqs) == 1
+        assert len(q.diseqs[0].pairs) == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x | y, z), (y, z) != ('a',)")
+
+    def test_unsafe_diseq_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(x | y), zz != 0")
+
+    def test_diseq_roundtrip(self):
+        for text in ("R(x | y), y != 0",
+                     "R(x | y, z), (y, z) != ('a', 'b')"):
+            q = parse_query(text)
+            assert parse_query(query_to_text(q)) == q
+
+    def test_diseq_query_solvable_end_to_end(self):
+        from repro.cqa.engine import CertaintyEngine
+        from conftest import db_from
+
+        q = parse_query("R(x | y), y != 0")
+        engine = CertaintyEngine(q)
+        db = db_from({"R/2/1": [(1, 0), (1, 5)]})
+        assert not engine.certain(db, "sql")
+        db2 = db_from({"R/2/1": [(1, 5)]})
+        assert engine.certain(db2, "sql")

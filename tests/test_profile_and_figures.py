@@ -1,0 +1,129 @@
+"""Tests for database profiling, ASCII figures, and adversarial
+workloads."""
+
+import math
+
+import pytest
+
+from repro.db.profile import profile_database, profile_relation
+from repro.experiments.figures import bar_chart, growth_series, timing_chart
+from repro.matching.hopcroft_karp import has_perfect_matching
+from repro.workloads.adversarial import (
+    hall_critical_instance,
+    long_augmenting_path_graph,
+    max_repair_database,
+    repair_count_upper_bound,
+)
+
+from conftest import db_from
+
+
+class TestProfile:
+    def test_relation_profile(self):
+        db = db_from({"R/2/1": [(1, "a"), (1, "b"), (2, "a")]})
+        p = profile_relation(db, "R")
+        assert p.facts == 3
+        assert p.blocks == 2
+        assert p.inconsistent_blocks == 1
+        assert p.max_block_size == 2
+        assert p.repair_choices == 2
+        assert p.inconsistency_ratio == 0.5
+
+    def test_empty_relation(self):
+        db = db_from({"R/2/1": []})
+        p = profile_relation(db, "R")
+        assert p.blocks == 0
+        assert p.inconsistency_ratio == 0.0
+        assert p.repair_choices == 1
+
+    def test_database_profile_totals(self):
+        db = db_from({"R/2/1": [(1, "a"), (1, "b")],
+                      "S/2/1": [(1, 1), (1, 2), (2, 1)]})
+        p = profile_database(db)
+        assert p.facts == 5
+        assert p.repair_count == 4 == db.repair_count()
+        assert not p.is_consistent
+        assert math.isclose(p.log10_repairs, math.log10(4))
+
+    def test_worst_relations_order(self):
+        db = db_from({"Clean/2/1": [(1, "a"), (2, "b")],
+                      "Dirty/2/1": [(1, "a"), (1, "b")]})
+        worst = profile_database(db).worst_relations(top=1)
+        assert worst[0].relation == "Dirty"
+
+    def test_render(self):
+        db = db_from({"R/2/1": [(1, "a"), (1, "b")]})
+        text = profile_database(db).render()
+        assert "relation" in text
+        assert "R" in text
+        assert "consistent=False" in text
+
+
+class TestFigures:
+    def test_bar_lengths_monotone(self):
+        chart = bar_chart("t", [("a", 1.0), ("b", 2.0), ("c", 4.0)], width=20)
+        lines = chart.splitlines()[2:]
+        lengths = [line.count("#") for line in lines]
+        assert lengths == sorted(lengths)
+        assert lengths[-1] == 20
+
+    def test_log_scale_compresses(self):
+        chart = timing_chart("t", [("fast", 1e-5), ("slow", 1.0)], width=30)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("#") < lines[1].count("#")
+        assert "log scale" in chart
+
+    def test_zero_and_negative_render_empty(self):
+        chart = bar_chart("t", [("none", 0.0), ("some", 5.0)])
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert lines[0].count("#") == 0
+
+    def test_empty_rows(self):
+        assert "(no data)" in bar_chart("t", [])
+
+    def test_growth_series(self):
+        assert math.isclose(growth_series([1, 2, 4, 8]), 2.0)
+        assert growth_series([5]) is None
+        assert growth_series([0, 0]) is None
+
+
+class TestAdversarial:
+    def test_hall_critical_solvable(self):
+        inst = hall_critical_instance(5)
+        assert inst.solvable
+
+    def test_hall_critical_tight(self):
+        """Dropping any element from its singleton-introducing set
+        breaks solvability."""
+        n = 4
+        inst = hall_critical_instance(n)
+        # Remove e_1 from T_1 (its only early appearance): unsolvable.
+        subsets = [list(t) for t in inst.subsets]
+        subsets[0] = []
+        from repro.matching.hall import SCoveringInstance
+
+        broken = SCoveringInstance(inst.elements, subsets)
+        assert not broken.solvable
+
+    def test_long_augmenting_path_has_unique_pm(self):
+        g = long_augmenting_path_graph(6)
+        assert has_perfect_matching(g)
+
+    def test_max_repair_database_attains_bound(self):
+        for budget in (1, 2, 3, 4, 5, 6, 7, 10, 11):
+            db = max_repair_database(budget)
+            assert db.size() == budget
+            assert db.repair_count() == repair_count_upper_bound(budget), budget
+
+    def test_bound_beats_naive_splits(self):
+        # All blocks of size 2 gives 2^(n/2) < 3^(n/3) for large n.
+        assert repair_count_upper_bound(12) == 3 ** 4
+        assert repair_count_upper_bound(12) > 2 ** 6
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            hall_critical_instance(0)
+        with pytest.raises(ValueError):
+            long_augmenting_path_graph(0)
+        with pytest.raises(ValueError):
+            max_repair_database(0)

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central property is Theorem 4.3(2) made executable: for every
+acyclic weakly-guarded query and every database, all four certainty
+strategies agree with brute-force repair enumeration.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.atoms import RelationSchema, atom
+from repro.core.classify import classify
+from repro.core.fds import FD, closure
+from repro.core.query import Query
+from repro.core.terms import Constant, Variable
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.engine import CertaintyEngine
+from repro.db.database import Database
+from repro.db.repairs import count_repairs, is_repair_of, iter_repairs
+from repro.matching.bpm_certainty import is_certain_q1
+from repro.reductions.q4 import is_certain_q4
+from repro.workloads.queries import poll_qa, q1, q3, q4, q_example611, q_hall
+
+# ----------------------------------------------------------------------
+# database strategies
+# ----------------------------------------------------------------------
+
+values = st.integers(min_value=0, max_value=2)
+
+
+def db_strategy(schemas, max_facts=4, extra_values=()):
+    """Random small databases over fixed schemas."""
+    pool = st.one_of(values, *[st.just(v) for v in extra_values]) \
+        if extra_values else values
+
+    def build(fact_lists):
+        db = Database(schemas)
+        for schema, rows in zip(schemas, fact_lists):
+            for row in rows:
+                db.add(schema.name, row)
+        return db
+
+    fact_lists = st.tuples(*[
+        st.lists(st.tuples(*[pool] * s.arity), max_size=max_facts)
+        for s in schemas
+    ])
+    return fact_lists.map(build)
+
+
+# ----------------------------------------------------------------------
+# repair invariants
+# ----------------------------------------------------------------------
+
+
+@given(db_strategy([RelationSchema("R", 2, 1), RelationSchema("S", 2, 2)]))
+@settings(max_examples=60, deadline=None)
+def test_repair_count_is_product_of_block_sizes(db):
+    repairs = list(iter_repairs(db))
+    assert len(repairs) == count_repairs(db)
+
+
+@given(db_strategy([RelationSchema("R", 2, 1)]))
+@settings(max_examples=60, deadline=None)
+def test_every_enumerated_repair_is_a_repair(db):
+    for r in iter_repairs(db):
+        assert is_repair_of(r, db)
+
+
+@given(db_strategy([RelationSchema("R", 2, 1)]))
+@settings(max_examples=60, deadline=None)
+def test_repairs_pairwise_distinct(db):
+    repairs = list(iter_repairs(db))
+    assert len({hash(r) for r in repairs}) == len(repairs)
+
+
+# ----------------------------------------------------------------------
+# FD closure invariants
+# ----------------------------------------------------------------------
+
+var_names = st.sampled_from("xyzuv")
+var_sets = st.frozensets(var_names.map(Variable), max_size=4)
+fds = st.lists(st.tuples(var_sets, var_sets).map(lambda p: FD(*p)), max_size=5)
+
+
+@given(var_sets, fds)
+@settings(max_examples=80, deadline=None)
+def test_closure_is_extensive_and_idempotent(attrs, deps):
+    closed = closure(attrs, deps)
+    assert attrs <= closed
+    assert closure(closed, deps) == closed
+
+
+@given(var_sets, var_sets, fds)
+@settings(max_examples=80, deadline=None)
+def test_closure_is_monotone(a, b, deps):
+    assert closure(a, deps) <= closure(a | b, deps)
+
+
+# ----------------------------------------------------------------------
+# the dichotomy, executable
+# ----------------------------------------------------------------------
+
+
+def _solver_agreement(query, db):
+    engine = CertaintyEngine(query)
+    brute = is_certain_brute_force(query, db)
+    assert engine.certain(db, "interpreted") == brute
+    assert engine.certain(db, "rewriting") == brute
+    assert engine.certain(db, "sql") == brute
+
+
+@given(db_strategy([RelationSchema("P", 2, 1), RelationSchema("N", 2, 1)],
+                   extra_values=("c",)))
+@settings(max_examples=50, deadline=None)
+def test_theorem43_sufficiency_q3(db):
+    _solver_agreement(q3(), db)
+
+
+@given(db_strategy([RelationSchema("S", 1, 1), RelationSchema("N1", 2, 1),
+                    RelationSchema("N2", 2, 1)], extra_values=("c",)))
+@settings(max_examples=50, deadline=None)
+def test_theorem43_sufficiency_q_hall(db):
+    _solver_agreement(q_hall(2), db)
+
+
+@given(db_strategy([RelationSchema("P", 1, 1), RelationSchema("N", 4, 1)],
+                   extra_values=("c", "a"), max_facts=3))
+@settings(max_examples=40, deadline=None)
+def test_theorem43_sufficiency_example611(db):
+    _solver_agreement(q_example611(), db)
+
+
+@given(db_strategy([RelationSchema("Lives", 2, 1),
+                    RelationSchema("Born", 2, 1),
+                    RelationSchema("Likes", 2, 2)], max_facts=3))
+@settings(max_examples=40, deadline=None)
+def test_theorem43_sufficiency_poll_qa(db):
+    _solver_agreement(poll_qa(), db)
+
+
+# ----------------------------------------------------------------------
+# the polynomial special-case solvers
+# ----------------------------------------------------------------------
+
+
+@given(db_strategy([RelationSchema("R", 2, 1), RelationSchema("S", 2, 1)]))
+@settings(max_examples=60, deadline=None)
+def test_q1_matching_solver_agrees_with_brute_force(db):
+    assert is_certain_q1(db) == is_certain_brute_force(q1(), db)
+
+
+@given(db_strategy([RelationSchema("X", 1, 1), RelationSchema("Y", 1, 1),
+                    RelationSchema("R", 2, 1), RelationSchema("S", 2, 1)]))
+@settings(max_examples=60, deadline=None)
+def test_q4_combinatorial_solver_agrees_with_brute_force(db):
+    assert is_certain_q4(db) == is_certain_brute_force(q4(), db)
+
+
+# ----------------------------------------------------------------------
+# classification invariants
+# ----------------------------------------------------------------------
+
+arities = st.tuples(st.integers(1, 3), st.integers(1, 3)).map(
+    lambda t: (max(t), min(t)))
+
+
+@st.composite
+def queries(draw):
+    """Random safe self-join-free queries (possibly unguarded)."""
+    variables = [Variable(n) for n in "xyz"]
+    n_pos = draw(st.integers(1, 2))
+    n_neg = draw(st.integers(0, 2))
+    positives = []
+    for i in range(n_pos):
+        arity, key = draw(arities)
+        terms = [draw(st.sampled_from(variables)) for _ in range(arity)]
+        positives.append(atom(f"P{i}", terms[:key], terms[key:]))
+    pos_vars = sorted(set().union(*(a.vars for a in positives)))
+    negatives = []
+    for i in range(n_neg):
+        arity, key = draw(arities)
+        terms = [draw(st.sampled_from(pos_vars)) for _ in range(arity)]
+        negatives.append(atom(f"N{i}", terms[:key], terms[key:]))
+    return Query(positives, negatives)
+
+
+@given(queries())
+@settings(max_examples=100, deadline=None)
+def test_classifier_total_and_consistent(query):
+    c = classify(query)
+    if c.weakly_guarded:
+        assert c.in_fo == c.acyclic
+    if not c.acyclic and c.two_cycle is not None:
+        f, g = c.two_cycle
+        from repro.core.attack_graph import attacks_atom
+
+        assert attacks_atom(query, f, g)
+        assert attacks_atom(query, g, f)
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_substitution_preserves_safety_and_shrinks_attacks(query):
+    """Lemma 6.10 as a property."""
+    if not query.vars:
+        return
+    v = sorted(query.vars)[0]
+    sub = query.substitute({v: Constant("k")})
+    assert sub.is_safe or not query.is_safe
+    from repro.core.attack_graph import AttackGraph
+
+    before = {(f.relation, g.relation) for f, g in AttackGraph(query).edges}
+    after = {(f.relation, g.relation) for f, g in AttackGraph(sub).edges}
+    assert after <= before

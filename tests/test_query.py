@@ -1,0 +1,186 @@
+"""Unit tests for repro.core.query (sjfBCQ¬ and sjfBCQ¬≠)."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.query import Diseq, Query, QueryError
+from repro.core.terms import Constant, Variable
+from repro.workloads.queries import (
+    q1,
+    q2,
+    q3,
+    q4,
+    q_example32_weakly_guarded_not_guarded,
+    q_hall,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestConstruction:
+    def test_self_join_rejected(self):
+        with pytest.raises(QueryError):
+            Query([atom("R", [x], [y]), atom("R", [y], [x])])
+
+    def test_self_join_across_polarities_rejected(self):
+        with pytest.raises(QueryError):
+            Query([atom("R", [x], [y])], [atom("R", [y], [x])])
+
+    def test_safety_violation_rejected(self):
+        # y occurs negated but not positively.
+        with pytest.raises(QueryError):
+            Query([atom("R", [x])], [atom("N", [x], [y])])
+
+    def test_safe_query_accepted(self):
+        q = Query([atom("R", [x], [y])], [atom("N", [y], [x])])
+        assert q.is_safe
+
+    def test_diseq_safety_checked(self):
+        d = Diseq([(z, Constant(1))])
+        with pytest.raises(QueryError):
+            Query([atom("R", [x], [y])], [], [d])
+
+    def test_empty_query_allowed(self):
+        q = Query()
+        assert q.vars == frozenset()
+        assert q.all_atoms_all_key
+
+    def test_atoms_order(self):
+        q = q1()
+        assert [a.relation for a in q.atoms] == ["R", "S"]
+
+
+class TestViews:
+    def test_vars(self):
+        assert q1().vars == {x, y}
+
+    def test_positive_vars(self):
+        q = q3()
+        assert q.positive_vars == {x, y}
+
+    def test_relations(self):
+        assert q2().relations == ("R", "S", "T")
+
+    def test_atom_for(self):
+        assert q1().atom_for("S").relation == "S"
+
+    def test_atom_for_missing(self):
+        with pytest.raises(KeyError):
+            q1().atom_for("Z")
+
+    def test_is_positive_negative(self):
+        q = q1()
+        assert q.is_positive(q.atom_for("R"))
+        assert q.is_negative(q.atom_for("S"))
+
+    def test_non_all_key_count(self):
+        assert q1().non_all_key_count == 2
+        assert q2().non_all_key_count == 2  # R is all-key
+
+    def test_all_atoms_all_key(self):
+        q = Query([atom("R", [x, y])])
+        assert q.all_atoms_all_key
+        assert not q1().all_atoms_all_key
+
+
+class TestGuardedness:
+    def test_q4_not_weakly_guarded(self):
+        assert not q4().has_weakly_guarded_negation
+
+    def test_q1_guarded(self):
+        # vars(S) = {x,y} ⊆ vars(R).
+        assert q1().has_guarded_negation
+        assert q1().has_weakly_guarded_negation
+
+    def test_example32_weakly_guarded_not_guarded(self):
+        q = q_example32_weakly_guarded_not_guarded()
+        assert q.has_weakly_guarded_negation
+        assert not q.has_guarded_negation
+
+    def test_guarded_implies_weakly_guarded(self):
+        for q in (q1(), q2(), q3(), q_hall(3)):
+            if q.has_guarded_negation:
+                assert q.has_weakly_guarded_negation
+
+    def test_diseq_weak_guardedness(self):
+        # x and y never co-occur positively: diseq (x,y) breaks WG.
+        d = Diseq([(x, Constant(1)), (y, Constant(2))])
+        q = Query([atom("R", [x]), atom("S", [y])], [], [d], check_safety=False)
+        assert not q.has_weakly_guarded_negation
+        q2_ = Query([atom("R", [x], [y])], [], [d], check_safety=False)
+        assert q2_.has_weakly_guarded_negation
+
+
+class TestSubstitution:
+    def test_substitute_everywhere(self):
+        q = q1().substitute({x: Constant(7)})
+        assert x not in q.vars
+        assert q.atom_for("R").key_terms == (Constant(7),)
+        assert q.atom_for("S").value_terms == (Constant(7),)
+
+    def test_substitute_diseqs(self):
+        d = Diseq([(x, Constant(1))])
+        q = Query([atom("R", [x], [y])], [], [d]).substitute({x: Constant(1)})
+        assert q.diseqs[0].pairs == ((Constant(1), Constant(1)),)
+
+    def test_without_positive(self):
+        q = q1()
+        r = q.without(q.atom_for("R"))
+        assert r.positives == ()
+        assert len(r.negatives) == 1
+
+    def test_without_negative(self):
+        q = q1()
+        r = q.without(q.atom_for("S"))
+        assert r.negatives == ()
+
+    def test_with_diseq(self):
+        d = Diseq([(x, Constant(1))])
+        q = q1().with_diseq(d)
+        assert d in q.diseqs
+
+    def test_without_diseq(self):
+        d = Diseq([(x, Constant(1))])
+        q = q1().with_diseq(d).without_diseq(d)
+        assert q.diseqs == ()
+
+
+class TestDiseq:
+    def test_needs_pairs(self):
+        with pytest.raises(QueryError):
+            Diseq([])
+
+    def test_vars(self):
+        d = Diseq([(x, Constant(1)), (Constant(2), y)])
+        assert d.vars == {x, y}
+
+    def test_ground_value_true(self):
+        assert Diseq([(Constant(1), Constant(2))]).ground_value()
+
+    def test_ground_value_false(self):
+        d = Diseq([(Constant(1), Constant(1)), (Constant("a"), Constant("a"))])
+        assert not d.ground_value()
+
+    def test_ground_value_requires_ground(self):
+        with pytest.raises(QueryError):
+            Diseq([(x, Constant(1))]).ground_value()
+
+    def test_substitute(self):
+        d = Diseq([(x, y)]).substitute({x: Constant(1)})
+        assert d.pairs == ((Constant(1), y),)
+
+    def test_equality(self):
+        assert Diseq([(x, y)]) == Diseq([(x, y)])
+        assert Diseq([(x, y)]) != Diseq([(y, x)])
+
+
+class TestEqualityAndRepr:
+    def test_query_equality(self):
+        assert q1() == q1()
+        assert q1() != q2()
+
+    def test_query_hashable(self):
+        assert len({q1(), q1(), q2()}) == 2
+
+    def test_repr_mentions_negation(self):
+        assert "~" in repr(q1())

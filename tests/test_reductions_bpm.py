@@ -1,0 +1,72 @@
+"""Tests for the BPM reduction (Lemma 5.2)."""
+
+from repro.cqa.brute_force import find_falsifying_repair, is_certain_brute_force
+from repro.matching.hopcroft_karp import BipartiteGraph, has_perfect_matching, is_matching
+from repro.reductions.bpm import (
+    bpm_to_database,
+    matching_from_repair,
+    repair_from_matching,
+)
+from repro.workloads.bipartite import (
+    bipartite_with_perfect_matching,
+    figure_1_graph,
+    random_bipartite,
+)
+from repro.workloads.queries import q1
+
+
+class TestReduction:
+    def test_database_shape(self):
+        g = BipartiteGraph(edges=[("g", "b")])
+        db = bpm_to_database(g)
+        assert db.contains("R", ("g", "b"))
+        assert db.contains("S", ("b", "g"))
+        assert db.size() == 2
+
+    def test_equivalence_on_left_covered_graphs(self, rng):
+        """PM exists iff some repair falsifies q1, when no left vertex
+        is isolated (the reduction's implicit premise)."""
+        query = q1()
+        checked = 0
+        for _ in range(40):
+            g = random_bipartite(rng.randint(1, 4), 0.7, rng)
+            if any(not g.neighbours(u) for u in g.left):
+                continue
+            checked += 1
+            db = bpm_to_database(g)
+            certain = is_certain_brute_force(query, db)
+            assert certain == (not has_perfect_matching(g))
+        assert checked >= 10
+
+    def test_figure1(self):
+        db = bpm_to_database(figure_1_graph())
+        assert not is_certain_brute_force(q1(), db)
+
+
+class TestWitnessExtraction:
+    def test_matching_from_repair_is_valid(self, rng):
+        query = q1()
+        for _ in range(10):
+            g = bipartite_with_perfect_matching(rng.randint(2, 4), 0.3, rng)
+            db = bpm_to_database(g)
+            repair = find_falsifying_repair(query, db)
+            assert repair is not None
+            m = matching_from_repair(repair.restrict(["R", "S"]))
+            assert is_matching(g, m)
+            assert set(m) == g.left
+
+    def test_repair_from_matching_falsifies(self, rng):
+        from repro.db.satisfaction import satisfies
+
+        for _ in range(10):
+            g = bipartite_with_perfect_matching(rng.randint(2, 4), 0.3, rng)
+            m = maximum = __import__(
+                "repro.matching.hopcroft_karp",
+                fromlist=["maximum_matching"]).maximum_matching(g)
+            repair = repair_from_matching(g, m)
+            assert repair is not None
+            assert not satisfies(repair, q1())
+
+    def test_repair_from_partial_matching_rejected(self):
+        g = BipartiteGraph(edges=[(1, "a"), (2, "b")])
+        assert repair_from_matching(g, {1: "a"}) is None

@@ -1,0 +1,265 @@
+"""Tests for the remaining reductions: S-COVERING (Ex 1.2), Lemma 5.4,
+Lemma 6.6, the Θ gadgets (Lemmas 5.6/5.7), q4 (Ex 7.1), and the
+non-reifiability gadget (Prop 7.2)."""
+
+import pytest
+
+from repro.core.query import Diseq, Query, QueryError
+from repro.core.terms import Constant, Variable
+from repro.cqa.brute_force import (
+    find_falsifying_repair,
+    is_certain_brute_force,
+)
+from repro.matching.hall import SCoveringInstance
+from repro.reductions.diseq import eliminate_all_diseqs, eliminate_diseq
+from repro.reductions.drop_negated import check_applicable, reduce_database
+from repro.reductions.gadgets import (
+    BOT,
+    TwoCycleGadget,
+    pair,
+    reduce_lemma_5_6,
+    reduce_lemma_5_7,
+)
+from repro.reductions.q4 import is_certain_q4
+from repro.reductions.reify_gadget import build_gadget
+from repro.reductions.scovering import (
+    covering_from_repair,
+    query_for,
+    scovering_to_database,
+)
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import (
+    poll_q1,
+    poll_q2,
+    q1,
+    q2,
+    q3,
+    q4,
+    q_hall,
+)
+
+from conftest import db_from
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestSCoveringReduction:
+    def test_database_shape(self):
+        inst = SCoveringInstance(["a", "b"], [["a"], ["a", "b"]])
+        db = scovering_to_database(inst)
+        assert db.contains("S", ("a",))
+        assert db.contains("N1", ("c", "a"))
+        assert db.contains("N2", ("c", "b"))
+        assert not db.contains("N1", ("c", "b"))
+
+    def test_equivalence(self, rng):
+        for _ in range(25):
+            n = rng.randint(1, 3)
+            l = rng.randint(0, 3)
+            elements = list(range(n))
+            subsets = [[e for e in elements if rng.random() < 0.5]
+                       for _ in range(l)]
+            inst = SCoveringInstance(elements, subsets)
+            db = scovering_to_database(inst)
+            certain = is_certain_brute_force(query_for(inst), db)
+            assert certain == (not inst.solvable)
+
+    def test_covering_extraction(self):
+        inst = SCoveringInstance(["a", "b"], [["a", "b"], ["a", "b"]])
+        db = scovering_to_database(inst)
+        repair = find_falsifying_repair(query_for(inst), db)
+        assert repair is not None
+        covering = covering_from_repair(inst, repair)
+        assert covering is not None
+        assert set(covering) == {"a", "b"}
+        assert len(set(covering.values())) == 2
+
+
+class TestLemma54:
+    def test_hypothesis_checked(self):
+        with pytest.raises(ValueError):
+            check_applicable(q3(), q_hall(2))
+
+    def test_reduction_empties_added_relations(self):
+        sub, full = q_hall(1), q_hall(2)
+        db = db_from({"S/1/1": [("a",)], "N1/2/1": [("c", "a")],
+                      "N2/2/1": [("c", "zzz")]})
+        out = reduce_database(sub, full, db)
+        assert out.facts("N2") == frozenset()
+        assert out.facts("N1") == {("c", "a")}
+
+    def test_certainty_preserved(self, rng):
+        sub, full = q_hall(1), q_hall(3)
+        for _ in range(20):
+            db = random_small_database(sub, rng, domain_size=3)
+            out = reduce_database(sub, full, db)
+            assert is_certain_brute_force(sub, db) == \
+                is_certain_brute_force(full, out)
+
+
+class TestLemma66Diseq:
+    def test_eliminate_one(self):
+        d = Diseq([(y, Constant(9))])
+        q = q3().with_diseq(d)
+        db = db_from({"P/2/1": [(1, 2)], "N/2/1": []})
+        new_q, new_db = eliminate_diseq(q, d, db)
+        assert not new_q.diseqs
+        assert len(new_q.negatives) == 2
+        e_atom = [a for a in new_q.negatives if a.relation.startswith("E")][0]
+        assert e_atom.is_all_key
+        assert new_db.contains(e_atom.relation, (9,))
+
+    def test_certainty_preserved(self, rng):
+        d = Diseq([(y, Constant(1))])
+        q = q3().with_diseq(d)
+        for _ in range(20):
+            db = random_small_database(q3(), rng, domain_size=3)
+            new_q, new_db = eliminate_all_diseqs(q, db)
+            assert is_certain_brute_force(q, db) == \
+                is_certain_brute_force(new_q, new_db)
+
+    def test_variable_vs_variable_rejected(self):
+        d = Diseq([(x, y)])
+        q = Query([__import__("repro.core.atoms", fromlist=["atom"]).atom(
+            "R", [x], [y])], [], [d])
+        with pytest.raises(QueryError):
+            eliminate_diseq(q, d, db_from({}))
+
+    def test_foreign_diseq_rejected(self):
+        d = Diseq([(y, Constant(1))])
+        with pytest.raises(QueryError):
+            eliminate_diseq(q3(), d, db_from({}))
+
+
+class TestThetaGadgets:
+    def test_requires_two_cycle(self):
+        q = q3()
+        with pytest.raises(ValueError):
+            TwoCycleGadget(q, q.atom_for("P"), q.atom_for("N"))
+
+    def test_theta_values(self):
+        q = q1()
+        g = TwoCycleGadget(q, q.atom_for("R"), q.atom_for("S"))
+        theta = g.theta("a", "b")
+        values = set(theta.values())
+        assert values <= {"a", "b", pair("a", "b"), BOT}
+
+    def test_lemma56_preserves_certainty(self, rng):
+        source = q1()
+        target = poll_q1()
+        f, g = target.atom_for("Mayor"), target.atom_for("Lives")
+        for _ in range(20):
+            db = random_small_database(source, rng, domain_size=3)
+            _, out = reduce_lemma_5_6(target, f, g, db)
+            assert is_certain_brute_force(source, db) == \
+                is_certain_brute_force(target, out)
+
+    def test_lemma56_polarity_checked(self):
+        q = q1()
+        with pytest.raises(ValueError):
+            reduce_lemma_5_6(q, q.atom_for("S"), q.atom_for("R"), db_from({}))
+
+    def test_lemma57_preserves_certainty(self, rng):
+        source = q2()
+        target = poll_q2()
+        f, g = target.atom_for("Lives"), target.atom_for("Mayor")
+        for _ in range(20):
+            db = random_small_database(source, rng, domain_size=3)
+            _, out = reduce_lemma_5_7(target, f, g, db)
+            assert is_certain_brute_force(source, db) == \
+                is_certain_brute_force(target, out)
+
+    def test_lemma57_polarity_checked(self):
+        q = poll_q2()
+        with pytest.raises(ValueError):
+            reduce_lemma_5_7(q, q.atom_for("Likes"), q.atom_for("Mayor"),
+                             db_from({}))
+
+
+class TestQ4Solver:
+    def test_counting_region(self):
+        db = db_from({"X/1/1": [(i,) for i in range(3)],
+                      "Y/1/1": [(j,) for j in range(3)],
+                      "R/2/1": [], "S/2/1": []})
+        assert is_certain_q4(db)  # 9 > 6
+
+    def test_empty_side(self):
+        db = db_from({"X/1/1": [], "Y/1/1": [(1,)], "R/2/1": [], "S/2/1": []})
+        assert not is_certain_q4(db)
+
+    def test_m1_coverable(self):
+        db = db_from({"X/1/1": [("a",)], "Y/1/1": [("b1",), ("b2",)],
+                      "R/2/1": [], "S/2/1": [("b1", "a"), ("b2", "a")]})
+        assert not is_certain_q4(db)
+
+    def test_m1_uncoverable(self):
+        db = db_from({"X/1/1": [("a",)], "Y/1/1": [("b1",), ("b2",)],
+                      "R/2/1": [], "S/2/1": [("b1", "a")]})
+        assert is_certain_q4(db)
+
+    def test_m1_r_pick_covers_last(self):
+        db = db_from({"X/1/1": [("a",)], "Y/1/1": [("b1",), ("b2",)],
+                      "R/2/1": [("a", "b2")], "S/2/1": [("b1", "a")]})
+        assert not is_certain_q4(db)
+
+    def test_2x2_cross_configuration(self):
+        db = db_from({
+            "X/1/1": [("a1",), ("a2",)],
+            "Y/1/1": [("b1",), ("b2",)],
+            "R/2/1": [("a1", "b1"), ("a2", "b2")],
+            "S/2/1": [("b1", "a2"), ("b2", "a1")],
+        })
+        assert not is_certain_q4(db)
+
+    def test_2x2_without_cross(self):
+        db = db_from({
+            "X/1/1": [("a1",), ("a2",)],
+            "Y/1/1": [("b1",), ("b2",)],
+            "R/2/1": [("a1", "b1"), ("a2", "b1")],
+            "S/2/1": [("b1", "a2"), ("b2", "a1")],
+        })
+        assert is_certain_q4(db)
+
+    def test_matches_brute_force(self, rng):
+        query = q4()
+        for _ in range(80):
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=4)
+            assert is_certain_q4(db) == is_certain_brute_force(query, db), \
+                repr(db)
+
+
+class TestProposition72Gadget:
+    @pytest.mark.parametrize("make,f_name,var_name", [
+        (q1, "R", "y"), (q1, "S", "x"),
+        (q2, "S", "y"), (q2, "T", "x"),
+        (q3, "N", "x"), (q3, "N", "y"),
+    ])
+    def test_gadget_exhibits_non_reifiability(self, make, f_name, var_name):
+        query = make()
+        var = Variable(var_name)
+        gadget = build_gadget(query, query.atom_for(f_name), var)
+        assert gadget.db.repair_count() == 2
+        assert is_certain_brute_force(query, gadget.db)
+        for c in (gadget.constant_a, gadget.constant_b):
+            grounded = query.substitute({var: Constant(c)})
+            assert not is_certain_brute_force(grounded, gadget.db)
+
+    def test_repairs_are_the_two_claimed(self):
+        query = q1()
+        gadget = build_gadget(query, query.atom_for("R"), Variable("y"))
+        from repro.db.repairs import is_repair_of
+
+        assert is_repair_of(gadget.repair_a, gadget.db)
+        assert is_repair_of(gadget.repair_b, gadget.db)
+        assert gadget.repair_a != gadget.repair_b
+
+    def test_unattacked_variable_rejected(self):
+        query = q3()
+        with pytest.raises(ValueError):
+            build_gadget(query, query.atom_for("P"), Variable("x"))
+
+    def test_distinct_constants_required(self):
+        query = q1()
+        with pytest.raises(ValueError):
+            build_gadget(query, query.atom_for("R"), Variable("y"), "a", "a")

@@ -1,0 +1,113 @@
+"""Tests for the UFA substrate and reduction (Lemma 5.3)."""
+
+import pytest
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.reductions.ufa import (
+    DisjointSets,
+    Forest,
+    edge_constant,
+    two_component_forest,
+    ufa_to_database,
+)
+from repro.workloads.forests import random_two_component_forest, ufa_instance
+from repro.workloads.queries import q2
+
+
+class TestDisjointSets:
+    def test_singletons_disconnected(self):
+        d = DisjointSets()
+        d.add(1)
+        d.add(2)
+        assert not d.connected(1, 2)
+
+    def test_union_connects(self):
+        d = DisjointSets()
+        d.union(1, 2)
+        d.union(2, 3)
+        assert d.connected(1, 3)
+
+    def test_union_returns_false_on_same_class(self):
+        d = DisjointSets()
+        assert d.union(1, 2)
+        assert not d.union(2, 1)
+
+    def test_component_count(self):
+        d = DisjointSets()
+        d.union(1, 2)
+        d.add(3)
+        assert d.component_count() == 2
+
+    def test_transitive_chain(self):
+        d = DisjointSets()
+        for i in range(50):
+            d.union(i, i + 1)
+        assert d.connected(0, 50)
+
+
+class TestForest:
+    def test_cycle_rejected(self):
+        f = Forest()
+        f.add_edge(1, 2)
+        f.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            f.add_edge(3, 1)
+
+    def test_connectivity(self):
+        f = Forest()
+        f.add_edge(1, 2)
+        f.add_edge(3, 4)
+        assert f.connected(1, 2)
+        assert not f.connected(1, 3)
+
+    def test_unknown_vertex_disconnected(self):
+        f = Forest()
+        f.add_edge(1, 2)
+        assert not f.connected(1, 99)
+
+    def test_two_component_builder(self):
+        f = two_component_forest([(1, 2), (3, 4)])
+        assert f.component_count() == 2
+        with pytest.raises(ValueError):
+            two_component_forest([(1, 2)])
+
+
+class TestEdgeConstant:
+    def test_order_insensitive(self):
+        assert edge_constant("a", "b") == edge_constant("b", "a")
+
+    def test_distinct_edges_distinct(self):
+        assert edge_constant("a", "b") != edge_constant("a", "c")
+
+
+class TestReduction:
+    def test_distinct_endpoints_required(self):
+        f = Forest()
+        f.add_edge(1, 2)
+        with pytest.raises(ValueError):
+            ufa_to_database(f, 1, 1)
+
+    def test_database_shape(self):
+        f = Forest()
+        f.add_edge("a", "b")
+        db = ufa_to_database(f, "a", "b")
+        e = edge_constant("a", "b")
+        assert db.contains("R", ("a", e))
+        assert db.contains("S", ("b", e))
+        assert db.contains("T", (e, "a"))
+        assert db.schemas["R"].is_all_key
+
+    def test_equivalence(self, rng):
+        query = q2()
+        for t in range(16):
+            forest, u, v = ufa_instance(rng.randint(2, 3), rng.randint(2, 3),
+                                        connected=bool(t % 2), rng=rng)
+            db = ufa_to_database(forest, u, v)
+            assert is_certain_brute_force(query, db) == forest.connected(u, v)
+
+    def test_workload_generator_shapes(self, rng):
+        forest, nodes_a, nodes_b = random_two_component_forest(4, 3, rng)
+        assert forest.component_count() == 2
+        assert len(forest.edges) == 3 + 2
+        assert forest.connected(nodes_a[0], nodes_a[-1])
+        assert not forest.connected(nodes_a[0], nodes_b[0])

@@ -1,0 +1,76 @@
+"""Randomized validation of the reification machinery: Lemma 6.8 (the
+swap property) and Corollary 6.9 (unattacked variables are reifiable)."""
+
+import random
+
+import pytest
+
+from repro.core.lemma_checks import check_corollary_6_9, check_lemma_6_8
+from repro.db.repairs import sample_repair
+from repro.workloads.generators import (
+    QueryParams,
+    random_query,
+    random_small_database,
+)
+from repro.workloads.queries import poll_qa, poll_qb, q3, q_example611, q_hall
+
+
+CANONICAL = [
+    ("q3", q3),
+    ("q_hall_2", lambda: q_hall(2)),
+    ("q_ex611", q_example611),
+    ("poll_qa", poll_qa),
+    ("poll_qb", poll_qb),
+]
+
+
+class TestLemma68:
+    @pytest.mark.parametrize("name,make", CANONICAL)
+    def test_swap_property_on_canonical_queries(self, name, make, rng):
+        query = make()
+        for _ in range(15):
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=4)
+            repair = sample_repair(db.restrict(set(query.relations)), rng)
+            assert check_lemma_6_8(query, repair) == [], name
+
+    def test_swap_property_on_random_queries(self):
+        rng = random.Random(67)
+        for _ in range(25):
+            query = random_query(
+                QueryParams(n_positive=2, n_negative=1, n_variables=3,
+                            max_arity=2), rng)
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=3)
+            repair = sample_repair(db.restrict(set(query.relations)), rng)
+            assert check_lemma_6_8(query, repair) == [], repr(query)
+
+    def test_inconsistent_database_rejected(self):
+        from conftest import db_from
+
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")], "N/2/1": []})
+        with pytest.raises(ValueError):
+            check_lemma_6_8(q3(), db)
+
+
+class TestCorollary69:
+    @pytest.mark.parametrize("name,make", CANONICAL)
+    def test_reifiability_on_canonical_queries(self, name, make, rng):
+        query = make()
+        for _ in range(10):
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=3)
+            assert check_corollary_6_9(query, db) == [], name
+
+    def test_reifiability_on_random_acyclic_queries(self):
+        rng = random.Random(71)
+        checked = 0
+        while checked < 15:
+            query = random_query(
+                QueryParams(n_positive=2, n_negative=1, n_variables=3,
+                            max_arity=2), rng)
+            db = random_small_database(query, rng, domain_size=2,
+                                       facts_per_relation=3)
+            result = check_corollary_6_9(query, db)
+            assert result == [], (repr(query), db)
+            checked += 1

@@ -1,0 +1,100 @@
+"""Tests for repair enumeration (repro.db.repairs)."""
+
+import random
+
+from repro.db.repairs import (
+    count_repairs,
+    find_repair_where,
+    is_repair_of,
+    iter_repairs,
+    sample_repair,
+    sample_repairs,
+)
+
+from conftest import db_from
+
+
+class TestIterRepairs:
+    def test_count_matches_product_of_block_sizes(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3), (2, 5)],
+                      "S/2/1": [(1, 1), (1, 2)]})
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == 4 == count_repairs(db)
+
+    def test_all_repairs_distinct(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)], "S/2/1": [(1, 1), (1, 2)]})
+        repairs = list(iter_repairs(db))
+        assert len({hash(r) for r in repairs}) == len(repairs)
+
+    def test_every_repair_is_a_repair(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3), (2, 5)],
+                      "S/2/2": [(7, 7), (7, 8)]})
+        for r in iter_repairs(db):
+            assert is_repair_of(r, db)
+
+    def test_consistent_db_single_repair(self):
+        db = db_from({"R/2/1": [(1, 2), (2, 3)]})
+        repairs = list(iter_repairs(db))
+        assert len(repairs) == 1
+        assert repairs[0] == db
+
+    def test_empty_db_one_repair(self):
+        from repro.db.database import Database
+
+        repairs = list(iter_repairs(Database()))
+        assert len(repairs) == 1
+
+    def test_all_key_relation_kept_whole(self):
+        db = db_from({"R/2/2": [(1, 2), (1, 3)]})
+        (r,) = iter_repairs(db)
+        assert r.facts("R") == {(1, 2), (1, 3)}
+
+
+class TestIsRepairOf:
+    def test_inconsistent_candidate_rejected(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        assert not is_repair_of(db, db)
+
+    def test_subset_but_missing_block_rejected(self):
+        db = db_from({"R/2/1": [(1, 2), (2, 3)]})
+        partial = db_from({"R/2/1": [(1, 2)]})
+        assert not is_repair_of(partial, db)
+
+    def test_non_subset_rejected(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        other = db_from({"R/2/1": [(1, 9)]})
+        assert not is_repair_of(other, db)
+
+    def test_valid_repair_accepted(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        r = db_from({"R/2/1": [(1, 3)]})
+        assert is_repair_of(r, db)
+
+
+class TestSampling:
+    def test_sample_is_repair(self, rng):
+        db = db_from({"R/2/1": [(1, 2), (1, 3), (2, 5), (2, 6)]})
+        for _ in range(10):
+            assert is_repair_of(sample_repair(db, rng), db)
+
+    def test_sample_repairs_count(self, rng):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        assert len(list(sample_repairs(db, 7, rng))) == 7
+
+    def test_sampling_eventually_hits_all_repairs(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        rng = random.Random(5)
+        seen = {hash(sample_repair(db, rng)) for _ in range(60)}
+        assert len(seen) == 2
+
+
+class TestFindRepairWhere:
+    def test_finds_matching(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        found = find_repair_where(db, lambda r: r.contains("R", (1, 3)))
+        assert found is not None
+        assert found.contains("R", (1, 3))
+
+    def test_none_when_no_match(self):
+        db = db_from({"R/2/1": [(1, 2), (1, 3)]})
+        assert find_repair_where(db, lambda r: r.contains("R", (9, 9))) is None

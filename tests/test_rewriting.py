@@ -1,0 +1,187 @@
+"""Tests for the consistent FO rewriting construction (Lemma 6.1)."""
+
+import random
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.classify import classify
+from repro.core.query import Query
+from repro.core.terms import Constant, Variable
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.cqa.rewriting import (
+    NotInFO,
+    Rewriter,
+    consistent_rewriting,
+    has_consistent_rewriting,
+    pick_eliminable_atom,
+)
+from repro.fo.eval import Evaluator
+from repro.fo.formula import free_variables
+from repro.fo.stats import stats
+from repro.workloads.generators import (
+    QueryParams,
+    random_query,
+    random_small_database,
+)
+from repro.workloads.queries import (
+    poll_qa,
+    poll_qb,
+    q1,
+    q3,
+    q4,
+    q_example611,
+    q_hall,
+)
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestApplicability:
+    def test_cyclic_query_rejected(self):
+        with pytest.raises(NotInFO):
+            consistent_rewriting(q1())
+
+    def test_non_weakly_guarded_rejected(self):
+        with pytest.raises(NotInFO):
+            consistent_rewriting(q4())
+
+    def test_has_consistent_rewriting(self):
+        assert has_consistent_rewriting(q3())
+        assert not has_consistent_rewriting(q1())
+
+    def test_internal_variable_names_rejected(self):
+        q = Query([atom("R", [Variable("_z1")], [y])])
+        with pytest.raises(ValueError):
+            Rewriter(q)
+
+
+class TestPickEliminableAtom:
+    def test_picks_unattacked(self):
+        q = q3()
+        assert pick_eliminable_atom(q).relation == "N"
+
+    def test_never_picks_all_key(self):
+        q = poll_qa()  # Likes is all-key
+        assert pick_eliminable_atom(q).relation != "Likes"
+
+    def test_raises_on_cyclic(self):
+        from repro.cqa.rewriting import RewritingError
+
+        with pytest.raises(RewritingError):
+            pick_eliminable_atom(q1())
+
+
+class TestStructure:
+    def test_rewriting_is_a_sentence(self):
+        for q in (q3(), q_hall(2), q_example611(), poll_qa(), poll_qb()):
+            f = consistent_rewriting(q)
+            assert free_variables(f) == frozenset(), repr(q)
+
+    def test_no_placeholders_leak(self):
+        from repro.core.terms import PlaceholderConstant
+        from repro.fo.formula import constants_of
+
+        for q in (q3(), q_hall(3), q_example611(), poll_qb()):
+            f = consistent_rewriting(q)
+            leaked = [c for c in constants_of(f)
+                      if isinstance(c, PlaceholderConstant)]
+            assert not leaked, repr(q)
+
+    def test_unsimplified_also_valid(self, rng):
+        q = q3()
+        f = consistent_rewriting(q, simplify=False)
+        for _ in range(10):
+            db = random_small_database(q, rng, domain_size=3)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
+
+    def test_hall_rewriting_grows_exponentially(self):
+        sizes = [stats(consistent_rewriting(q_hall(l))).nodes
+                 for l in range(1, 5)]
+        # Strictly growing and at least doubling each step.
+        for a, b in zip(sizes, sizes[1:]):
+            assert b > 2 * a
+
+    def test_deterministic(self):
+        assert consistent_rewriting(q3()) == consistent_rewriting(q3())
+
+
+class TestCorrectnessAgainstBruteForce:
+    CASES = [
+        ("q3", q3),
+        ("q_hall_0", lambda: q_hall(0)),
+        ("q_hall_1", lambda: q_hall(1)),
+        ("q_hall_2", lambda: q_hall(2)),
+        ("q_ex611", q_example611),
+        ("poll_qa", poll_qa),
+        ("poll_qb", poll_qb),
+    ]
+
+    @pytest.mark.parametrize("name,make", CASES)
+    def test_rewriting_equals_brute_force(self, name, make, rng):
+        q = make()
+        f = consistent_rewriting(q)
+        for _ in range(25):
+            db = random_small_database(q, rng, domain_size=3,
+                                       facts_per_relation=4)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db), \
+                f"{name} disagrees on {db!r}"
+
+    def test_positive_only_queries(self, rng):
+        """Acyclic queries without negation (the [19] fragment)."""
+        z = Variable("z")
+        q = Query([atom("R", [x], [y]), atom("S", [y], [z])])
+        assert classify(q).in_fo
+        f = consistent_rewriting(q)
+        for _ in range(25):
+            db = random_small_database(q, rng, domain_size=3)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
+
+    def test_query_with_constant_in_value_position(self, rng):
+        q = Query([atom("R", [x], [Constant("k"), y])])
+        f = consistent_rewriting(q)
+        for _ in range(25):
+            db = random_small_database(q, rng, domain_size=3)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
+
+    def test_query_with_repeated_value_variable(self, rng):
+        q = Query([atom("R", [x], [y, y])])
+        f = consistent_rewriting(q)
+        for _ in range(25):
+            db = random_small_database(q, rng, domain_size=3)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
+
+    def test_ground_negated_atom(self, rng):
+        q = Query(
+            [atom("R", [x], [y])],
+            [atom("N", [Constant("c")], [Constant("d")])],
+        )
+        f = consistent_rewriting(q)
+        for _ in range(25):
+            db = random_small_database(q, rng, domain_size=3)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
+
+    def test_all_key_negated_atom(self, rng):
+        q = Query([atom("R", [x], [y])], [atom("N", [x, y])])
+        f = consistent_rewriting(q)
+        for _ in range(25):
+            db = random_small_database(q, rng, domain_size=3)
+            assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
+
+    def test_random_acyclic_queries(self):
+        """The strongest executable statement of Theorem 4.3(2)."""
+        rng = random.Random(43)
+        tested = 0
+        while tested < 25:
+            q = random_query(
+                QueryParams(n_positive=2, n_negative=1, n_variables=3,
+                            max_arity=2), rng)
+            if not classify(q).in_fo:
+                continue
+            tested += 1
+            f = consistent_rewriting(q)
+            for _ in range(8):
+                db = random_small_database(q, rng, domain_size=2,
+                                           facts_per_relation=3)
+                assert Evaluator(f, db).evaluate() == \
+                    is_certain_brute_force(q, db), f"{q} on {db!r}"

@@ -1,0 +1,108 @@
+"""Tests for the Algorithm 1 trace and extended CLI commands."""
+
+import random
+
+from repro.cqa.rewriting import Rewriter
+from repro.workloads.queries import poll_qa, q3, q_hall
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        r = Rewriter(q3())
+        r.rewrite()
+        assert r.trace == []
+
+    def test_steps_recorded(self):
+        r = Rewriter(q3(), trace=True)
+        r.rewrite()
+        actions = [s.action for s in r.trace]
+        assert any("eliminate negated" in a for a in actions)
+        assert any("reify" in a for a in actions)
+        assert any("base case" in a for a in actions)
+
+    def test_first_step_picks_unattacked_atom(self):
+        r = Rewriter(q3(), trace=True)
+        r.rewrite()
+        first = r.trace[0]
+        assert first.atom.relation == "N"
+
+    def test_depth_nesting(self):
+        r = Rewriter(q_hall(2), trace=True)
+        r.rewrite()
+        assert max(s.depth for s in r.trace) >= 2
+        assert min(s.depth for s in r.trace) >= 0
+
+    def test_render(self):
+        r = Rewriter(poll_qa(), trace=True)
+        r.rewrite()
+        text = "\n".join(s.render() for s in r.trace)
+        assert "Lives" in text
+
+    def test_trace_does_not_change_result(self):
+        plain = Rewriter(q_hall(2)).rewrite()
+        traced = Rewriter(q_hall(2), trace=True).rewrite()
+        assert plain == traced
+
+
+class TestCliExtras:
+    def test_rewrite_trace_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["rewrite", "P(x | y), not N('c' | y)", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 1 trace" in out
+        assert "eliminate negated" in out
+
+    def test_explain_command_uncertain(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.db.io import save_database
+        from conftest import db_from
+
+        db = db_from({"P/2/1": [(1, "a")], "N/2/1": [("c", "a")]})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        assert main(["explain", "P(x | y), not N('c' | y)",
+                     "--db", str(path)]) == 0
+        assert "NOT certain" in capsys.readouterr().out
+
+    def test_explain_command_certain(self, capsys, tmp_path):
+        from repro.cli import main
+        from repro.db.io import save_database
+        from conftest import db_from
+
+        db = db_from({"P/2/1": [(1, "z")], "N/2/1": [("c", "a")]})
+        path = tmp_path / "db.json"
+        save_database(db, path)
+        assert main(["explain", "P(x | y), not N('c' | y)",
+                     "--db", str(path)]) == 0
+        assert "sampled" in capsys.readouterr().out
+
+
+class TestRandomAcyclicSqlAgreement:
+    def test_sql_path_on_random_acyclic_queries(self):
+        """The SQL pipeline agrees with brute force on random acyclic
+        queries — the compiled-SQL analogue of Theorem 4.3(2)."""
+        from repro.core.classify import classify
+        from repro.cqa.brute_force import is_certain_brute_force
+        from repro.cqa.engine import CertaintyEngine
+        from repro.workloads.generators import (
+            QueryParams,
+            random_query,
+            random_small_database,
+        )
+
+        rng = random.Random(61)
+        tested = 0
+        while tested < 12:
+            q = random_query(
+                QueryParams(n_positive=2, n_negative=1, n_variables=3,
+                            max_arity=2), rng)
+            if not classify(q).in_fo:
+                continue
+            tested += 1
+            engine = CertaintyEngine(q)
+            for _ in range(5):
+                db = random_small_database(q, rng, domain_size=2,
+                                           facts_per_relation=3)
+                assert engine.certain(db, "sql") == \
+                    is_certain_brute_force(q, db), f"{q} on {db!r}"

@@ -1,0 +1,130 @@
+"""Edge-case robustness: empty databases, unicode values, arity-1
+relations, huge tuples, mixed value types, repeated operations."""
+
+import pytest
+
+from repro.core.atoms import RelationSchema, atom
+from repro.core.parser import parse_query
+from repro.core.query import Query
+from repro.core.terms import Constant, Variable
+from repro.cqa.engine import CertaintyEngine
+from repro.db.database import Database
+from repro.db.sqlite_backend import run_sentence_sql
+from repro.workloads.queries import q3
+
+from conftest import db_from
+
+x, y = Variable("x"), Variable("y")
+
+
+class TestEmptyEverything:
+    def test_engine_on_empty_database(self):
+        engine = CertaintyEngine(q3())
+        db = Database()
+        cv_results = {
+            "brute": engine.certain(db, "brute"),
+            "interpreted": engine.certain(db, "interpreted"),
+            "rewriting": engine.certain(db, "rewriting"),
+            "sql": engine.certain(db, "sql"),
+        }
+        assert set(cv_results.values()) == {False}
+
+    def test_empty_query_on_empty_database(self):
+        engine = CertaintyEngine(Query())
+        assert engine.certain(Database(), "brute")
+        assert engine.certain(Database(), "rewriting")
+
+    def test_registered_but_empty_relations(self):
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [], "N/2/1": []})
+        assert engine.cross_validate(db).consistent
+
+
+class TestUnicodeAndMixedValues:
+    def test_unicode_values_through_sql(self):
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [("κλειδί", "τιμή"), ("ключ", "значение")],
+                      "N/2/1": [("c", "τιμή")]})
+        assert engine.cross_validate(db).consistent
+
+    def test_quotes_and_separators_in_values(self):
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [("it's", "a|b"), ("x,y", "z%25")],
+                      "N/2/1": [("c", "a|b")]})
+        assert engine.cross_validate(db).consistent
+
+    def test_mixed_int_str_bool_values(self):
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [(1, "1"), (True, False), ("k", 0)],
+                      "N/2/1": [("c", "1"), ("c", True)]})
+        assert engine.cross_validate(db).consistent
+
+    def test_deeply_nested_tuple_values(self):
+        deep = ("a", ("b", ("c", ("d", 1))))
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [(deep, deep)], "N/2/1": [("c", deep)]})
+        assert engine.cross_validate(db).consistent
+
+
+class TestShapes:
+    def test_unary_relations_everywhere(self, rng):
+        q = Query([atom("A", [x])], [atom("B", [x])])
+        engine = CertaintyEngine(q)
+        for _ in range(10):
+            db = Database([RelationSchema("A", 1, 1),
+                           RelationSchema("B", 1, 1)])
+            for _ in range(rng.randint(0, 4)):
+                db.add("A", (rng.randint(0, 2),))
+            for _ in range(rng.randint(0, 4)):
+                db.add("B", (rng.randint(0, 2),))
+            assert engine.cross_validate(db).consistent
+
+    def test_wide_relation(self):
+        terms = [Variable(f"v{i}") for i in range(8)]
+        q = Query([atom("Wide", terms[:2], terms[2:])])
+        engine = CertaintyEngine(q)
+        db = Database([RelationSchema("Wide", 8, 2)])
+        db.add("Wide", tuple(range(8)))
+        db.add("Wide", (0, 1) + tuple(range(10, 16)))
+        assert engine.cross_validate(db).consistent
+
+    def test_many_blocks_single_relation(self):
+        q = parse_query("R(x | y), not N(x | y)")
+        engine = CertaintyEngine(q)
+        db = Database([RelationSchema("R", 2, 1), RelationSchema("N", 2, 1)])
+        for i in range(200):
+            db.add("R", (i, i % 7))
+        assert engine.certain(db, "sql") == engine.certain(db, "rewriting")
+
+    def test_repeated_engine_calls_stable(self, rng):
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [(1, "a"), (1, "b")], "N/2/1": [("c", "a")]})
+        answers = {engine.certain(db, "sql") for _ in range(5)}
+        assert len(answers) == 1
+
+    def test_mutating_database_between_calls(self):
+        engine = CertaintyEngine(q3())
+        db = db_from({"P/2/1": [(1, "z")], "N/2/1": [("c", "a")]})
+        assert engine.certain(db, "rewriting")
+        db.add("P", (1, "a"))
+        # Block 1 can now land on the blocked value.
+        assert not engine.certain(db, "rewriting")
+        db.discard("P", (1, "a"))
+        assert engine.certain(db, "rewriting")
+
+
+class TestSqlInjectionSafety:
+    def test_malicious_values_are_inert(self):
+        engine = CertaintyEngine(q3())
+        evil = "'; DROP TABLE \"P\"; --"
+        db = db_from({"P/2/1": [(evil, evil)], "N/2/1": [("c", evil)]})
+        # If the literal escaping were broken this would error or lie.
+        assert engine.cross_validate(db).consistent
+
+    def test_malicious_relation_name(self):
+        name = 'P"; DROP TABLE x; --'
+        q = Query([atom(name, [x], [y])])
+        engine = CertaintyEngine(q)
+        db = Database([RelationSchema(name, 2, 1)])
+        db.add(name, (1, 2))
+        assert engine.certain(db, "sql")

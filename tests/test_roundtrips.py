@@ -1,0 +1,76 @@
+"""Hypothesis round-trip properties: value codec, database JSON,
+query text."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.atoms import RelationSchema
+from repro.db.database import Database
+from repro.db.io import database_from_dict, database_to_dict
+from repro.fo.sql import decode_value, encode_value
+
+# ----------------------------------------------------------------------
+# values: strings, ints, bools, nested tuples
+# ----------------------------------------------------------------------
+
+scalar = st.one_of(
+    st.text(max_size=8),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+)
+values = st.recursive(
+    scalar,
+    lambda child: st.lists(child, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+
+@given(values)
+@settings(max_examples=200, deadline=None)
+def test_encode_decode_roundtrip(value):
+    assert decode_value(encode_value(value)) == value
+
+
+@given(values, values)
+@settings(max_examples=200, deadline=None)
+def test_encode_injective(a, b):
+    if a != b:
+        assert encode_value(a) != encode_value(b)
+
+
+# ----------------------------------------------------------------------
+# database JSON
+# ----------------------------------------------------------------------
+
+rows2 = st.lists(st.tuples(scalar, scalar), max_size=5)
+
+
+@given(rows2, st.integers(min_value=1, max_value=2))
+@settings(max_examples=100, deadline=None)
+def test_database_json_roundtrip(rows, key_size):
+    db = Database([RelationSchema("R", 2, key_size)])
+    for row in rows:
+        db.add("R", row)
+    assert database_from_dict(database_to_dict(db)) == db
+
+
+# ----------------------------------------------------------------------
+# query text
+# ----------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_query_text_roundtrip(data):
+    import random
+
+    from repro.core.parser import parse_query, query_to_text
+    from repro.workloads.generators import QueryParams, random_query
+
+    seed = data.draw(st.integers(min_value=0, max_value=10**6))
+    q = random_query(
+        QueryParams(n_positive=2, n_negative=1,
+                    require_weakly_guarded=False),
+        random.Random(seed),
+    )
+    assert parse_query(query_to_text(q)) == q

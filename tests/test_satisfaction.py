@@ -1,0 +1,123 @@
+"""Tests for query evaluation on databases (repro.db.satisfaction)."""
+
+from repro.core.atoms import atom
+from repro.core.query import Diseq, Query
+from repro.core.terms import Constant, Variable
+from repro.db.satisfaction import (
+    key_relevant_facts,
+    satisfies,
+    satisfying_valuations,
+)
+from repro.workloads.queries import q1, q3
+
+from conftest import db_from
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestPositiveOnly:
+    def test_single_atom_match(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        assert satisfies(db, Query([atom("R", [x], [y])]))
+
+    def test_single_atom_no_match(self):
+        db = db_from({"R/2/1": []})
+        assert not satisfies(db, Query([atom("R", [x], [y])]))
+
+    def test_join(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 3)]})
+        q = Query([atom("R", [x], [y]), atom("S", [y], [z])])
+        assert satisfies(db, q)
+
+    def test_join_failure(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(9, 3)]})
+        q = Query([atom("R", [x], [y]), atom("S", [y], [z])])
+        assert not satisfies(db, q)
+
+    def test_constants_filter(self):
+        db = db_from({"R/2/1": [(1, 2), (3, 4)]})
+        q = Query([atom("R", [Constant(3)], [y])])
+        assert satisfies(db, q)
+        q = Query([atom("R", [Constant(7)], [y])])
+        assert not satisfies(db, q)
+
+    def test_repeated_variable_in_atom(self):
+        db = db_from({"R/2/1": [(1, 2), (3, 3)]})
+        q = Query([atom("R", [x], [x])])
+        vals = list(satisfying_valuations(q, db))
+        assert len(vals) == 1
+        assert vals[0][x] == 3
+
+    def test_missing_relation_treated_as_empty(self):
+        db = db_from({"S/1/1": [(1,)]})
+        assert not satisfies(db, Query([atom("R", [x], [y])]))
+
+
+class TestNegation:
+    def test_negated_atom_blocks(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 1)]})
+        assert not satisfies(db, q1())
+
+    def test_negated_atom_allows(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": [(2, 9)]})
+        assert satisfies(db, q1())
+
+    def test_negated_missing_relation_vacuous(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        q = Query([atom("R", [x], [y])], [atom("Z", [x], [y])])
+        assert satisfies(db, q)
+
+    def test_q3_with_constant_key(self):
+        db = db_from({"P/2/1": [(1, 2)], "N/2/1": [("c", 2)]})
+        assert not satisfies(db, q3())
+        db = db_from({"P/2/1": [(1, 2)], "N/2/1": [("c", 9)]})
+        assert satisfies(db, q3())
+
+
+class TestDiseqs:
+    def test_diseq_blocks_equal(self):
+        db = db_from({"R/2/1": [(1, 2)]})
+        q = Query([atom("R", [x], [y])], [], [Diseq([(y, Constant(2))])])
+        assert not satisfies(db, q)
+
+    def test_diseq_satisfied_by_other_fact(self):
+        db = db_from({"R/2/1": [(1, 2), (3, 4)]})
+        q = Query([atom("R", [x], [y])], [], [Diseq([(y, Constant(2))])])
+        assert satisfies(db, q)
+
+    def test_multi_pair_diseq_is_disjunction(self):
+        db = db_from({"R/3/1": [(1, 2, 3)]})
+        q = Query(
+            [atom("R", [x], [y, z])],
+            [],
+            [Diseq([(y, Constant(2)), (z, Constant(9))])],
+        )
+        # y = 2 but z != 9, so the disequality holds.
+        assert satisfies(db, q)
+
+
+class TestValuations:
+    def test_all_valuations_enumerated(self):
+        db = db_from({"R/2/1": [(1, 2), (3, 4)]})
+        q = Query([atom("R", [x], [y])])
+        vals = list(satisfying_valuations(q, db))
+        assert {(v[x], v[y]) for v in vals} == {(1, 2), (3, 4)}
+
+    def test_empty_query_has_empty_valuation(self):
+        db = db_from({})
+        vals = list(satisfying_valuations(Query(), db))
+        assert vals == [{}]
+
+
+class TestKeyRelevance:
+    def test_example33(self):
+        """Example 3.3: S(1, a) key-relevant, S(2, a) not."""
+        q = q1()
+        r = db_from({"R/2/1": [("b", 1)], "S/2/1": [(1, "a"), (2, "a")]})
+        relevant = key_relevant_facts(q, q.atom_for("S"), r)
+        assert relevant == {(1, "a")}
+
+    def test_no_satisfying_valuation_no_relevance(self):
+        q = q1()
+        r = db_from({"R/2/1": [], "S/2/1": [(1, "a")]})
+        assert key_relevant_facts(q, q.atom_for("S"), r) == frozenset()

@@ -1,0 +1,80 @@
+"""Hypothesis property: the SQL compiler and the Python evaluator agree
+on randomly generated sentences and databases."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.atoms import RelationSchema, atom
+from repro.core.terms import Constant, Variable
+from repro.db.database import Database
+from repro.db.sqlite_backend import run_sentence_sql
+from repro.fo.eval import Evaluator
+from repro.fo.formula import (
+    AtomF,
+    Eq,
+    make_and,
+    make_exists,
+    make_forall,
+    make_not,
+    make_or,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+VARS = (x, y, z)
+
+leaf = st.one_of(
+    st.builds(
+        lambda a, b: AtomF(atom("R", [a], [b])),
+        st.sampled_from(VARS), st.sampled_from(VARS),
+    ),
+    st.builds(lambda a: AtomF(atom("S", [a])), st.sampled_from(VARS)),
+    st.builds(
+        Eq, st.sampled_from(VARS),
+        st.one_of(st.sampled_from(VARS), st.just(Constant(1))),
+    ),
+)
+
+
+def _quantify(child):
+    return st.builds(
+        lambda vs, f, is_exists: (make_exists if is_exists else make_forall)(
+            vs, f),
+        st.lists(st.sampled_from(VARS), min_size=1, max_size=2, unique=True),
+        child,
+        st.booleans(),
+    )
+
+
+formulas = st.recursive(
+    leaf,
+    lambda child: st.one_of(
+        st.builds(lambda a, b: make_and([a, b]), child, child),
+        st.builds(lambda a, b: make_or([a, b]), child, child),
+        st.builds(make_not, child),
+        _quantify(child),
+    ),
+    max_leaves=6,
+)
+
+sentences = st.builds(
+    lambda f: make_exists(sorted(VARS), f), formulas
+)
+
+rows2 = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=4)
+rows1 = st.lists(st.tuples(st.integers(0, 2)), max_size=3)
+
+
+@given(sentences, rows2, rows1)
+@settings(max_examples=60, deadline=None)
+def test_sql_matches_python_evaluator(sentence, r_rows, s_rows):
+    db = Database([RelationSchema("R", 2, 1), RelationSchema("S", 1, 1)])
+    for row in r_rows:
+        db.add("R", row)
+    for row in s_rows:
+        db.add("S", row)
+    # Close any stray free variables (nested quantifiers may shadow).
+    from repro.fo.formula import free_variables, make_exists as mk
+
+    closed = mk(sorted(free_variables(sentence)), sentence)
+    assert Evaluator(closed, db).evaluate() == run_sentence_sql(closed, db)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.terms."""
+
+import pytest
+
+from repro.core.terms import (
+    Constant,
+    PlaceholderConstant,
+    Variable,
+    fresh_constant,
+    is_constant,
+    is_variable,
+    make_variables,
+    variables_of,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("x") == Variable("x")
+
+    def test_inequality_by_name(self):
+        assert Variable("x") != Variable("y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Variable("x")) == hash(Variable("x"))
+
+    def test_not_equal_to_constant_with_same_payload(self):
+        assert Variable("x") != Constant("x")
+
+    def test_ordering_by_name(self):
+        assert Variable("a") < Variable("b")
+
+    def test_sorted(self):
+        vs = [Variable(n) for n in "cab"]
+        assert [v.name for v in sorted(vs)] == ["a", "b", "c"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TypeError):
+            Variable("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError):
+            Variable(3)
+
+    def test_str(self):
+        assert str(Variable("foo")) == "foo"
+
+    def test_repr(self):
+        assert "foo" in repr(Variable("foo"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+
+    def test_inequality(self):
+        assert Constant(1) != Constant(2)
+
+    def test_hash_consistent(self):
+        assert hash(Constant("a")) == hash(Constant("a"))
+
+    def test_tuple_values_allowed(self):
+        c = Constant(("pair", 1, 2))
+        assert c.value == ("pair", 1, 2)
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TypeError):
+            Constant([1, 2])
+
+    def test_int_and_string_distinct(self):
+        assert Constant(1) != Constant("1")
+
+    def test_usable_in_sets(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+
+class TestPlaceholderConstant:
+    def test_remembers_variable(self):
+        x = Variable("x")
+        p = PlaceholderConstant(x)
+        assert p.variable == x
+
+    def test_two_placeholders_for_same_variable_differ(self):
+        x = Variable("x")
+        assert PlaceholderConstant(x) != PlaceholderConstant(x)
+
+    def test_placeholder_not_equal_to_plain_constant(self):
+        p = PlaceholderConstant(Variable("x"))
+        assert p != Constant(p.value)
+
+    def test_is_constant(self):
+        assert is_constant(PlaceholderConstant(Variable("x")))
+
+    def test_self_equality(self):
+        p = PlaceholderConstant(Variable("x"))
+        assert p == p
+        assert hash(p) == hash(p)
+
+
+class TestHelpers:
+    def test_fresh_constants_distinct(self):
+        assert fresh_constant() != fresh_constant()
+
+    def test_is_variable(self):
+        assert is_variable(Variable("x"))
+        assert not is_variable(Constant(1))
+
+    def test_is_constant(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("x"))
+
+    def test_variables_of_mixed(self):
+        x, y = Variable("x"), Variable("y")
+        assert variables_of([x, Constant(1), y, x]) == {x, y}
+
+    def test_variables_of_empty(self):
+        assert variables_of([]) == frozenset()
+
+    def test_make_variables(self):
+        x, y, z = make_variables("x y z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")

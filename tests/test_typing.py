@@ -1,0 +1,97 @@
+"""Tests for the typed-database transformation (Section 3)."""
+
+import pytest
+
+from repro.cqa.brute_force import is_certain_brute_force
+from repro.db.typing import is_typed, junk_value, type_value, typed_database
+from repro.workloads.generators import random_small_database
+from repro.workloads.queries import (
+    all_named_queries,
+    poll_qa,
+    q1,
+    q3,
+    q_example611,
+)
+
+from conftest import db_from
+
+
+class TestTransform:
+    def test_variable_positions_tagged(self):
+        db = db_from({"R/2/1": [(1, 2)], "S/2/1": []})
+        typed = typed_database(q1(), db)
+        assert typed.facts("R") == {
+            (type_value("x", 1), type_value("y", 2))
+        }
+
+    def test_constant_position_kept_when_matching(self):
+        db = db_from({"P/2/1": [(1, 2)], "N/2/1": [("c", 2)]})
+        typed = typed_database(q3(), db)
+        (row,) = typed.facts("N")
+        assert row[0] == "c"
+        assert row[1] == type_value("y", 2)
+
+    def test_constant_position_junked_when_mismatching(self):
+        db = db_from({"P/2/1": [], "N/2/1": [("d", 2)]})
+        typed = typed_database(q3(), db)
+        (row,) = typed.facts("N")
+        assert row[0] == junk_value("N", 0, "d")
+
+    def test_blocks_preserved(self):
+        db = db_from({"P/2/1": [(1, 2), (1, 3), (2, 2)], "N/2/1": []})
+        typed = typed_database(q3(), db)
+        assert len(typed.blocks("P")) == len(db.blocks("P"))
+        assert typed.repair_count() == db.restrict(["P", "N"]).repair_count()
+
+    def test_unrelated_relations_dropped(self):
+        db = db_from({"P/2/1": [], "N/2/1": [], "Zzz/1/1": [(1,)]})
+        typed = typed_database(q3(), db)
+        assert "Zzz" not in typed.schemas
+
+    def test_arity_mismatch_rejected(self):
+        db = db_from({"P/3/1": [(1, 2, 3)]})
+        with pytest.raises(ValueError):
+            typed_database(q3(), db)
+
+    def test_result_is_typed(self):
+        db = db_from({"P/2/1": [(1, 2)], "N/2/1": [("c", 2), ("d", 9)]})
+        typed = typed_database(q3(), db)
+        assert is_typed(q3(), typed)
+        assert not is_typed(q3(), db)
+
+
+class TestCertaintyPreservation:
+    @pytest.mark.parametrize("name,query", [
+        (n, q) for n, q in all_named_queries()
+        if n in ("q1", "q3", "q_hall_2", "q_ex611", "poll_qa", "poll_qb",
+                 "q2", "q4")
+    ])
+    def test_certainty_preserved(self, name, query, rng):
+        for _ in range(12):
+            db = random_small_database(query, rng, domain_size=3,
+                                       facts_per_relation=4)
+            typed = typed_database(query, db)
+            assert is_certain_brute_force(query, db) == \
+                is_certain_brute_force(query, typed), (name, db)
+
+    def test_cross_variable_joins_broken_harmlessly(self, rng):
+        """Accidental value coincidences across different variables
+        disappear under typing, without changing certainty."""
+        query = poll_qa()
+        db = db_from({
+            "Lives/2/1": [("v", "v")],  # person and town share a value
+            "Born/2/1": [("v", "w")],
+            "Likes/2/2": [],
+        })
+        typed = typed_database(query, db)
+        assert is_certain_brute_force(query, db) == \
+            is_certain_brute_force(query, typed)
+
+    def test_repeated_variable_positions_share_type(self):
+        query = q_example611()
+        db = db_from({"P/1/1": [(5,)], "N/4/1": [("c", "a", 5, 5)]})
+        typed = typed_database(query, db)
+        (row,) = typed.facts("N")
+        assert row[2] == row[3] == type_value("y", 5)
+        assert is_certain_brute_force(query, db) == \
+            is_certain_brute_force(query, typed)

@@ -1,0 +1,125 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.classify import classify
+from repro.workloads.generators import (
+    DatabaseParams,
+    QueryParams,
+    random_database,
+    random_query,
+    random_small_database,
+)
+from repro.workloads.poll import (
+    empty_poll_database,
+    paper_flavoured_poll_database,
+    random_poll_database,
+)
+from repro.workloads.queries import all_named_queries, q3, q_hall
+
+
+class TestRandomDatabase:
+    def test_schema_matches_query(self, rng):
+        db = random_database(q3(), rng=rng)
+        assert set(db.relations()) == {"P", "N"}
+
+    def test_block_count_respected(self, rng):
+        params = DatabaseParams(blocks_per_relation=3, domain_size=50)
+        db = random_database(q3(), params, rng)
+        assert len(db.blocks("P")) == 3
+
+    def test_block_sizes_bounded(self, rng):
+        params = DatabaseParams(max_block_size=2, domain_size=50)
+        db = random_database(q3(), params, rng)
+        for _, _, rows in db.all_blocks():
+            assert 1 <= len(rows) <= 2
+
+    def test_query_constants_present_in_pool(self, rng):
+        # q3 has constant "c" in N's key: some N-block should use it.
+        found = False
+        for _ in range(20):
+            db = random_database(q3(), DatabaseParams(domain_size=2), rng)
+            if any(row[0] == "c" for row in db.facts("N")):
+                found = True
+                break
+        assert found
+
+    def test_inconsistency_rate_zero_gives_consistent(self, rng):
+        params = DatabaseParams(inconsistent_fraction=0.0, domain_size=60,
+                                blocks_per_relation=4)
+        db = random_database(q3(), params, rng)
+        assert db.is_consistent
+
+    def test_small_database_bounds(self, rng):
+        db = random_small_database(q3(), rng, domain_size=2,
+                                   facts_per_relation=3)
+        assert len(db.facts("P")) <= 3
+        assert len(db.facts("N")) <= 3
+
+
+class TestRandomQuery:
+    def test_respects_counts(self, rng):
+        params = QueryParams(n_positive=2, n_negative=2)
+        q = random_query(params, rng)
+        assert len(q.positives) == 2
+        assert len(q.negatives) == 2
+
+    def test_safe_and_self_join_free(self, rng):
+        for _ in range(30):
+            q = random_query(QueryParams(), rng)
+            assert q.is_safe
+            names = [a.relation for a in q.atoms]
+            assert len(names) == len(set(names))
+
+    def test_weak_guardedness_enforced(self, rng):
+        for _ in range(30):
+            q = random_query(QueryParams(require_weakly_guarded=True), rng)
+            assert q.has_weakly_guarded_negation
+
+    def test_unguarded_allowed_when_requested(self, rng):
+        params = QueryParams(require_weakly_guarded=False)
+        q = random_query(params, rng)
+        assert q.is_safe  # only safety is required
+
+    def test_classifiable(self, rng):
+        for _ in range(20):
+            q = random_query(QueryParams(), rng)
+            classify(q)  # must not raise
+
+
+class TestPollWorkload:
+    def test_schema(self):
+        db = empty_poll_database()
+        assert db.schemas["Likes"].is_all_key
+        assert db.schemas["Born"].key_size == 1
+
+    def test_random_poll_blocks(self, rng):
+        db = random_poll_database(8, 4, conflict_rate=1.0, rng=rng)
+        assert any(len(rows) > 1 for _, _, rows in db.all_blocks())
+
+    def test_zero_conflicts_consistent(self, rng):
+        db = random_poll_database(8, 4, conflict_rate=0.0, rng=rng)
+        assert db.is_consistent
+
+    def test_paper_flavoured_is_inconsistent(self):
+        db = paper_flavoured_poll_database()
+        assert not db.is_consistent
+        assert db.repair_count() > 1
+
+
+class TestQueryZoo:
+    def test_all_named_queries_valid(self):
+        for name, q in all_named_queries():
+            assert q.is_safe, name
+
+    def test_q_hall_sizes(self):
+        assert len(q_hall(0).negatives) == 0
+        assert len(q_hall(4).negatives) == 4
+
+    def test_q_hall_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            q_hall(-1)
+
+    def test_fresh_objects(self):
+        assert q3() is not q3()
+        assert q3() == q3()
