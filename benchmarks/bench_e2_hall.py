@@ -1,6 +1,6 @@
 """E2 — Figure 2 / Examples 1.2, 6.12: q_Hall.
 
-Shape claims: rewriting size grows exponentially in l; all solvers
+Shape claims: rewriting size grows exponentially in ell; all solvers
 agree; the Hall matching solver stays polynomial.
 """
 
@@ -16,28 +16,28 @@ from repro.reductions.scovering import query_for, scovering_to_database
 from repro.workloads.queries import q_hall
 
 
-def _instance(n, l, seed=0):
+def _instance(n, ell, seed=0):
     rng = random.Random(seed)
     elements = list(range(n))
-    subsets = [[e for e in elements if rng.random() < 0.5] for _ in range(l)]
+    subsets = [[e for e in elements if rng.random() < 0.5] for _ in range(ell)]
     return SCoveringInstance(elements, subsets)
 
 
-@pytest.mark.parametrize("l", [1, 2, 3, 4])
-def test_rewriting_construction(benchmark, l):
-    formula = benchmark(consistent_rewriting, q_hall(l))
+@pytest.mark.parametrize("ell", [1, 2, 3, 4])
+def test_rewriting_construction(benchmark, ell):
+    formula = benchmark(consistent_rewriting, q_hall(ell))
     assert stats(formula).nodes > 0
 
 
 def test_rewriting_size_exponential():
-    sizes = [stats(consistent_rewriting(q_hall(l))).nodes for l in (1, 2, 3, 4)]
+    sizes = [stats(consistent_rewriting(q_hall(ell))).nodes for ell in (1, 2, 3, 4)]
     for a, b in zip(sizes, sizes[1:]):
         assert b > 2 * a, f"expected exponential growth, got {sizes}"
 
 
-@pytest.mark.parametrize("l", [1, 2, 3])
-def test_sql_evaluation(benchmark, l):
-    inst = _instance(30, l)
+@pytest.mark.parametrize("ell", [1, 2, 3])
+def test_sql_evaluation(benchmark, ell):
+    inst = _instance(30, ell)
     db = scovering_to_database(inst)
     engine = CertaintyEngine(query_for(inst))
     result = benchmark(engine.certain, db, "sql")

@@ -25,12 +25,12 @@ def test_attack_graph_example42(benchmark):
     assert [(f.relation, g.relation) for f, g in graph.edges] == [("N", "P")]
 
 
-@pytest.mark.parametrize("l", [4, 16, 64])
-def test_attack_graph_hall_family(benchmark, l):
-    query = q_hall(l)
+@pytest.mark.parametrize("ell", [4, 16, 64])
+def test_attack_graph_hall_family(benchmark, ell):
+    query = q_hall(ell)
     graph = benchmark(AttackGraph, query)
     assert graph.is_acyclic
-    assert len(graph.edges) == l  # every N_i attacks S
+    assert len(graph.edges) == ell  # every N_i attacks S
 
 
 def test_all_named_queries_graphable(benchmark):

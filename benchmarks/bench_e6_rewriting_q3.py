@@ -3,11 +3,7 @@ with the paper's hand-written formulas.
 """
 
 from repro.cqa.rewriting import consistent_rewriting
-from repro.experiments.e6_rewriting_q3 import (
-    equivalence_table,
-    paper_rewriting_611,
-    paper_rewriting_q3,
-)
+from repro.experiments.e6_rewriting_q3 import (equivalence_table, paper_rewriting_q3)
 from repro.fo.eval import Evaluator
 from repro.workloads.generators import random_small_database
 from repro.workloads.queries import q3, q_example611

@@ -29,9 +29,9 @@ def test_classify_random_queries(benchmark, rng, n_atoms):
     assert len(results) == 5
 
 
-@pytest.mark.parametrize("l", [8, 32])
-def test_classify_hall_family(benchmark, l):
-    query = q_hall(l)
+@pytest.mark.parametrize("ell", [8, 32])
+def test_classify_hall_family(benchmark, ell):
+    query = q_hall(ell)
     result = benchmark(classify, query)
     assert result.in_fo
 

@@ -1,6 +1,7 @@
 """Command-line interface.
 
     python -m repro classify "R(x | y), not S(y | x)"
+    python -m repro lint     "P(x | y), not N(z | y)" --format json
     python -m repro rewrite  "P(x | y), not N('c' | y)" --pretty --sql
     python -m repro certain  "P(x | y), not N('c' | y)" --db poll.json
     python -m repro answers  "Lives(p | t), not Born(p | t)" --free p --db poll.json
@@ -20,6 +21,7 @@ from .core.analysis import analyze
 from .core.attack_graph import AttackGraph
 from .core.classify import classify
 from .core.parser import ParseError, parse_query
+from .core.query import QueryError
 from .core.terms import Variable
 from .cqa.certain_answers import OpenQuery, certain_answers, certain_answers_sql_query
 from .cqa.engine import CertaintyEngine, METHODS
@@ -30,6 +32,7 @@ from .db.profile import profile_database
 from .fo.parser import FormulaParseError, parse_sentence
 from .fo.sql import compile_to_sql
 from .fo.stats import pretty, stats
+from .lint import LintError, lint_text
 
 
 def _parse_query_arg(text: str):
@@ -52,6 +55,15 @@ def cmd_classify(args: argparse.Namespace) -> int:
           + (f" ({result.hardness.value})" if result.hardness.value != "none" else ""))
     print(f"reason:         {result.reason}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    result = lint_text(args.query)
+    if args.format == "json":
+        print(result.to_json())
+    else:
+        print(result.render_text())
+    return 1 if result.has_errors else 0
 
 
 def cmd_rewrite(args: argparse.Namespace) -> int:
@@ -179,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.set_defaults(func=cmd_classify)
 
+    p = sub.add_parser("lint",
+                       help="static diagnostics for a query "
+                            "(codes QL000-QL010, see docs/LINTING.md)")
+    p.add_argument("query")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (default: text)")
+    p.set_defaults(func=cmd_lint)
+
     p = sub.add_parser("rewrite", help="construct the consistent FO rewriting")
     p.add_argument("query")
     p.add_argument("--pretty", action="store_true",
@@ -248,7 +268,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ParseError as exc:
+        print(f"error: cannot parse query: {exc}", file=sys.stderr)
+    except FormulaParseError as exc:
+        print(f"error: cannot parse formula: {exc}", file=sys.stderr)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+    except QueryError as exc:
+        print(f"error: invalid query: {exc}", file=sys.stderr)
+    except NotInFO as exc:
+        print(f"error: {exc}", file=sys.stderr)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":

@@ -9,14 +9,13 @@ renderable report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .attack_graph import AttackGraph, attack_witness
 from .classify import Classification, classify
 from .fds import oplus
 from .query import Query
-from .terms import Variable
 
 
 @dataclass

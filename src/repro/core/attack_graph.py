@@ -18,7 +18,7 @@ never contribute an edge, let alone a cycle, and are ignored here.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from .atoms import Atom
 from .fds import oplus

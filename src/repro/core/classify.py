@@ -20,7 +20,7 @@ hypothesis; everything else is reported as UNDECIDED.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .attack_graph import AttackGraph

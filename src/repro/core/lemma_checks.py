@@ -8,10 +8,9 @@ documentation of Section 4.3 and Lemma 6.10.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
-from .attack_graph import AttackGraph, attacked_from, attacked_variables
-from .atoms import Atom
+from .attack_graph import AttackGraph, attacked_variables
 from .fds import oplus
 from .query import Query
 from .terms import Constant, Variable

@@ -20,6 +20,12 @@ key (an all-key atom).  Disequalities are the sjfBCQ¬≠ constraints of
 Definition 6.3: a tuple form ``(x, y) != ('a', 'b')`` means "not both
 equal".
 
+Every atom and term carries a source :class:`~repro.core.spans.Span`, so
+parse errors and lint diagnostics (:mod:`repro.lint`) can point at the
+offending text with ``line:column`` precision.  :func:`parse_query`
+returns a bare :class:`Query`; :func:`parse_query_spanned` additionally
+exposes the span table and supports error recovery for the linter.
+
 Examples::
 
     parse_query("R(x | y), not S(y | x)")            # the paper's q1
@@ -31,21 +37,68 @@ Examples::
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import AbstractSet, Iterator, List, NamedTuple, Optional, Tuple
 
 from .atoms import Atom, RelationSchema
 from .query import Diseq, Query, QueryError
+from .spans import SourceText, Span
 from .terms import Constant, Term, Variable
 
 
 class ParseError(ValueError):
-    """Raised on malformed query text."""
+    """Raised on malformed query text.
+
+    Carries the offending :class:`Span` and the :class:`SourceText` when
+    known; ``str()`` is a single line reporting ``line:column`` and the
+    offending source excerpt, and :meth:`pretty` renders a multi-line
+    caret diagnostic.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        span: Optional[Span] = None,
+        source: Optional[SourceText] = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.span = span
+        self.source = source
+        self.line: Optional[int] = None
+        self.column: Optional[int] = None
+        if span is not None and source is not None:
+            self.line, self.column = source.position(span.start)
+
+    def __str__(self) -> str:
+        if self.span is None or self.source is None:
+            return self.message
+        near = self.source.snippet(
+            Span(self.span.start, max(self.span.end, self.span.start + 12))
+        )
+        position = f"line {self.line}, column {self.column}"
+        if near:
+            return f"{position}: {self.message} (near {near!r})"
+        return f"{position}: {self.message}"
+
+    def pretty(self) -> str:
+        """Multi-line rendering with a caret-underlined source excerpt."""
+        if self.span is None or self.source is None:
+            return self.message
+        lines = [f"error: {self.message}", f"  --> line {self.line}, column {self.column}"]
+        lines += self.source.excerpt_lines(self.span, indent="  ")
+        return "\n".join(lines)
 
 
 class _Token(NamedTuple):
     kind: str
     value: str
     position: int
+    end: int
+
+    @property
+    def span(self) -> Span:
+        return Span(self.position, self.end)
 
 
 _TOKEN_RE = re.compile(
@@ -62,25 +115,118 @@ _TOKEN_RE = re.compile(
 )
 
 
-def _tokenize(text: str) -> Iterator[_Token]:
+def _tokenize(text: str, source: SourceText) -> Iterator[_Token]:
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
             raise ParseError(
-                f"unexpected character {text[position]!r} at offset {position}"
+                f"unexpected character {text[position]!r}",
+                span=Span(position, position + 1),
+                source=source,
             )
         kind = match.lastgroup
+        assert kind is not None
         if kind != "ws":
-            yield _Token(kind, match.group(), position)
+            yield _Token(kind, match.group(), position, match.end())
         position = match.end()
-    yield _Token("eof", "", position)
+    yield _Token("eof", "", position, position)
+
+
+# ----------------------------------------------------------------------
+# spanned parse results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParsedLiteral:
+    """A positive or negated atom with its source spans.
+
+    ``term_spans`` aligns with ``atom.terms`` (key terms first).  When
+    the literal was recovered from an empty-key atom (``empty_key``),
+    every position of the recovered schema is treated as a key.
+    """
+
+    negated: bool
+    atom: Atom
+    span: Span
+    atom_span: Span
+    name_span: Span
+    term_spans: Tuple[Span, ...]
+    empty_key: bool = False
+
+
+@dataclass(frozen=True)
+class ParsedDiseq:
+    """A disequality constraint with its source spans.
+
+    ``pair_spans`` aligns with ``diseq.pairs``: one ``(lhs, rhs)`` span
+    pair per term pair.
+    """
+
+    diseq: Diseq
+    span: Span
+    pair_spans: Tuple[Tuple[Span, Span], ...]
+
+
+@dataclass(frozen=True)
+class ParseProblem:
+    """A syntax problem the recovering parser noted without aborting."""
+
+    code: str
+    message: str
+    span: Span
+
+
+@dataclass
+class ParsedQuery:
+    """A parsed query together with its source-span table.
+
+    The :class:`Query` object itself is built on demand, because the
+    linter must be able to inspect queries that :class:`Query` would
+    reject outright (self-joins, unsafe variables).
+    """
+
+    text: str
+    source: SourceText
+    literals: List[ParsedLiteral] = field(default_factory=list)
+    diseqs: List[ParsedDiseq] = field(default_factory=list)
+    problems: List[ParseProblem] = field(default_factory=list)
+
+    @property
+    def positives(self) -> List[ParsedLiteral]:
+        return [lit for lit in self.literals if not lit.negated]
+
+    @property
+    def negatives(self) -> List[ParsedLiteral]:
+        return [lit for lit in self.literals if lit.negated]
+
+    def build_query(self, check_safety: bool = True) -> Query:
+        """Construct the :class:`Query`; raises :class:`QueryError` when
+        the literal set violates a structural requirement."""
+        return Query(
+            [lit.atom for lit in self.positives],
+            [lit.atom for lit in self.negatives],
+            [d.diseq for d in self.diseqs],
+            check_safety=check_safety,
+        )
+
+    def try_query(self) -> Optional[Query]:
+        """The :class:`Query`, or None when it cannot be built (the lint
+        rules report the reason with a coded diagnostic instead)."""
+        try:
+            return self.build_query(check_safety=False)
+        except QueryError:
+            return None
 
 
 class _Parser:
-    def __init__(self, text: str):
-        self.tokens = list(_tokenize(text))
+    def __init__(self, text: str, recover: bool = False):
+        self.source = SourceText(text)
+        self.tokens = list(_tokenize(text, self.source))
         self.index = 0
+        self.recover = recover
+        self.problems: List[ParseProblem] = []
 
     def peek(self) -> _Token:
         return self.tokens[self.index]
@@ -93,42 +239,62 @@ class _Parser:
     def expect(self, kind: str, value: Optional[str] = None) -> _Token:
         token = self.advance()
         if token.kind != kind or (value is not None and token.value != value):
+            what = value or kind
+            got = token.value if token.kind != "eof" else "end of input"
             raise ParseError(
-                f"expected {value or kind} at offset {token.position}, "
-                f"got {token.value!r}"
+                f"expected {what!r}, got {got!r}",
+                span=token.span,
+                source=self.source,
             )
         return token
 
+    def error(self, message: str, span: Span) -> ParseError:
+        return ParseError(message, span=span, source=self.source)
+
     # ------------------------------------------------------------------
 
-    def parse_query(self) -> Query:
-        positives: List[Atom] = []
-        negatives: List[Atom] = []
-        diseqs: List["Diseq"] = []
+    def parse_spanned(self) -> ParsedQuery:
+        parsed = ParsedQuery(self.source.text, self.source)
         while True:
             literal = self.parse_literal()
-            if isinstance(literal, Diseq):
-                diseqs.append(literal)
-            else:
-                negated, atom_obj = literal
-                (negatives if negated else positives).append(atom_obj)
+            if isinstance(literal, ParsedDiseq):
+                parsed.diseqs.append(literal)
+            elif literal is not None:
+                parsed.literals.append(literal)
             token = self.peek()
             if token.kind == "eof":
                 break
             self.expect("punct", ",")
+        parsed.problems = list(self.problems)
+        return parsed
+
+    def parse_query(self) -> Query:
+        parsed = self.parse_spanned()
         try:
-            return Query(positives, negatives, diseqs)
+            return parsed.build_query()
         except QueryError as exc:
             raise ParseError(str(exc)) from exc
 
-    def parse_literal(self):
-        """A literal: negated/positive atom, or a disequality."""
+    def parse_literal(self) -> "Union[ParsedLiteral, ParsedDiseq, None]":
+        """A literal: negated/positive atom (as :class:`ParsedLiteral`),
+        a :class:`ParsedDiseq`, or None after recovery."""
         if self.peek().kind == "not":
-            self.advance()
-            return True, self.parse_atom()
+            not_token = self.advance()
+            atom_parsed = self.parse_atom_spanned()
+            if atom_parsed is None:
+                return None
+            return ParsedLiteral(
+                negated=True,
+                atom=atom_parsed.atom,
+                span=not_token.span.union(atom_parsed.span),
+                atom_span=atom_parsed.atom_span,
+                name_span=atom_parsed.name_span,
+                term_spans=atom_parsed.term_spans,
+                empty_key=atom_parsed.empty_key,
+            )
         if self._at_diseq():
-            return self.parse_diseq()
-        return False, self.parse_atom()
+            return self.parse_diseq_spanned()
+        return self.parse_atom_spanned()
 
     def _at_diseq(self) -> bool:
         """Lookahead: does a disequality start here?
@@ -159,72 +325,106 @@ class _Parser:
             return False
         return False
 
-    def parse_diseq(self) -> Diseq:
+    def parse_diseq_spanned(self) -> ParsedDiseq:
+        start = self.peek().span
         lhs = self._parse_term_tuple()
         self.expect("neq")
         rhs = self._parse_term_tuple()
+        end = self.tokens[self.index - 1].span
+        span = start.union(end)
         if len(lhs) != len(rhs):
-            raise ParseError(
+            raise self.error(
                 f"disequality sides have different lengths: "
-                f"{len(lhs)} vs {len(rhs)}"
+                f"{len(lhs)} vs {len(rhs)}",
+                span,
             )
-        return Diseq(tuple(zip(lhs, rhs)))
+        diseq = Diseq(tuple((lt, rt) for (lt, _), (rt, _) in zip(lhs, rhs)))
+        pair_spans = tuple(
+            (ls, rs) for (_, ls), (_, rs) in zip(lhs, rhs)
+        )
+        return ParsedDiseq(diseq, span, pair_spans)
 
-    def _parse_term_tuple(self) -> List[Term]:
+    def _parse_term_tuple(self) -> List[Tuple[Term, Span]]:
         if self.peek().value == "(":
-            self.advance()
+            open_token = self.advance()
             terms = self.parse_terms(stop={")"})
-            self.expect("punct", ")")
+            close = self.expect("punct", ")")
             if not terms:
-                raise ParseError("empty tuple in disequality")
+                raise self.error(
+                    "empty tuple in disequality",
+                    open_token.span.union(close.span),
+                )
             return terms
-        return [self.parse_term()]
+        return [self.parse_term_spanned()]
 
-    def parse_atom(self) -> Atom:
-        name = self.expect("name").value
+    def parse_atom_spanned(self) -> Optional[ParsedLiteral]:
+        name_token = self.expect("name")
+        name = name_token.value
         self.expect("punct", "(")
         key_terms = self.parse_terms(stop={"|", ")"})
-        if self.peek().value == "|":
+        had_bar = self.peek().value == "|"
+        if had_bar:
             self.advance()
             value_terms = self.parse_terms(stop={")"})
         else:
             value_terms = []
-        self.expect("punct", ")")
-        arity = len(key_terms) + len(value_terms)
+        close = self.expect("punct", ")")
+        span = name_token.span.union(close.span)
+        empty_key = False
         if not key_terms:
-            raise ParseError(f"atom {name} needs at least one key position")
-        schema = RelationSchema(name, arity, len(key_terms))
-        return Atom(schema, tuple(key_terms) + tuple(value_terms))
+            message = f"atom {name} needs at least one key position"
+            if not self.recover:
+                raise self.error(message, span)
+            # Recovery for the linter: report QL010 and carry on with an
+            # all-key schema over the remaining terms (or drop the atom
+            # entirely when it has no terms at all).
+            self.problems.append(ParseProblem("QL010", message, span))
+            empty_key = True
+            key_terms, value_terms = value_terms, []
+            if not key_terms:
+                return None
+        terms = [t for t, _ in key_terms] + [t for t, _ in value_terms]
+        spans = tuple(s for _, s in key_terms) + tuple(s for _, s in value_terms)
+        schema = RelationSchema(name, len(terms), len(key_terms))
+        return ParsedLiteral(
+            negated=False,
+            atom=Atom(schema, terms),
+            span=span,
+            atom_span=span,
+            name_span=name_token.span,
+            term_spans=spans,
+            empty_key=empty_key,
+        )
 
-    def parse_terms(self, stop) -> List[Term]:
-        terms: List[Term] = []
+    def parse_terms(self, stop: AbstractSet[str]) -> List[Tuple[Term, Span]]:
+        terms: List[Tuple[Term, Span]] = []
         if self.peek().value in stop:
             return terms
         while True:
-            terms.append(self.parse_term())
+            terms.append(self.parse_term_spanned())
             if self.peek().value == ",":
                 self.advance()
                 continue
             if self.peek().value in stop:
                 return terms
             token = self.peek()
-            raise ParseError(
-                f"expected ',' or one of {sorted(stop)} at offset "
-                f"{token.position}, got {token.value!r}"
+            got = token.value if token.kind != "eof" else "end of input"
+            raise self.error(
+                f"expected ',' or one of {sorted(stop)}, got {got!r}",
+                token.span,
             )
 
-    def parse_term(self) -> Term:
+    def parse_term_spanned(self) -> Tuple[Term, Span]:
         token = self.advance()
         if token.kind == "name":
-            return Variable(token.value)
+            return Variable(token.value), token.span
         if token.kind == "int":
-            return Constant(int(token.value))
+            return Constant(int(token.value)), token.span
         if token.kind == "str":
             raw = token.value[1:-1]
-            return Constant(re.sub(r"\\(.)", r"\1", raw))
-        raise ParseError(
-            f"expected a term at offset {token.position}, got {token.value!r}"
-        )
+            return Constant(re.sub(r"\\(.)", r"\1", raw)), token.span
+        got = token.value if token.kind != "eof" else "end of input"
+        raise self.error(f"expected a term, got {got!r}", token.span)
 
 
 def parse_query(text: str) -> Query:
@@ -232,12 +432,23 @@ def parse_query(text: str) -> Query:
     return _Parser(text).parse_query()
 
 
+def parse_query_spanned(text: str, recover: bool = False) -> ParsedQuery:
+    """Parse a query keeping the source-span table.
+
+    With ``recover=True`` (the linter's mode) empty-key atoms do not
+    abort the parse; they are reported in ``ParsedQuery.problems`` with
+    code ``QL010`` instead.
+    """
+    return _Parser(text, recover=recover).parse_spanned()
+
+
 def parse_atom(text: str) -> Atom:
     """Parse a single atom, e.g. ``"R(x | y)"``."""
     parser = _Parser(text)
-    atom_obj = parser.parse_atom()
+    lit = parser.parse_atom_spanned()
     parser.expect("eof")
-    return atom_obj
+    assert lit is not None
+    return lit.atom
 
 
 def query_to_text(query: Query) -> str:
@@ -246,6 +457,7 @@ def query_to_text(query: Query) -> str:
     def term_text(t: Term) -> str:
         if isinstance(t, Variable):
             return t.name
+        assert isinstance(t, Constant)
         if isinstance(t.value, int) and not isinstance(t.value, bool):
             return str(t.value)
         if isinstance(t.value, str):
@@ -260,8 +472,8 @@ def query_to_text(query: Query) -> str:
         return f"{a.relation}({inner})"
 
     def diseq_text(d: Diseq) -> str:
-        lhs = ", ".join(term_text(l) for l, _ in d.pairs)
-        rhs = ", ".join(term_text(r) for _, r in d.pairs)
+        lhs = ", ".join(term_text(left) for left, _ in d.pairs)
+        rhs = ", ".join(term_text(right) for _, right in d.pairs)
         if len(d.pairs) == 1:
             return f"{lhs} != {rhs}"
         return f"({lhs}) != ({rhs})"

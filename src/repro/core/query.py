@@ -17,10 +17,10 @@ repeated variables).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Iterable, Mapping, Optional, Tuple
 
 from .atoms import Atom
-from .terms import Constant, Term, Variable, is_variable, variables_of
+from .terms import Term, Variable, is_variable, variables_of
 
 
 class QueryError(ValueError):
@@ -38,7 +38,7 @@ class Diseq:
     __slots__ = ("pairs",)
 
     def __init__(self, pairs: Iterable[Tuple[Term, Term]]):
-        pairs = tuple((l, r) for l, r in pairs)
+        pairs = tuple((lhs, rhs) for lhs, rhs in pairs)
         if not pairs:
             raise QueryError("a disequality needs at least one pair")
         self.pairs = pairs
@@ -54,7 +54,7 @@ class Diseq:
         def sub(t: Term) -> Term:
             return mapping.get(t, t) if is_variable(t) else t
 
-        return Diseq(tuple((sub(l), sub(r)) for l, r in self.pairs))
+        return Diseq(tuple((sub(lhs), sub(rhs)) for lhs, rhs in self.pairs))
 
     @property
     def is_ground(self) -> bool:
@@ -65,11 +65,11 @@ class Diseq:
         """Evaluate a ground disequality: True iff some pair differs."""
         if not self.is_ground:
             raise QueryError(f"disequality {self} is not ground")
-        return any(l != r for l, r in self.pairs)
+        return any(lhs != rhs for lhs, rhs in self.pairs)
 
     def __repr__(self) -> str:
-        lhs = ",".join(str(l) for l, _ in self.pairs)
-        rhs = ",".join(str(r) for _, r in self.pairs)
+        lhs = ",".join(str(pair[0]) for pair in self.pairs)
+        rhs = ",".join(str(pair[1]) for pair in self.pairs)
         return f"({lhs}) != ({rhs})"
 
     def __eq__(self, other: object) -> bool:

@@ -1,0 +1,101 @@
+"""Source spans and position arithmetic for diagnostics.
+
+A :class:`Span` is a half-open ``[start, end)`` interval of character
+offsets into a query text.  :class:`SourceText` turns offsets into
+1-based ``line:column`` positions and renders caret-underlined excerpts,
+so parser errors and lint diagnostics can point at the offending text::
+
+    P(x | y), not N(z | y)
+                    ^
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open interval ``[start, end)`` of character offsets."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span [{self.start}, {self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def union(self, other: "Span") -> "Span":
+        """The smallest span covering both operands."""
+        return Span(min(self.start, other.start), max(self.end, other.end))
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"start": self.start, "end": self.end}
+
+    def __repr__(self) -> str:
+        return f"Span({self.start}, {self.end})"
+
+
+class SourceText:
+    """A piece of source text with line/column arithmetic.
+
+    Lines and columns are 1-based, matching the convention of every
+    mainstream compiler diagnostic.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        starts = [0]
+        for i, ch in enumerate(text):
+            if ch == "\n":
+                starts.append(i + 1)
+        self._line_starts = starts
+
+    def position(self, offset: int) -> Tuple[int, int]:
+        """``(line, column)`` of a character offset, both 1-based."""
+        offset = max(0, min(offset, len(self.text)))
+        line = bisect_right(self._line_starts, offset)
+        column = offset - self._line_starts[line - 1] + 1
+        return line, column
+
+    def describe(self, span: Span) -> str:
+        """Human-readable position of a span: ``"line 1, column 11"``."""
+        line, column = self.position(span.start)
+        return f"line {line}, column {column}"
+
+    def line_of(self, offset: int) -> str:
+        """The full source line containing *offset* (without newline)."""
+        line, _ = self.position(offset)
+        start = self._line_starts[line - 1]
+        end = self.text.find("\n", start)
+        return self.text[start:] if end < 0 else self.text[start:end]
+
+    def snippet(self, span: Span, context: int = 10) -> str:
+        """The spanned text itself, clipped for one-line messages."""
+        text = self.text[span.start:span.end]
+        if len(text) > 2 * context + 3:
+            text = text[:context] + "..." + text[-context:]
+        return text
+
+    def excerpt(self, span: Span) -> str:
+        """The source line plus a caret underline below the span::
+
+            P(x | y), not N(z | y)
+                          ^^^^^^^^
+        """
+        line, column = self.position(span.start)
+        source_line = self.line_of(span.start)
+        line_end = self._line_starts[line - 1] + len(source_line)
+        width = max(1, min(span.end, line_end) - span.start)
+        underline = " " * (column - 1) + "^" * width
+        return f"{source_line}\n{underline}"
+
+    def excerpt_lines(self, span: Span, indent: str = "  ") -> List[str]:
+        """:meth:`excerpt` as indented lines, for diagnostic rendering."""
+        return [indent + part for part in self.excerpt(span).split("\n")]

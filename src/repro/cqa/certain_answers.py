@@ -37,7 +37,7 @@ from ..db.sqlite_backend import create_tables, load_database
 from ..fo.eval import Evaluator
 from ..fo.formula import Formula, free_variables, schemas_of, substitute_terms
 from ..fo.simplify import simplify_fixpoint
-from ..fo.sql import SQLCompiler, decode_value, table_name
+from ..fo.sql import SQLCompiler, decode_value
 from .brute_force import is_certain_brute_force
 from .rewriting import NotInFO, Rewriter
 

@@ -18,7 +18,7 @@ Strategies
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..core.classify import Classification, Verdict, classify
 from ..core.query import Query
@@ -26,6 +26,7 @@ from ..db.database import Database
 from ..db.sqlite_backend import run_sentence_sql
 from ..fo.eval import Evaluator
 from ..fo.formula import Formula
+from ..lint import LintResult, lint_query
 from .brute_force import is_certain_brute_force
 from .is_certain import is_certain
 from .rewriting import NotInFO, consistent_rewriting
@@ -62,12 +63,26 @@ class CertaintyEngine:
     def __init__(self, query: Query):
         self.query = query
         self.classification: Classification = classify(query)
+        self.lint: LintResult = lint_query(query)
         self._rewriting: Optional[Formula] = None
 
     @property
     def in_fo(self) -> bool:
         """Does the query admit a consistent FO rewriting (Thm 4.3)?"""
         return self.classification.verdict is Verdict.IN_FO
+
+    def _require_fo(self, method: str) -> None:
+        """Fail fast with the coded lint diagnostics when an FO-only
+        method is requested for a query outside Theorem 4.3(2)."""
+        if self.in_fo:
+            return
+        detail = "; ".join(d.one_line() for d in self.lint.errors)
+        raise NotInFO(
+            f"method {method!r} needs a consistent FO rewriting, which "
+            f"Theorem 4.3 withholds for this query: "
+            f"{detail or self.classification.reason}",
+            diagnostics=self.lint.errors,
+        )
 
     @property
     def rewriting(self) -> Formula:
@@ -87,10 +102,13 @@ class CertaintyEngine:
         if method == "brute":
             return is_certain_brute_force(self.query, db)
         if method == "interpreted":
+            self._require_fo(method)
             return is_certain(self.query, db)
         if method == "rewriting":
+            self._require_fo(method)
             return Evaluator(self.rewriting, db).evaluate()
         if method == "sql":
+            self._require_fo(method)
             return run_sentence_sql(self.rewriting, db)
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 

@@ -11,7 +11,7 @@ explanation exhibits a satisfying valuation on a sample of repairs
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.query import Query

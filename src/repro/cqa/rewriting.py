@@ -40,12 +40,11 @@ from ..core.atoms import Atom
 from ..core.attack_graph import AttackGraph
 from ..core.classify import Verdict, classify
 from ..core.query import Diseq, Query
-from ..core.terms import Constant, PlaceholderConstant, Term, Variable, is_variable
+from ..core.terms import PlaceholderConstant, Variable, is_variable
 from ..fo.formula import (
     AtomF,
     Eq,
     Formula,
-    TRUE,
     implies,
     make_and,
     make_exists,
@@ -58,7 +57,17 @@ from ..fo.simplify import simplify_fixpoint
 
 
 class NotInFO(ValueError):
-    """Raised when asked to rewrite a query with no FO rewriting."""
+    """Raised when asked to rewrite a query with no FO rewriting.
+
+    Carries the lint diagnostics (``QL002``/``QL004``, see
+    :mod:`repro.lint`) that explain *why* Theorem 4.3 withholds the
+    rewriting, so callers get a coded, span-capable explanation instead
+    of a deep traceback.
+    """
+
+    def __init__(self, message: str, diagnostics: Tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class RewritingError(RuntimeError):
@@ -136,9 +145,14 @@ class Rewriter:
         """
         verdict = classify(self.query)
         if verdict.verdict is not Verdict.IN_FO:
+            from ..lint import lint_query
+
+            errors = lint_query(self.query).errors
+            detail = "; ".join(d.one_line() for d in errors) or verdict.reason
             raise NotInFO(
                 f"CERTAINTY(q) has no consistent first-order rewriting by "
-                f"Theorem 4.3: {verdict.reason}"
+                f"Theorem 4.3: {detail}",
+                diagnostics=errors,
             )
         formula = self._rw(self.query)
         return simplify_fixpoint(formula) if simplify else formula

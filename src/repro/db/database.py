@@ -9,7 +9,7 @@ block is a singleton (Section 3 of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 from ..core.atoms import Atom, RelationSchema
 

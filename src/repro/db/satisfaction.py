@@ -17,7 +17,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.atoms import Atom
 from ..core.query import Diseq, Query
-from ..core.terms import Constant, Variable, is_variable
+from ..core.terms import Variable, is_variable
 from .database import Database
 
 Valuation = Dict[Variable, object]

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-from ..core.classify import Hardness, Verdict, classify
+from ..core.classify import classify
 from ..cqa.brute_force import is_certain_brute_force
 from ..cqa.engine import CertaintyEngine
 from ..workloads.census import (

@@ -9,10 +9,10 @@ the exponential-vs-polynomial runtime shape as instances grow.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..cqa.brute_force import find_falsifying_repair, is_certain_brute_force
-from ..matching.bpm_certainty import falsifying_repair_q1, is_certain_q1
+from ..matching.bpm_certainty import is_certain_q1
 from ..matching.hopcroft_karp import has_perfect_matching
 from ..reductions.bpm import bpm_to_database, matching_from_repair
 from ..workloads.bipartite import (

@@ -1,7 +1,7 @@
 """E2 — Figure 2 / Examples 1.2 and 6.12: q_Hall.
 
-The consistent FO rewriting of q_Hall exists for every l, and its size
-grows exponentially in l (the paper notes this at the end of Example
+The consistent FO rewriting of q_Hall exists for every ell, and its size
+grows exponentially in ell (the paper notes this at the end of Example
 6.12).  This experiment measures the growth, and validates the rewriting
 against the Hall's-theorem solver and brute force on S-COVERING
 instances.
@@ -22,17 +22,17 @@ from .harness import Table, timed
 
 
 def rewriting_growth_table(max_sets: int = 6) -> Table:
-    """Formula size of the q_Hall rewriting as l grows."""
+    """Formula size of the q_Hall rewriting as ell grows."""
     table = Table(
         "E2a: size of the consistent FO rewriting of q_Hall",
-        ["l", "AST nodes", "atoms", "quantifiers", "depth", "t_construct(s)"],
+        ["ell", "AST nodes", "atoms", "quantifiers", "depth", "t_construct(s)"],
     )
-    for l in range(1, max_sets + 1):
-        query = q_hall(l)
+    for ell in range(1, max_sets + 1):
+        query = q_hall(ell)
         engine = CertaintyEngine(query)
-        _, t = timed(lambda: CertaintyEngine(q_hall(l)).rewriting)
+        _, t = timed(lambda: CertaintyEngine(q_hall(ell)).rewriting)
         s = stats(engine.rewriting)
-        table.add_row(l, s.nodes, s.atoms, s.quantifiers, s.quantifier_depth, t)
+        table.add_row(ell, s.nodes, s.atoms, s.quantifiers, s.quantifier_depth, t)
     table.add_note(
         "Example 6.12: the length of the rewriting is exponential in the "
         "size of the rewritten query."
@@ -95,24 +95,24 @@ def timing_table(
     rng = random.Random(seed)
     table = Table(
         "E2c: q_Hall answer time on |S| = %d" % n_elements,
-        ["l", "certain", "t_hall(s)", "t_rewriting(s)", "t_sql(s)"],
+        ["ell", "certain", "t_hall(s)", "t_rewriting(s)", "t_sql(s)"],
     )
-    for l in n_sets:
-        inst = random_instance(n_elements, l, rng)
+    for ell in n_sets:
+        inst = random_instance(n_elements, ell, rng)
         db = scovering_to_database(inst)
         engine = CertaintyEngine(query_for(inst))
         hall_ans, t_hall = timed(lambda: not inst.solvable)
         rw_ans, t_rw = timed(engine.certain, db, "rewriting")
         assert hall_ans == rw_ans
-        if l <= sql_limit:
+        if ell <= sql_limit:
             sql_ans, t_sql = timed(engine.certain, db, "sql")
             assert sql_ans == rw_ans
             t_sql_txt = t_sql
         else:
             t_sql_txt = "parser limit"
-        table.add_row(l, rw_ans, t_hall, t_rw, t_sql_txt)
+        table.add_row(ell, rw_ans, t_hall, t_rw, t_sql_txt)
     table.add_note(
-        "beyond l = 3 the exponentially-sized rewriting overflows "
+        "beyond ell = 3 the exponentially-sized rewriting overflows "
         "sqlite's expression parser stack — the paper's remark that the "
         "rewriting length is exponential in the query has a very "
         "concrete practical consequence."

@@ -9,7 +9,6 @@ from typing import List
 
 from ..core.attack_graph import AttackGraph
 from ..core.classify import classify
-from ..cqa.brute_force import is_certain_brute_force
 from ..cqa.engine import CertaintyEngine
 from ..workloads.poll import random_poll_database
 from ..workloads.queries import poll_q1, poll_q2, poll_qa, poll_qb

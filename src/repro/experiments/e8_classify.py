@@ -48,13 +48,13 @@ def random_family_table(
 
 def hall_family_table(sizes=(1, 2, 4, 8, 16, 32), seed: int = 11) -> Table:
     table = Table(
-        "E8b: classification time on q_Hall(l)",
-        ["l", "verdict", "t_classify(s)"],
+        "E8b: classification time on q_Hall(ell)",
+        ["ell", "verdict", "t_classify(s)"],
     )
-    for l in sizes:
-        query = q_hall(l)
+    for ell in sizes:
+        query = q_hall(ell)
         verdict, t = timed(classify, query, repeat=3)
-        table.add_row(l, verdict.verdict.value, t)
+        table.add_row(ell, verdict.verdict.value, t)
     return table
 
 

@@ -7,7 +7,7 @@ self-contained with no plotting dependencies.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 
 def bar_chart(

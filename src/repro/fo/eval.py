@@ -11,7 +11,7 @@ quantifiers are always relation-guarded — fast in practice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.terms import Variable, is_variable
 from ..db.database import Database

@@ -11,7 +11,7 @@ disjunction, and the two quantifiers.  Implication is provided as sugar.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Sequence
 
 from ..core.atoms import Atom
 from ..core.terms import Constant, Term, Variable, is_variable

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Set
 
-from ..core.terms import Variable, is_variable
+from ..core.terms import is_variable
 from .formula import (
     And,
     AtomF,

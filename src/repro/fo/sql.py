@@ -23,7 +23,7 @@ one SQL query evaluated by sqlite:
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping
 
 from ..core.atoms import RelationSchema
 from ..core.terms import Variable, is_variable

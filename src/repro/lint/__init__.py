@@ -1,0 +1,40 @@
+"""Static analysis for sjfBCQ¬ queries (codes QL000–QL010).
+
+The linter checks the static preconditions of the paper's dichotomy
+(Theorem 4.3) — self-join-freeness, weakly guarded negation, safety —
+and reports span-anchored, coded diagnostics instead of ad-hoc error
+strings.  See ``docs/LINTING.md`` for the full catalogue.
+
+>>> from repro.lint import lint_text
+>>> result = lint_text("P(x | y), not N(z | y)")
+>>> [d.code for d in result.errors]
+['QL002', 'QL003']
+"""
+
+from .context import LintContext, LintDiseq, LintLiteral
+from .diagnostics import Diagnostic, RuleInfo, Severity
+from .linter import (
+    LintError,
+    LintResult,
+    lint_query,
+    lint_text,
+    require_clean,
+)
+from .rules import RULES, rule, run_rules
+
+__all__ = [
+    "Diagnostic",
+    "LintContext",
+    "LintDiseq",
+    "LintError",
+    "LintLiteral",
+    "LintResult",
+    "RULES",
+    "RuleInfo",
+    "Severity",
+    "lint_query",
+    "lint_text",
+    "require_clean",
+    "rule",
+    "run_rules",
+]

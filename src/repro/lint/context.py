@@ -1,0 +1,166 @@
+"""The linter's view of a query.
+
+Lint rules must be able to inspect queries that :class:`Query` itself
+would reject (self-joins, unsafe variables), and must also work on
+queries built programmatically with no source text at all.  A
+:class:`LintContext` normalizes both inputs into one shape: a list of
+:class:`LintLiteral`/:class:`LintDiseq` views whose spans are optional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.parser import ParsedQuery, ParseProblem
+from ..core.query import Diseq, Query, QueryError
+from ..core.spans import SourceText, Span
+from ..core.terms import Variable
+
+
+@dataclass(frozen=True)
+class LintLiteral:
+    """A positive or negated atom, with spans when the source is known."""
+
+    negated: bool
+    atom: Atom
+    span: Optional[Span] = None
+    atom_span: Optional[Span] = None
+    name_span: Optional[Span] = None
+    term_spans: Optional[Tuple[Span, ...]] = None
+    empty_key: bool = False
+
+    def term_span(self, index: int) -> Optional[Span]:
+        """The span of ``atom.terms[index]``, when known."""
+        if self.term_spans is None or index >= len(self.term_spans):
+            return self.atom_span or self.span
+        return self.term_spans[index]
+
+    def best_span(self) -> Optional[Span]:
+        return self.atom_span or self.span
+
+    def describe(self) -> str:
+        """``"negated atom N(z|y)"`` / ``"atom P(x|y)"``."""
+        prefix = "negated atom " if self.negated else "atom "
+        return prefix + str(self.atom)
+
+
+@dataclass(frozen=True)
+class LintDiseq:
+    """A disequality constraint, with spans when the source is known."""
+
+    diseq: Diseq
+    span: Optional[Span] = None
+    pair_spans: Optional[Tuple[Tuple[Span, Span], ...]] = None
+
+    def pair_span(self, index: int, side: int) -> Optional[Span]:
+        """Span of one side of pair *index* (side 0 = lhs, 1 = rhs)."""
+        if self.pair_spans is None or index >= len(self.pair_spans):
+            return self.span
+        return self.pair_spans[index][side]
+
+
+@dataclass
+class LintContext:
+    """Everything the rule checkers need about one query."""
+
+    literals: List[LintLiteral] = field(default_factory=list)
+    diseqs: List[LintDiseq] = field(default_factory=list)
+    problems: List[ParseProblem] = field(default_factory=list)
+    source: Optional[SourceText] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_parsed(cls, parsed: ParsedQuery) -> "LintContext":
+        """Context for source text parsed with ``parse_query_spanned``."""
+        literals = [
+            LintLiteral(
+                negated=lit.negated,
+                atom=lit.atom,
+                span=lit.span,
+                atom_span=lit.atom_span,
+                name_span=lit.name_span,
+                term_spans=lit.term_spans,
+                empty_key=lit.empty_key,
+            )
+            for lit in parsed.literals
+        ]
+        diseqs = [
+            LintDiseq(diseq=d.diseq, span=d.span, pair_spans=d.pair_spans)
+            for d in parsed.diseqs
+        ]
+        return cls(literals, diseqs, list(parsed.problems), parsed.source)
+
+    @classmethod
+    def from_query(cls, query: Query) -> "LintContext":
+        """Context for a programmatically built query (no spans)."""
+        literals = [LintLiteral(negated=False, atom=a) for a in query.positives]
+        literals += [LintLiteral(negated=True, atom=a) for a in query.negatives]
+        diseqs = [LintDiseq(diseq=d) for d in query.diseqs]
+        return cls(literals, diseqs)
+
+    # ------------------------------------------------------------------
+    # structural views
+    # ------------------------------------------------------------------
+
+    @property
+    def positives(self) -> List[LintLiteral]:
+        return [lit for lit in self.literals if not lit.negated]
+
+    @property
+    def negatives(self) -> List[LintLiteral]:
+        return [lit for lit in self.literals if lit.negated]
+
+    @cached_property
+    def positive_vars(self) -> frozenset:
+        vs: frozenset = frozenset()
+        for lit in self.positives:
+            vs |= lit.atom.vars
+        return vs
+
+    @cached_property
+    def is_self_join_free(self) -> bool:
+        names = [lit.atom.relation for lit in self.literals]
+        return len(names) == len(set(names))
+
+    @cached_property
+    def query(self) -> Optional[Query]:
+        """The :class:`Query`, or None when it cannot be built; rules
+        that need the attack graph are skipped in that case (a coded
+        diagnostic already explains why)."""
+        try:
+            return Query(
+                [lit.atom for lit in self.positives],
+                [lit.atom for lit in self.negatives],
+                [d.diseq for d in self.diseqs],
+                check_safety=False,
+            )
+        except QueryError:
+            return None
+
+    def span_of_atom(self, atom: Atom) -> Optional[Span]:
+        """The span of the literal carrying *atom*, when known."""
+        for lit in self.literals:
+            if lit.atom == atom:
+                return lit.best_span()
+        return None
+
+    def variable_occurrences(self) -> List[Tuple[Variable, Optional[Span]]]:
+        """Every variable occurrence in source order, with its span."""
+        occurrences: List[Tuple[Variable, Optional[Span]]] = []
+        for lit in self.literals:
+            for i, term in enumerate(lit.atom.terms):
+                if isinstance(term, Variable):
+                    occurrences.append((term, lit.term_span(i)))
+        for d in self.diseqs:
+            for i, (lhs, rhs) in enumerate(d.diseq.pairs):
+                if isinstance(lhs, Variable):
+                    occurrences.append((lhs, d.pair_span(i, 0)))
+                if isinstance(rhs, Variable):
+                    occurrences.append((rhs, d.pair_span(i, 1)))
+        return occurrences

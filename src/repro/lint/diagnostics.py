@@ -1,0 +1,116 @@
+"""Diagnostic objects for the query linter.
+
+A :class:`Diagnostic` is one finding of one rule: a stable code
+(``QL001`` … ``QL010``), a :class:`Severity`, a message, an optional
+source :class:`~repro.core.spans.Span`, the paper citation backing the
+rule, and an optional suggested fix.  Diagnostics render both as
+compiler-style text (with caret-underlined excerpts when the source text
+is known) and as JSON for tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.spans import SourceText, Span
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+    HINT = "hint"
+
+    @property
+    def rank(self) -> int:
+        """Smaller is more severe; used to sort reports."""
+        order = (Severity.ERROR, Severity.WARNING, Severity.INFO, Severity.HINT)
+        return order.index(self)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint rule."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[Span] = None
+    citation: str = ""
+    fix: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (spans as ``{"start", "end"}``)."""
+        payload: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": self.span.to_dict() if self.span is not None else None,
+        }
+        if self.citation:
+            payload["citation"] = self.citation
+        if self.fix:
+            payload["fix"] = self.fix
+        return payload
+
+    def render(self, source: Optional[SourceText] = None) -> str:
+        """Compiler-style multi-line rendering::
+
+            error[QL002]: negation of N is not weakly guarded: ...
+              --> line 1, column 11
+              P(x | y), not N(z | y)
+                        ^^^^^^^^^^^^
+              = note: Definition of weak guardedness, Section 3
+        """
+        head = f"{self.severity.value}[{self.code}]: {self.message}"
+        lines = [head]
+        if self.span is not None and source is not None:
+            line, column = source.position(self.span.start)
+            lines.append(f"  --> line {line}, column {column}")
+            lines += source.excerpt_lines(self.span, indent="  ")
+        if self.citation:
+            lines.append(f"  = note: {self.citation}")
+        if self.fix:
+            lines.append(f"  = help: {self.fix}")
+        return "\n".join(lines)
+
+    def one_line(self, source: Optional[SourceText] = None) -> str:
+        """Single-line rendering for CLI error paths."""
+        position = ""
+        if self.span is not None and source is not None:
+            line, column = source.position(self.span.start)
+            position = f" at line {line}, column {column}"
+        return f"{self.severity.value}[{self.code}]{position}: {self.message}"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry metadata for one lint rule (see :mod:`repro.lint.rules`)."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+    citation: str = ""
+
+    def diagnostic(
+        self,
+        message: str,
+        span: Optional[Span] = None,
+        severity: Optional[Severity] = None,
+        fix: str = "",
+    ) -> Diagnostic:
+        """Build a diagnostic for this rule (severity defaults to the
+        rule's registered severity)."""
+        return Diagnostic(
+            code=self.code,
+            severity=severity or self.severity,
+            message=message,
+            span=span,
+            citation=self.citation,
+            fix=fix,
+        )

@@ -1,0 +1,149 @@
+"""Entry points of the query linter.
+
+:func:`lint_text` lints query source text (spans included);
+:func:`lint_query` lints an already-built :class:`Query`
+(no spans, used by the CQA engine to fail fast with coded diagnostics).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.parser import ParseError, parse_query_spanned
+from ..core.query import Query
+from ..core.spans import SourceText
+from .context import LintContext
+from .diagnostics import Diagnostic, Severity
+from .rules import EMPTY_KEY, RULES, SYNTAX_ERROR, run_rules
+
+
+class LintError(ValueError):
+    """Raised by :func:`require_clean` when a query has error diagnostics.
+
+    ``str()`` is a single line naming every error code; the full
+    diagnostics are available on the ``diagnostics`` attribute.
+    """
+
+    def __init__(self, result: "LintResult"):
+        self.result = result
+        self.diagnostics = result.errors
+        summary = "; ".join(
+            d.one_line(result.source) for d in result.errors
+        )
+        super().__init__(summary or "lint failed")
+
+
+@dataclass
+class LintResult:
+    """All diagnostics for one query, with rendering helpers."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    source: Optional[SourceText] = None
+    query: Optional[Query] = None
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        """True when evaluation/rewriting may proceed (no errors)."""
+        return not self.has_errors
+
+    def codes(self) -> List[str]:
+        """The distinct diagnostic codes present, sorted."""
+        return sorted({d.code for d in self.diagnostics})
+
+    def summary(self) -> str:
+        counts = {
+            severity: len(self.by_severity(severity)) for severity in Severity
+        }
+        parts = [
+            f"{count} {severity.value}(s)"
+            for severity, count in counts.items()
+            if count
+        ]
+        return ", ".join(parts) if parts else "no diagnostics"
+
+    def render_text(self) -> str:
+        """Compiler-style report: one block per diagnostic + a summary."""
+        if not self.diagnostics:
+            return "ok: no diagnostics"
+        blocks = [d.render(self.source) for d in self.diagnostics]
+        return "\n\n".join(blocks) + f"\n\n{self.summary()}"
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "summary": {
+                severity.value: len(self.by_severity(severity))
+                for severity in Severity
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+
+def _sort_key(diagnostic: Diagnostic) -> tuple:
+    start = diagnostic.span.start if diagnostic.span is not None else 1 << 30
+    return (start, diagnostic.severity.rank, diagnostic.code)
+
+
+def _finish(
+    diagnostics: List[Diagnostic],
+    source: Optional[SourceText],
+    query: Optional[Query],
+) -> LintResult:
+    return LintResult(sorted(diagnostics, key=_sort_key), source, query)
+
+
+def lint_text(text: str) -> LintResult:
+    """Lint query source text; spans point into *text*.
+
+    A syntax error yields a single ``QL000`` diagnostic instead of
+    raising; empty-key atoms are recovered and reported as ``QL010``.
+    """
+    source = SourceText(text)
+    try:
+        parsed = parse_query_spanned(text, recover=True)
+    except ParseError as exc:
+        diagnostic = SYNTAX_ERROR.diagnostic(exc.message, span=exc.span)
+        return _finish([diagnostic], exc.source or source, None)
+    context = LintContext.from_parsed(parsed)
+    diagnostics = [
+        RULES.get(problem.code, EMPTY_KEY).diagnostic(
+            problem.message, span=problem.span
+        )
+        for problem in parsed.problems
+    ]
+    diagnostics += run_rules(context)
+    return _finish(diagnostics, parsed.source, context.query)
+
+
+def lint_query(query: Query) -> LintResult:
+    """Lint an already-built query (no source text, spans are None)."""
+    context = LintContext.from_query(query)
+    return _finish(run_rules(context), None, query)
+
+
+def require_clean(query: Query) -> LintResult:
+    """Lint *query* and raise :class:`LintError` on error diagnostics."""
+    result = lint_query(query)
+    if result.has_errors:
+        raise LintError(result)
+    return result

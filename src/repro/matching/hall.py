@@ -13,7 +13,7 @@ have |N(A)| ≥ |A| where N(A) = {i : A ∩ T_i ≠ ∅}.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Optional, Sequence, Set, Tuple
 
 from .hopcroft_karp import BipartiteGraph, maximum_matching
 

@@ -10,7 +10,7 @@ Runs in O(E * sqrt(V)).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Tuple
 
 Vertex = Hashable
 

@@ -13,7 +13,7 @@ from typing import Tuple
 
 from ..core.atoms import Atom, RelationSchema
 from ..core.query import Diseq, Query, QueryError
-from ..core.terms import Constant, Variable, is_variable
+from ..core.terms import is_variable
 from ..db.database import Database
 
 _fresh_names = itertools.count()

@@ -23,12 +23,12 @@ Pairs are encoded as ``("pair", a, b)`` and ⊥ as ``("bot",)``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Tuple
 
 from ..core.atoms import Atom
-from ..core.attack_graph import attacked_from, attacked_variables
+from ..core.attack_graph import attacked_from
 from ..core.query import Query
-from ..core.terms import Constant, Variable, is_variable
+from ..core.terms import Variable, is_variable
 from ..db.database import Database
 
 BOT = ("bot",)

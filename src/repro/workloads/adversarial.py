@@ -12,7 +12,7 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from ..core.atoms import RelationSchema
 from ..db.database import Database

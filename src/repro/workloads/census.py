@@ -14,7 +14,7 @@ set of positive shapes and negated shapes satisfying self-join-freeness
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from ..core.atoms import Atom, RelationSchema
 from ..core.query import Query, QueryError

@@ -27,7 +27,6 @@ from typing import Optional
 from ..core.atoms import RelationSchema, atom
 from ..core.query import Query
 from ..core.terms import Variable
-from .generators import DatabaseParams
 from ..db.database import Database
 
 CRM_SCHEMAS = (

@@ -10,10 +10,10 @@ polynomial-time classifier (experiment E8).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..core.atoms import Atom, RelationSchema, atom
+from ..core.atoms import Atom, RelationSchema
 from ..core.query import Query, QueryError
 from ..core.terms import Constant, Variable, is_variable
 from ..db.database import Database

@@ -6,7 +6,7 @@ import random
 
 import pytest
 
-from repro.core.terms import Constant, Variable
+from repro.core.terms import Variable
 from repro.db.database import Database
 
 

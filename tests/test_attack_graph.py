@@ -13,8 +13,6 @@ from repro.core.attack_graph import (
     attacks_variable,
     cooccurrence_graph,
 )
-from repro.core.atoms import atom
-from repro.core.query import Query
 from repro.core.terms import Constant, Variable
 from repro.workloads.generators import QueryParams, random_query
 from repro.workloads.queries import (
@@ -87,8 +85,8 @@ class TestPaperExamples:
         assert not AttackGraph(poll_q2()).is_acyclic
 
     def test_q_hall_acyclic_all_sizes(self):
-        for l in range(0, 5):
-            assert AttackGraph(q_hall(l)).is_acyclic
+        for ell in range(0, 5):
+            assert AttackGraph(q_hall(ell)).is_acyclic
 
 
 class TestVariableAttacks:

@@ -1,8 +1,6 @@
 """Tests for the brute-force certainty baseline."""
 
-import random
 
-from repro.core.atoms import atom
 from repro.core.query import Query
 from repro.core.terms import Variable
 from repro.cqa.brute_force import (

@@ -1,11 +1,9 @@
 """Tests for the small-query census and the census experiment (E14)."""
 
-import pytest
 
 from repro.core.classify import Verdict, classify
 from repro.core.terms import Constant, Variable
 from repro.workloads.census import atom_shapes, census_size, enumerate_queries
-from repro.workloads.queries import q1
 
 
 class TestEnumeration:

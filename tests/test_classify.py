@@ -50,9 +50,9 @@ class TestCanonicalVerdicts:
         assert classify(q3()).verdict is Verdict.IN_FO
 
     def test_q_hall_in_fo(self):
-        """Example 6.12: for fixed l, CERTAINTY(q_Hall) is in FO."""
-        for l in range(0, 5):
-            assert classify(q_hall(l)).verdict is Verdict.IN_FO
+        """Example 6.12: for fixed ell, CERTAINTY(q_Hall) is in FO."""
+        for ell in range(0, 5):
+            assert classify(q_hall(ell)).verdict is Verdict.IN_FO
 
     def test_q_example611_in_fo(self):
         assert classify(q_example611()).verdict is Verdict.IN_FO

@@ -4,7 +4,6 @@ import random
 
 from repro.cqa.brute_force import is_certain_brute_force
 from repro.cqa.counting import (
-    FractionEstimate,
     RepairCount,
     count_satisfying_repairs,
     estimate_satisfying_fraction,

@@ -1,6 +1,5 @@
 """Tests for the CRM workload and the possibility module."""
 
-import pytest
 
 from repro.core.classify import Hardness, Verdict, classify
 from repro.cqa.brute_force import is_certain_brute_force

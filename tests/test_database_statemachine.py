@@ -6,12 +6,7 @@ repair counts, lookups, and index freshness after every step.
 """
 
 import hypothesis.strategies as st
-from hypothesis.stateful import (
-    Bundle,
-    RuleBasedStateMachine,
-    invariant,
-    rule,
-)
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
 
 from repro.core.atoms import RelationSchema
 from repro.db.database import Database

@@ -20,9 +20,8 @@ from repro.fo.formula import (
     make_exists,
     make_forall,
     make_not,
-    make_or,
 )
-from repro.fo.sql import compile_to_sql, encode_value
+from repro.fo.sql import encode_value
 
 from conftest import db_from
 

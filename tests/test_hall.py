@@ -75,15 +75,15 @@ class TestSCovering:
             SCoveringInstance(["a"], [["a", "zzz"]])
 
     def test_matches_brute_force_exhaustively(self):
-        """All instances with |S| <= 3 and l <= 3 over subsets of S."""
+        """All instances with |S| <= 3 and ell <= 3 over subsets of S."""
         elements = ["a", "b", "c"]
         all_subsets = list(
             itertools.chain.from_iterable(
                 itertools.combinations(elements, k) for k in range(4))
         )
         count = 0
-        for l in range(3):
-            for subsets in itertools.product(all_subsets, repeat=l):
+        for ell in range(3):
+            for subsets in itertools.product(all_subsets, repeat=ell):
                 inst = SCoveringInstance(elements[:2], [
                     [e for e in t if e in elements[:2]] for t in subsets])
                 fast = inst.solve() is not None
@@ -95,9 +95,9 @@ class TestSCovering:
     def test_hall_condition_equivalence(self, rng):
         for _ in range(30):
             n = rng.randint(0, 4)
-            l = rng.randint(0, 4)
+            ell = rng.randint(0, 4)
             elements = list(range(n))
             subsets = [[e for e in elements if rng.random() < 0.5]
-                       for _ in range(l)]
+                       for _ in range(ell)]
             inst = SCoveringInstance(elements, subsets)
             assert inst.solvable == satisfies_hall_condition(inst.to_bipartite())

@@ -1,6 +1,5 @@
 """Tests for the lazy column indexes on Database."""
 
-import random
 
 from repro.db.database import Database
 from repro.core.atoms import RelationSchema

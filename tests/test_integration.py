@@ -5,9 +5,7 @@ database JSON <-> engine, typed transform under the engine, CLI chains.
 """
 
 import json
-import random
 
-import pytest
 
 from repro.core.parser import parse_query
 from repro.core.terms import Variable

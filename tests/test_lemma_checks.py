@@ -13,7 +13,7 @@ from repro.core.lemma_checks import (
     check_lemma_4_9,
     check_lemma_6_10,
 )
-from repro.core.terms import Constant, Variable
+from repro.core.terms import Constant
 from repro.workloads.generators import QueryParams, random_query
 from repro.workloads.queries import all_named_queries, q3, q_hall
 

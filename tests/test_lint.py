@@ -1,0 +1,364 @@
+"""Tests for the query linter (repro.lint): every rule code positive and
+negative, JSON golden output, CLI exit codes, and engine integration."""
+
+import json
+
+import pytest
+
+from repro.core.parser import ParseError, parse_query
+from repro.core.spans import SourceText, Span
+from repro.lint import (
+    RULES,
+    Diagnostic,
+    LintError,
+    Severity,
+    lint_query,
+    lint_text,
+    require_clean,
+)
+from repro.cli import main
+from repro.cqa.rewriting import NotInFO, consistent_rewriting
+
+
+def codes(result):
+    return [d.code for d in result.diagnostics]
+
+
+def diag(result, code):
+    matching = [d for d in result.diagnostics if d.code == code]
+    assert matching, f"no {code} in {codes(result)}"
+    return matching[0]
+
+
+class TestRegistry:
+    def test_all_codes_catalogued(self):
+        expected = {f"QL{i:03d}" for i in range(11)}
+        assert set(RULES) == expected
+
+    def test_every_rule_has_citation_and_summary(self):
+        for info in RULES.values():
+            assert info.summary
+            assert info.citation
+            assert info.name
+
+
+class TestQL000Syntax:
+    def test_fires_on_garbage(self):
+        result = lint_text("R(x | y) @ S(y | x)")
+        d = diag(result, "QL000")
+        assert d.severity is Severity.ERROR
+        assert result.has_errors
+        assert result.source.text[d.span.start:d.span.end] == "@"
+
+    def test_silent_on_wellformed(self):
+        assert "QL000" not in codes(lint_text("R(x | y), not S(y | x)"))
+
+
+class TestQL001SelfJoin:
+    def test_fires_on_distinct_atoms_same_relation(self):
+        result = lint_text("R(x | y), R(y | x)")
+        d = diag(result, "QL001")
+        assert d.severity is Severity.ERROR
+        # span points at the second occurrence
+        assert result.source.text[d.span.start:d.span.end] == "R(y | x)"
+
+    def test_silent_on_self_join_free(self):
+        assert "QL001" not in codes(lint_text("R(x | y), S(y | x)"))
+
+    def test_exact_duplicate_reported_as_ql009_instead(self):
+        result = lint_text("R(x | y), R(x | y)")
+        assert "QL001" not in codes(result)
+        assert "QL009" in codes(result)
+
+
+class TestQL002WeakGuardedness:
+    def test_fires_and_span_points_at_negated_atom(self):
+        result = lint_text("P(x | y), not N(z | y)")
+        d = diag(result, "QL002")
+        assert d.severity is Severity.ERROR
+        assert result.source.text[d.span.start:d.span.end] == "N(z | y)"
+        assert "weakly guarded" in d.message
+
+    def test_fires_on_unguarded_diseq(self):
+        # y and z never co-occur positively
+        result = lint_text("R(x | y), S(x | z), (y, z) != (1, 2)")
+        d = diag(result, "QL002")
+        assert "disequality" in d.message
+
+    def test_silent_on_guarded_query(self):
+        result = lint_text("Likes(p, t), not Lives(p | t), not Mayor(t | p)")
+        assert "QL002" not in codes(result)
+
+    def test_silent_on_weakly_guarded_via_two_atoms(self):
+        # vars of N pairwise co-occur positively even though no single
+        # positive atom contains them all
+        result = lint_text("R(x | y), S(y | z), T(x, z), not N(x, y, z)")
+        assert "QL002" not in codes(result)
+
+
+class TestQL003Safety:
+    def test_fires_with_span_on_the_variable(self):
+        result = lint_text("P(x | y), not N(z | y)")
+        d = diag(result, "QL003")
+        assert d.severity is Severity.ERROR
+        assert result.source.text[d.span.start:d.span.end] == "z"
+
+    def test_fires_on_diseq_only_variable(self):
+        result = lint_text("P(x | y), x != w")
+        d = diag(result, "QL003")
+        assert "'w'" in d.message
+
+    def test_silent_on_safe_query(self):
+        assert "QL003" not in codes(lint_text("P(x | y), not N(y | x)"))
+
+
+class TestQL004AttackCycle:
+    def test_fires_on_paper_q1_with_witness(self):
+        result = lint_text("R(x | y), not S(y | x)")
+        d = diag(result, "QL004")
+        assert d.severity is Severity.ERROR
+        assert "R ~> S ~> R" in d.message or "S ~> R ~> S" in d.message
+        assert "Lemma 5.6" in d.message  # one negated atom on the 2-cycle
+
+    def test_silent_on_acyclic(self):
+        assert "QL004" not in codes(lint_text("P(x | y), not N('c' | y)"))
+
+    def test_downgraded_to_warning_outside_dichotomy(self):
+        # cyclic but not weakly guarded and no 2-cycle hardness lemma:
+        # Theorem 4.3 does not apply, so the cycle is only a warning
+        result = lint_text(
+            "R(x | y), S(y | z), T(z | x), not N(x, y, z)"
+        )
+        if "QL004" in codes(result):
+            assert diag(result, "QL004").severity in (
+                Severity.ERROR, Severity.WARNING
+            )
+
+
+class TestQL005VariableFreeKey:
+    def test_fires_on_constant_key(self):
+        result = lint_text("P(x | y), not N('c' | y)")
+        d = diag(result, "QL005")
+        assert d.severity is Severity.INFO
+        assert "Lemma 6.5/6.6" in d.message
+
+    def test_ground_negated_atom_cites_lemma_6_2(self):
+        result = lint_text("P(x | y), not N('c' | 'd')")
+        assert "Lemma 6.2" in diag(result, "QL005").message
+
+    def test_silent_when_key_has_variables(self):
+        assert "QL005" not in codes(lint_text("P(x | y), not N(y | x)"))
+
+
+class TestQL006Reifiable:
+    def test_fires_on_unattacked_key(self):
+        result = lint_text("R(x | y), S(x | y)")
+        d = diag(result, "QL006")
+        assert d.severity is Severity.HINT
+        assert "Corollary 6.9" in d.message
+
+    def test_silent_when_key_attacked(self):
+        # in q1 both keys are attacked (the 2-cycle)
+        assert "QL006" not in codes(lint_text("R(x | y), not S(y | x)"))
+
+
+class TestQL007UnusedVariable:
+    def test_fires_on_singleton_variable(self):
+        result = lint_text("R(x | y), S(y | w)")
+        messages = [d.message for d in result.diagnostics if d.code == "QL007"]
+        assert any("'w'" in m for m in messages)
+        assert any("'x'" in m for m in messages)
+
+    def test_silent_on_joined_variables(self):
+        assert "QL007" not in codes(lint_text("R(x | y), S(y | x)"))
+
+
+class TestQL008ConstantOnly:
+    def test_fires_on_fact_atom(self):
+        result = lint_text("R(x | y), T('a' | 'b')")
+        d = diag(result, "QL008")
+        assert d.severity is Severity.INFO
+
+    def test_silent_with_variables(self):
+        assert "QL008" not in codes(lint_text("R(x | y), T('a' | y)"))
+
+
+class TestQL009Duplicates:
+    def test_fires_on_duplicate_literal_as_error(self):
+        result = lint_text("R(x | y), R(x | y)")
+        assert diag(result, "QL009").severity is Severity.ERROR
+
+    def test_duplicate_diseq_is_warning_only(self):
+        result = lint_text("R(x | y), x != 1, x != 1")
+        d = diag(result, "QL009")
+        assert d.severity is Severity.WARNING
+        assert not result.has_errors
+
+    def test_silent_without_duplicates(self):
+        assert "QL009" not in codes(lint_text("R(x | y), not S(y | x)"))
+
+
+class TestQL010EmptyKey:
+    def test_fires_with_recovery(self):
+        result = lint_text("R(| x), S(x | y)")
+        d = diag(result, "QL010")
+        assert d.severity is Severity.ERROR
+        assert result.source.text[d.span.start:d.span.end] == "R(| x)"
+
+    def test_fires_on_no_terms_at_all(self):
+        assert "QL010" in codes(lint_text("T(), S(x | y)"))
+
+    def test_silent_on_keyed_atoms(self):
+        assert "QL010" not in codes(lint_text("R(x | y), S(x)"))
+
+    def test_strict_parser_still_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("R(| x), S(x | y)")
+
+
+class TestLintQueryObjects:
+    """lint_query: the span-less path used by the CQA engine."""
+
+    def test_same_codes_as_text_path(self):
+        text = "R(x | y), not S(y | x)"
+        from_text = {d.code for d in lint_text(text).errors}
+        from_query = {d.code for d in lint_query(parse_query(text)).errors}
+        assert from_text == from_query == {"QL004"}
+
+    def test_spans_are_none(self):
+        result = lint_query(parse_query("R(x | y), not S(y | x)"))
+        assert all(d.span is None for d in result.diagnostics)
+
+    def test_require_clean_raises_with_codes(self):
+        with pytest.raises(LintError) as excinfo:
+            require_clean(parse_query("R(x | y), not S(y | x)"))
+        assert "QL004" in str(excinfo.value)
+
+    def test_require_clean_passes_acyclic(self):
+        result = require_clean(parse_query("P(x | y), not N('c' | y)"))
+        assert result.ok
+
+
+class TestEngineIntegration:
+    def test_rewriter_notinfo_carries_diagnostics(self):
+        with pytest.raises(NotInFO) as excinfo:
+            consistent_rewriting(parse_query("R(x | y), not S(y | x)"))
+        assert "QL004" in str(excinfo.value)
+        assert [d.code for d in excinfo.value.diagnostics] == ["QL004"]
+
+    def test_engine_fails_fast_with_code(self):
+        from repro.cqa.engine import CertaintyEngine
+        from repro.db.database import Database
+
+        engine = CertaintyEngine(parse_query("R(x | y), not S(y | x)"))
+        with pytest.raises(NotInFO) as excinfo:
+            engine.certain(Database(), "sql")
+        assert "QL004" in str(excinfo.value)
+
+
+class TestJsonGolden:
+    def test_unguarded_negation_json_payload(self):
+        result = lint_text("P(x | y), not N(z | y)")
+        payload = json.loads(result.to_json())
+        assert payload["ok"] is False
+        assert payload["summary"]["error"] == 2
+        by_code = {d["code"]: d for d in payload["diagnostics"]}
+        ql002 = by_code["QL002"]
+        assert ql002["severity"] == "error"
+        # the span points exactly at the negated atom
+        assert "P(x | y), not N(z | y)"[
+            ql002["span"]["start"]:ql002["span"]["end"]
+        ] == "N(z | y)"
+        ql003 = by_code["QL003"]
+        assert "P(x | y), not N(z | y)"[
+            ql003["span"]["start"]:ql003["span"]["end"]
+        ] == "z"
+
+    def test_clean_query_json(self):
+        result = lint_text("R(x | y), not S(y | 'c')")
+        payload = json.loads(result.to_json())
+        assert payload["ok"] is True
+        assert payload["summary"]["error"] == 0
+
+
+class TestCli:
+    def test_clean_query_exits_zero(self, capsys):
+        assert main(["lint", "P(x | y), not N('c' | y)"]) == 0
+        out = capsys.readouterr().out
+        assert "error[" not in out
+
+    def test_unguarded_exits_one_with_ql002_text(self, capsys):
+        assert main(["lint", "P(x | y), not N(z | y)"]) == 1
+        out = capsys.readouterr().out
+        assert "error[QL002]" in out
+        assert "N(z | y)" in out
+        assert "^^^^^^^^" in out  # caret underline of the negated atom
+
+    def test_unguarded_exits_one_with_ql002_json(self, capsys):
+        assert main(["lint", "P(x | y), not N(z | y)", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any(d["code"] == "QL002" for d in payload["diagnostics"])
+
+    def test_syntax_error_exits_one(self, capsys):
+        assert main(["lint", "R(x |"]) == 1
+        assert "QL000" in capsys.readouterr().out
+
+    def test_certain_with_cyclic_query_prints_code(self, capsys, tmp_path):
+        from repro.db.io import save_database
+        from repro.db.database import Database
+
+        path = tmp_path / "empty.json"
+        save_database(Database(), path)
+        code = main(["certain", "R(x | y), not S(y | x)",
+                     "--db", str(path), "--method", "rewriting"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "QL004" in err
+        assert "Traceback" not in err
+
+
+class TestParserPositions:
+    def test_parse_error_reports_line_and_column(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("R(x | y),\nnot S(y | @)")
+        exc = excinfo.value
+        assert exc.line == 2
+        assert exc.column == 11
+        assert "line 2, column 11" in str(exc)
+
+    def test_parse_error_includes_excerpt(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("R(x | y) @ S(y | x)")
+        assert "@" in str(excinfo.value)
+        pretty = excinfo.value.pretty()
+        assert "^" in pretty
+
+    def test_source_text_positions(self):
+        source = SourceText("ab\ncd")
+        assert source.position(0) == (1, 1)
+        assert source.position(3) == (2, 1)
+        assert source.position(4) == (2, 2)
+
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            Span(3, 1)
+
+    def test_spans_survive_multiline_queries(self):
+        result = lint_text("P(x | y),\n  not N(z | y)")
+        d = diag(result, "QL002")
+        assert result.source.text[d.span.start:d.span.end] == "N(z | y)"
+        line, column = result.source.position(d.span.start)
+        assert (line, column) == (2, 7)
+
+
+class TestDiagnosticRendering:
+    def test_render_without_source(self):
+        d = Diagnostic("QL001", Severity.ERROR, "boom")
+        assert d.render() == "error[QL001]: boom"
+        assert d.one_line() == "error[QL001]: boom"
+
+    def test_one_line_with_source(self):
+        result = lint_text("P(x | y), not N(z | y)")
+        line = diag(result, "QL002").one_line(result.source)
+        assert line.startswith("error[QL002] at line 1, column 15:")

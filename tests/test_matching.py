@@ -1,6 +1,5 @@
 """Tests for the matching substrate (Hopcroft–Karp, q1-certainty)."""
 
-import random
 
 import networkx as nx
 

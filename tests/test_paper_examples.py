@@ -70,7 +70,7 @@ class TestExample12And612:
         assert certain == (not inst.solvable)
 
     def test_figure2_rewriting_answers_correctly(self):
-        """The l = 3 rewriting of Figure 2, via our construction."""
+        """The ell = 3 rewriting of Figure 2, via our construction."""
         engine = CertaintyEngine(q_hall(3))
         inst = SCoveringInstance(["a", "b"], [["a", "b"], ["a"], []])
         db = scovering_to_database(inst)
@@ -80,8 +80,8 @@ class TestExample12And612:
         from repro.cqa.rewriting import consistent_rewriting
         from repro.fo.stats import stats
 
-        sizes = [stats(consistent_rewriting(q_hall(l))).nodes
-                 for l in (1, 2, 3, 4)]
+        sizes = [stats(consistent_rewriting(q_hall(ell))).nodes
+                 for ell in (1, 2, 3, 4)]
         assert sizes[3] > 4 * sizes[1]
 
 

@@ -69,13 +69,13 @@ class TestFigures:
 
     def test_log_scale_compresses(self):
         chart = timing_chart("t", [("fast", 1e-5), ("slow", 1.0)], width=30)
-        lines = [l for l in chart.splitlines() if "|" in l]
+        lines = [ln for ln in chart.splitlines() if "|" in ln]
         assert lines[0].count("#") < lines[1].count("#")
         assert "log scale" in chart
 
     def test_zero_and_negative_render_empty(self):
         chart = bar_chart("t", [("none", 0.0), ("some", 5.0)])
-        lines = [l for l in chart.splitlines() if "|" in l]
+        lines = [ln for ln in chart.splitlines() if "|" in ln]
         assert lines[0].count("#") == 0
 
     def test_empty_rows(self):

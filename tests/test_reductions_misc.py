@@ -55,10 +55,10 @@ class TestSCoveringReduction:
     def test_equivalence(self, rng):
         for _ in range(25):
             n = rng.randint(1, 3)
-            l = rng.randint(0, 3)
+            ell = rng.randint(0, 3)
             elements = list(range(n))
             subsets = [[e for e in elements if rng.random() < 0.5]
-                       for _ in range(l)]
+                       for _ in range(ell)]
             inst = SCoveringInstance(elements, subsets)
             db = scovering_to_database(inst)
             certain = is_certain_brute_force(query_for(inst), db)

@@ -96,8 +96,8 @@ class TestStructure:
             assert Evaluator(f, db).evaluate() == is_certain_brute_force(q, db)
 
     def test_hall_rewriting_grows_exponentially(self):
-        sizes = [stats(consistent_rewriting(q_hall(l))).nodes
-                 for l in range(1, 5)]
+        sizes = [stats(consistent_rewriting(q_hall(ell))).nodes
+                 for ell in range(1, 5)]
         # Strictly growing and at least doubling each step.
         for a, b in zip(sizes, sizes[1:]):
             assert b > 2 * a

@@ -1,15 +1,13 @@
 """Edge-case robustness: empty databases, unicode values, arity-1
 relations, huge tuples, mixed value types, repeated operations."""
 
-import pytest
 
 from repro.core.atoms import RelationSchema, atom
 from repro.core.parser import parse_query
 from repro.core.query import Query
-from repro.core.terms import Constant, Variable
+from repro.core.terms import Variable
 from repro.cqa.engine import CertaintyEngine
 from repro.db.database import Database
-from repro.db.sqlite_backend import run_sentence_sql
 from repro.workloads.queries import q3
 
 from conftest import db_from
