@@ -24,7 +24,7 @@ def big_db():
                                 rng=random.Random(7))
 
 
-@pytest.mark.parametrize("method", ["rewriting", "sql", "interpreted"])
+@pytest.mark.parametrize("method", ["rewriting", "compiled", "sql", "interpreted"])
 def test_fo_strategies_on_large_db(benchmark, engine, big_db, method):
     expected = engine.certain(big_db, "rewriting")
     result = benchmark(engine.certain, big_db, method)

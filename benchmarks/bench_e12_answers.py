@@ -23,7 +23,7 @@ def poll_setup():
     return OpenQuery(poll_qa(), [Variable("p")]), db
 
 
-@pytest.mark.parametrize("method", ["sql", "rewriting"])
+@pytest.mark.parametrize("method", ["sql", "rewriting", "compiled"])
 def test_answer_strategies(benchmark, poll_setup, method):
     open_query, db = poll_setup
     expected = certain_answers(open_query, db, "sql")

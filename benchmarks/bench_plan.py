@@ -1,0 +1,57 @@
+"""Plan compiler vs tuple-at-a-time interpretation.
+
+The regression grid behind BENCH_plan.json: Boolean certainty and
+certain answers, interpreter vs compiled plan, at increasing database
+sizes.  Every benchmark asserts agreement with the rewriting path
+before timing, so a speedup can never hide a wrong answer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.terms import Variable
+from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.cqa.engine import CertaintyEngine
+from repro.fo.compile import plan_cache
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_qa
+
+SIZES = [(60, 12), (150, 25)]
+
+
+def _db(people, towns, seed=71):
+    return random_poll_database(people, towns, conflict_rate=0.5,
+                                rng=random.Random(seed))
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return CertaintyEngine(poll_qa())
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("method", ["rewriting", "compiled"])
+def test_boolean_certainty(benchmark, engine, size, method):
+    db = _db(*size)
+    expected = engine.certain(db, "rewriting")
+    result = benchmark(engine.certain, db, method)
+    assert result == expected
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("method", ["rewriting", "compiled"])
+def test_certain_answers(benchmark, size, method):
+    open_query = OpenQuery(poll_qa(), [Variable("p")])
+    db = _db(*size)
+    expected = certain_answers(open_query, db, "rewriting")
+    result = benchmark(certain_answers, open_query, db, method)
+    assert result == expected
+
+
+def test_plan_cache_hits_across_runs(engine):
+    db = _db(30, 8)
+    engine.certain(db, "compiled")
+    before = plan_cache.stats()["hits"]
+    engine.certain(db, "compiled")
+    assert plan_cache.stats()["hits"] == before + 1

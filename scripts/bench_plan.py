@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Regenerate BENCH_plan.json: interpreter vs compiled-plan speedups.
+
+Usage:  PYTHONPATH=src python scripts/bench_plan.py [output_path]
+
+Times the ``rewriting`` (tuple-at-a-time evaluator; a per-candidate
+loop for open queries) and ``compiled`` (one set-at-a-time plan
+execution) strategies and records the speedup per point:
+
+* Boolean certainty of ``poll_qa`` — the interpreter short-circuits at
+  the first witness, so set-at-a-time is expected to be near parity
+  here, not ahead (see docs/PERFORMANCE.md).
+* Certain answers of ``poll_qa`` with free ``(p)`` and ``(p, t)`` — the
+  batch case the plan compiler exists for.
+* Certain answers of ``q3`` with a large ``N(c, ·)`` block — negation
+  against one big block, an anti-join in plan form.
+
+The JSON is committed so CI and future sessions can compare against a
+known-good baseline.
+"""
+
+import json
+import pathlib
+import random
+import sys
+import time
+
+from repro.core.atoms import RelationSchema
+from repro.core.terms import Variable
+from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.cqa.engine import CertaintyEngine
+from repro.db.database import Database
+from repro.fo.compile import plan_cache
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_qa, q3
+
+BOOLEAN_SIZES = [(300, 40), (1200, 100), (2400, 160)]
+ANSWER_SIZES = [(300, 40), (1200, 100), (2400, 160)]
+Q3_SIZES = [(800, 400), (1600, 800), (3200, 1600)]
+
+
+def timed(fn, *args, repeat=5):
+    best = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn(*args)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+def q3_database(n_people, block, seed=7):
+    """P facts for ``n_people`` keys plus one N block of ``block`` rows."""
+    rng = random.Random(seed)
+    db = Database([RelationSchema("P", 2, 1), RelationSchema("N", 2, 1)])
+    values = [f"v{j}" for j in range(max(block * 2, 50))]
+    for i in range(n_people):
+        for v in rng.sample(values, rng.choice([1, 1, 2])):
+            db.add("P", (f"p{i}", v))
+    for v in rng.sample(values, block):
+        db.add("N", ("c", v))
+    return db
+
+
+def bench_boolean():
+    engine = CertaintyEngine(poll_qa())
+    rows = []
+    for people, towns in BOOLEAN_SIZES:
+        db = random_poll_database(people, towns, conflict_rate=0.5,
+                                  rng=random.Random(71))
+        expected, t_rw = timed(engine.certain, db, "rewriting")
+        engine.certain(db, "compiled")  # warm the plan cache
+        got, t_cp = timed(engine.certain, db, "compiled")
+        assert got == expected, (people, towns)
+        rows.append({
+            "people": people,
+            "towns": towns,
+            "facts": db.size(),
+            "answer": expected,
+            "rewriting_s": round(t_rw, 6),
+            "compiled_s": round(t_cp, 6),
+            "speedup": round(t_rw / t_cp, 2) if t_cp else None,
+        })
+    return rows
+
+
+def bench_answers(free_names):
+    open_query = OpenQuery(poll_qa(), [Variable(n) for n in free_names])
+    rows = []
+    for people, towns in ANSWER_SIZES:
+        db = random_poll_database(people, towns, conflict_rate=0.5,
+                                  rng=random.Random(73))
+        expected, t_rw = timed(certain_answers, open_query, db, "rewriting")
+        certain_answers(open_query, db, "compiled")  # warm the plan cache
+        got, t_cp = timed(certain_answers, open_query, db, "compiled")
+        assert got == expected, (people, towns)
+        rows.append({
+            "people": people,
+            "towns": towns,
+            "facts": db.size(),
+            "answers": len(expected),
+            "rewriting_s": round(t_rw, 6),
+            "compiled_s": round(t_cp, 6),
+            "speedup": round(t_rw / t_cp, 2) if t_cp else None,
+        })
+    return rows
+
+
+def bench_q3_answers():
+    open_query = OpenQuery(q3(), [Variable("x")])
+    rows = []
+    for people, block in Q3_SIZES:
+        db = q3_database(people, block)
+        expected, t_rw = timed(certain_answers, open_query, db, "rewriting")
+        certain_answers(open_query, db, "compiled")  # warm the plan cache
+        got, t_cp = timed(certain_answers, open_query, db, "compiled")
+        assert got == expected, (people, block)
+        rows.append({
+            "people": people,
+            "block": block,
+            "facts": db.size(),
+            "answers": len(expected),
+            "rewriting_s": round(t_rw, 6),
+            "compiled_s": round(t_cp, 6),
+            "speedup": round(t_rw / t_cp, 2) if t_cp else None,
+        })
+    return rows
+
+
+def main(argv):
+    out_path = pathlib.Path(argv[1]) if len(argv) > 1 else (
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_plan.json"
+    )
+    report = {
+        "queries": {
+            "poll_qa": "{Lives(p|t), not Born(p|t), not Likes(p,t|)}",
+            "q3": "{P(x|y), not N('c'|y)}",
+        },
+        "methods": {
+            "rewriting": "guarded tuple-at-a-time evaluator "
+                         "(per-candidate loop for open queries)",
+            "compiled": "set-at-a-time relational plan, one execution",
+        },
+        "boolean_certainty": bench_boolean(),
+        "certain_answers_p": bench_answers(["p"]),
+        "certain_answers_pt": bench_answers(["p", "t"]),
+        "certain_answers_q3": bench_q3_answers(),
+        "plan_cache": plan_cache.stats(),
+    }
+    report["largest_size_speedups"] = {
+        "boolean_certainty": report["boolean_certainty"][-1]["speedup"],
+        "certain_answers_p": report["certain_answers_p"][-1]["speedup"],
+        "certain_answers_pt": report["certain_answers_pt"][-1]["speedup"],
+        "certain_answers_q3": report["certain_answers_q3"][-1]["speedup"],
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    for key, value in report["largest_size_speedups"].items():
+        print(f"{key:24s} speedup at largest size: {value}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -3,6 +3,7 @@
     python -m repro classify "R(x | y), not S(y | x)"
     python -m repro lint     "P(x | y), not N(z | y)" --format json
     python -m repro rewrite  "P(x | y), not N('c' | y)" --pretty --sql
+    python -m repro plan     "P(x | y), not N('c' | y)"
     python -m repro certain  "P(x | y), not N('c' | y)" --db poll.json
     python -m repro answers  "Lives(p | t), not Born(p | t)" --free p --db poll.json
     python -m repro graph    "R(x | y), not S(y | x)"          # DOT output
@@ -23,7 +24,12 @@ from .core.classify import classify
 from .core.parser import ParseError, parse_query
 from .core.query import QueryError
 from .core.terms import Variable
-from .cqa.certain_answers import OpenQuery, certain_answers, certain_answers_sql_query
+from .cqa.certain_answers import (
+    OpenQuery,
+    certain_answers,
+    certain_answers_sql_query,
+    open_rewriting,
+)
 from .cqa.engine import CertaintyEngine, METHODS
 from .cqa.explain import explain
 from .cqa.rewriting import NotInFO, Rewriter
@@ -89,6 +95,29 @@ def cmd_rewrite(args: argparse.Namespace) -> int:
         print("Algorithm 1 trace:")
         for step in rewriter.trace:
             print("  " + step.render())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from .fo.compile import compile_formula
+    from .fo.plan import plan_nodes
+
+    query = _parse_query_arg(args.query)
+    try:
+        if args.free:
+            free = [Variable(n.strip()) for n in args.free.split(",") if n.strip()]
+            formula = open_rewriting(OpenQuery(query, free))
+            compiled = compile_formula(formula, free)
+        else:
+            formula = Rewriter(query).rewrite()
+            compiled = compile_formula(formula)
+    except NotInFO as exc:
+        print(f"no consistent first-order rewriting: {exc}", file=sys.stderr)
+        return 1
+    n_nodes = sum(1 for _ in plan_nodes(compiled.plan))
+    cols = ", ".join(v.name for v in compiled.free) or "(boolean)"
+    print(f"plan: {n_nodes} operators, output columns: {cols}")
+    print(compiled.explain())
     return 0
 
 
@@ -209,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show Algorithm 1's elimination steps")
     p.set_defaults(func=cmd_rewrite)
 
+    p = sub.add_parser("plan",
+                       help="show the set-at-a-time relational plan the "
+                            "compiled method runs for a query's rewriting")
+    p.add_argument("query")
+    p.add_argument("--free", default="",
+                   help="comma-separated free variable names "
+                        "(empty: Boolean certainty plan)")
+    p.set_defaults(func=cmd_plan)
+
     p = sub.add_parser("certain", help="answer CERTAINTY(q) on a database")
     p.add_argument("query")
     p.add_argument("--db", required=True, help="database JSON file")
@@ -223,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated free variable names")
     p.add_argument("--db", required=True, help="database JSON file")
     p.add_argument("--method", default="auto",
-                   choices=("auto", "brute", "rewriting", "sql"))
+                   choices=("auto", "brute", "rewriting", "compiled", "sql"))
     p.add_argument("--show-sql", action="store_true",
                    help="print the single SQL query first")
     p.set_defaults(func=cmd_answers)

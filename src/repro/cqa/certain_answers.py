@@ -5,7 +5,7 @@ is easy, essentially because free variables can be treated as
 constants."  A tuple c⃗ is a *certain answer* of q(x⃗) on **db** when
 the Boolean query q_[x⃗↦c⃗] is true in every repair of **db**.
 
-This module implements exactly that reduction, with three strategies:
+This module implements exactly that reduction, with four strategies:
 
 ``brute``
     Ground every candidate tuple and run brute-force certainty.
@@ -13,29 +13,47 @@ This module implements exactly that reduction, with three strategies:
     Build ONE consistent first-order rewriting φ(x⃗) with free
     variables (placeholder grounding, then re-opening), and evaluate it
     per candidate with the guarded Python evaluator.
+``compiled``
+    Lower φ(x⃗) to a set-at-a-time relational plan and return every
+    certain answer from a single plan execution — no per-candidate
+    loop at all.
 ``sql``
     Compile φ(x⃗) into a single SQL SELECT returning all certain
     answers at once — consistent query answering as one query over the
     dirty database.
 
-The candidate space is the per-variable intersection of the column
-values where each free variable occurs positively (complete, because a
-repair is a subset of the database), falling back to the active domain
-for variables with no positive occurrence.
+The candidate space is enumerated from rows of the positive atoms
+(complete, because a repair is a subset of the database): free
+variables covered by a common atom are projected jointly from its rows,
+and only variables with no positive occurrence fall back to the active
+domain.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from ..core.atoms import Atom
 from ..core.classify import Verdict, classify
 from ..core.query import Query, QueryError
-from ..core.terms import Constant, PlaceholderConstant, Variable
+from ..core.terms import Constant, PlaceholderConstant, Variable, is_variable
 from ..db.database import Database
 from ..db.sqlite_backend import create_tables, load_database
+from ..fo.compile import plan_cache
 from ..fo.eval import Evaluator
-from ..fo.formula import Formula, free_variables, schemas_of, substitute_terms
+from ..fo.formula import (
+    And,
+    AtomF,
+    Exists,
+    Formula,
+    free_variables,
+    make_and,
+    make_exists,
+    schemas_of,
+    substitute_terms,
+)
 from ..fo.simplify import simplify_fixpoint
 from ..fo.sql import SQLCompiler, decode_value
 from .brute_force import is_certain_brute_force
@@ -83,39 +101,171 @@ class OpenQuery:
         return f"({names}) <- {self.query!r}"
 
 
-def open_rewriting(open_query: OpenQuery, simplify: bool = True) -> Formula:
-    """A consistent FO rewriting φ(x⃗) with the answer variables free.
-
-    Built by grounding the free variables with placeholders, rewriting
-    the resulting Boolean query, and re-opening the placeholders.
-    """
-    mapping = {v: PlaceholderConstant(v) for v in open_query.free}
-    grounded = open_query.query.substitute(mapping)
+@lru_cache(maxsize=512)
+def _open_rewriting(
+    query: Query, free: Tuple[Variable, ...], simplify: bool
+) -> Formula:
+    mapping = {v: PlaceholderConstant(v) for v in free}
+    grounded = query.substitute(mapping)
     formula = Rewriter(grounded).rewrite(simplify=simplify)
     opened = substitute_terms(formula, {p: v for v, p in mapping.items()})
     return simplify_fixpoint(opened) if simplify else opened
 
 
+def open_rewriting(open_query: OpenQuery, simplify: bool = True) -> Formula:
+    """A consistent FO rewriting φ(x⃗) with the answer variables free.
+
+    Built by grounding the free variables with placeholders, rewriting
+    the resulting Boolean query, and re-opening the placeholders.
+    Memoized on (query, free variables): the rewriting is a function of
+    the query alone, and callers re-derive it per database.
+    """
+    return _open_rewriting(open_query.query, open_query.free, simplify)
+
+
+def _generator_vars(formula: Formula) -> FrozenSet[Variable]:
+    """Free variables the plan lowering can enumerate from rows.
+
+    Walks the conjunctive skeleton (And / Exists) and collects variables
+    of positive atoms found there — exactly the conjuncts ``_lower_and``
+    turns into scans.  Atoms under Or, Not, or Forall do not generate.
+    """
+    if isinstance(formula, AtomF):
+        return frozenset(formula.atom.vars)
+    if isinstance(formula, Exists):
+        return _generator_vars(formula.sub) - set(formula.vars)
+    if isinstance(formula, And):
+        out: FrozenSet[Variable] = frozenset()
+        for sub in formula.subs:
+            out |= _generator_vars(sub)
+        return out
+    return frozenset()
+
+
+@lru_cache(maxsize=512)
+def _guarded_open_rewriting_cached(
+    query: Query, free: Tuple[Variable, ...]
+) -> Formula:
+    formula = _open_rewriting(query, free, True)
+    unguarded = set(free) - _generator_vars(formula)
+    guards: List[Formula] = []
+    while unguarded:
+        best = max(
+            query.positives,
+            key=lambda p: len(p.vars & unguarded),
+            default=None,
+        )
+        if best is None or not best.vars & unguarded:
+            break
+        other = sorted(best.vars - set(free))
+        guards.append(make_exists(other, AtomF(best)))
+        unguarded -= best.vars
+    if not guards:
+        return formula
+    return make_and(guards + [formula])
+
+
+def _guarded_open_rewriting(open_query: OpenQuery) -> Formula:
+    """φ(x⃗) conjoined with implied positive-atom guards where needed.
+
+    A certain answer satisfies every positive atom of q in the database
+    itself (a repair is a subset of db), so ``exists ū P(x̄, ū)`` is
+    implied by φ for every positive atom P touching answer variables.
+    Conjoining these guards is an equivalence — and it hands the plan
+    lowering generators that cover the answer variables, so the plan
+    enumerates them from rows instead of the active domain.  Guards are
+    added only for answer variables the rewriting does not already
+    generate positively, keeping the plan free of duplicate scans.
+    """
+    return _guarded_open_rewriting_cached(open_query.query, open_query.free)
+
+
+def _consistent_rows(atom: Atom, db: Database) -> Sequence[Tuple]:
+    """Rows of the atom's relation that match its constants and agree on
+    its repeated variables."""
+    if atom.relation not in db.schemas:
+        return ()
+    bindings: Dict[int, object] = {}
+    first_pos: Dict[Variable, int] = {}
+    checks: List[Tuple[int, int]] = []
+    for i, term in enumerate(atom.terms):
+        if is_variable(term):
+            if term in first_pos:
+                checks.append((first_pos[term], i))
+            else:
+                first_pos[term] = i
+        else:
+            bindings[i] = term.value
+    rows = db.lookup(atom.relation, bindings)
+    if not checks:
+        return tuple(rows)
+    return tuple(
+        row for row in rows if all(row[a] == row[b] for a, b in checks)
+    )
+
+
 def candidate_values(
     open_query: OpenQuery, db: Database
 ) -> List[Tuple]:
-    """Per-variable candidate domains, combined to candidate tuples."""
-    domains: List[List] = []
-    for v in open_query.free:
-        domain: Optional[Set] = None
-        for p in open_query.query.positives:
-            for i, term in enumerate(p.terms):
-                if term == v:
-                    column = (
-                        {row[i] for row in db.facts(p.relation)}
-                        if p.relation in db.schemas
-                        else set()
-                    )
-                    domain = column if domain is None else domain & column
-        if domain is None:
-            domain = set(db.active_domain())
-        domains.append(sorted(domain, key=repr))
-    return list(itertools.product(*domains))
+    """Candidate answer tuples, enumerated from rows of positive atoms.
+
+    Complete because a repair is a subset of the database: any certain
+    answer makes every positive atom of q match an actual row.  Atoms
+    are chosen greedily to cover as many free variables as possible
+    (tie-break: fewest rows); variables assigned to the same atom are
+    projected *jointly* from its rows, so co-occurring variables never
+    form a cross product, and only variables with no positive
+    occurrence fall back to the full active domain.
+    """
+    free = open_query.free
+    if not free:
+        return [()]
+    positives = tuple(open_query.query.positives)
+    sizes = [
+        len(db.facts(p.relation)) if p.relation in db.schemas else 0
+        for p in positives
+    ]
+    groups: Dict[int, List[int]] = {}  # atom index -> indexes into free
+    unguarded: List[int] = []
+    uncovered = list(range(len(free)))
+    while uncovered:
+        best: Optional[int] = None
+        best_score: Tuple[int, int] = (0, 0)
+        for i, p in enumerate(positives):
+            covers = sum(1 for j in uncovered if free[j] in p.vars)
+            score = (covers, -sizes[i])
+            if covers and (best is None or score > best_score):
+                best, best_score = i, score
+        if best is None:
+            unguarded.extend(uncovered)
+            break
+        groups[best] = [j for j in uncovered if free[j] in positives[best].vars]
+        uncovered = [j for j in uncovered if free[j] not in positives[best].vars]
+    # Each factor: (free-variable indexes, their joint value tuples).
+    factors: List[Tuple[List[int], List[Tuple]]] = []
+    for i, members in sorted(groups.items()):
+        atom = positives[i]
+        positions = [
+            next(k for k, t in enumerate(atom.terms) if t == free[j])
+            for j in members
+        ]
+        projected = {
+            tuple(row[k] for k in positions)
+            for row in _consistent_rows(atom, db)
+        }
+        factors.append((members, sorted(projected, key=repr)))
+    if unguarded:
+        adom = sorted(db.active_domain(), key=repr)
+        for j in unguarded:
+            factors.append(([j], [(value,) for value in adom]))
+    out: List[Tuple] = []
+    for combo in itertools.product(*(values for _, values in factors)):
+        tup: List = [None] * len(free)
+        for (members, _), values in zip(factors, combo):
+            for j, value in zip(members, values):
+                tup[j] = value
+        out.append(tuple(tup))
+    return out
 
 
 def certain_answers(
@@ -125,11 +275,11 @@ def certain_answers(
 ) -> FrozenSet[Tuple]:
     """All certain answers of q(x⃗) on db.
 
-    ``auto`` picks ``sql`` when the grounded query is in FO, otherwise
-    ``brute``.
+    ``auto`` picks ``compiled`` when the grounded query is in FO,
+    otherwise ``brute``.
     """
     if method == "auto":
-        method = "sql" if open_query.in_fo else "brute"
+        method = "compiled" if open_query.in_fo else "brute"
     if method == "brute":
         return frozenset(
             c for c in candidate_values(open_query, db)
@@ -142,6 +292,10 @@ def certain_answers(
             c for c in candidate_values(open_query, db)
             if evaluator.evaluate(dict(zip(open_query.free, c)))
         )
+    if method == "compiled":
+        formula = _guarded_open_rewriting(open_query)
+        compiled = plan_cache.get_or_compile(formula, db, open_query.free)
+        return compiled.rows(db)
     if method == "sql":
         return _certain_answers_sql(open_query, db)
     raise ValueError(f"unknown method {method!r}")
@@ -195,5 +349,6 @@ def cross_validate_answers(
     out = {"brute": certain_answers(open_query, db, "brute")}
     if open_query.in_fo:
         out["rewriting"] = certain_answers(open_query, db, "rewriting")
+        out["compiled"] = certain_answers(open_query, db, "compiled")
         out["sql"] = certain_answers(open_query, db, "sql")
     return out

@@ -1,4 +1,4 @@
-"""High-level certainty engine: one entry point, four interchangeable
+"""High-level certainty engine: one entry point, five interchangeable
 solving strategies, and a cross-validation helper.
 
 Strategies
@@ -10,7 +10,11 @@ Strategies
     requires an acyclic attack graph and weakly-guarded negation).
 ``rewriting``
     Compile the consistent FO rewriting once, evaluate with the Python
-    active-domain evaluator.
+    active-domain evaluator (tuple-at-a-time).
+``compiled``
+    Lower the rewriting to a set-at-a-time relational plan
+    (:mod:`repro.fo.compile`), cached in the process-wide plan cache;
+    the default fast path for queries in FO.
 ``sql``
     Compile the rewriting to a single SQL query, run it on sqlite.
 """
@@ -24,6 +28,7 @@ from ..core.classify import Classification, Verdict, classify
 from ..core.query import Query
 from ..db.database import Database
 from ..db.sqlite_backend import run_sentence_sql
+from ..fo.compile import plan_cache
 from ..fo.eval import Evaluator
 from ..fo.formula import Formula
 from ..lint import LintResult, lint_query
@@ -31,7 +36,7 @@ from .brute_force import is_certain_brute_force
 from .is_certain import is_certain
 from .rewriting import NotInFO, consistent_rewriting
 
-METHODS = ("brute", "interpreted", "rewriting", "sql")
+METHODS = ("brute", "interpreted", "rewriting", "compiled", "sql")
 
 
 @dataclass
@@ -94,11 +99,11 @@ class CertaintyEngine:
     def certain(self, db: Database, method: str = "auto") -> bool:
         """Is q true in every repair of db?
 
-        ``method="auto"`` uses the rewriting when the query is in FO and
-        falls back to brute force otherwise.
+        ``method="auto"`` uses the compiled plan when the query is in FO
+        and falls back to brute force otherwise.
         """
         if method == "auto":
-            method = "rewriting" if self.in_fo else "brute"
+            method = "compiled" if self.in_fo else "brute"
         if method == "brute":
             return is_certain_brute_force(self.query, db)
         if method == "interpreted":
@@ -107,16 +112,29 @@ class CertaintyEngine:
         if method == "rewriting":
             self._require_fo(method)
             return Evaluator(self.rewriting, db).evaluate()
+        if method == "compiled":
+            self._require_fo(method)
+            return plan_cache.get_or_compile(self.rewriting, db).holds(db)
         if method == "sql":
             self._require_fo(method)
             return run_sentence_sql(self.rewriting, db)
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
+    @staticmethod
+    def plan_cache_stats() -> Dict[str, int]:
+        """Counters of the process-wide plan cache (hits/misses/...).
+
+        The ``compiled`` strategy compiles each rewriting once per
+        (formula, schema) pair; repeated :meth:`certain` calls are cache
+        hits, observable through this hook.
+        """
+        return plan_cache.stats()
+
     def cross_validate(self, db: Database) -> CrossValidation:
         """Run every applicable strategy and collect the answers."""
         results = {"brute": self.certain(db, "brute")}
         if self.in_fo:
-            for method in ("interpreted", "rewriting", "sql"):
+            for method in ("interpreted", "rewriting", "compiled", "sql"):
                 results[method] = self.certain(db, method)
         return CrossValidation(results)
 

@@ -64,8 +64,14 @@ class Database:
             raise SchemaError(
                 f"{relation} has arity {schema.arity}, got row of length {len(row)}"
             )
-        if row not in self._facts[relation]:
-            self._facts[relation].add(row)
+        # set.add already dedupes; comparing sizes detects a genuine
+        # insertion without a separate membership probe, and the version
+        # only moves (invalidating lazy indexes) when the relation
+        # actually changed.
+        rows = self._facts[relation]
+        before = len(rows)
+        rows.add(row)
+        if len(rows) != before:
             self._versions[relation] += 1
 
     def add_fact(self, fact: Atom) -> None:
@@ -74,9 +80,28 @@ class Database:
         self.add(fact.relation, fact.as_row())
 
     def add_all(self, relation: str, rows: Iterable[Sequence]) -> None:
-        """Add many facts of one relation."""
-        for row in rows:
-            self.add(relation, row)
+        """Add many facts of one relation in one shot.
+
+        Unlike a loop of :meth:`add`, the relation version is bumped at
+        most once, so lazy indexes built before the bulk load are
+        invalidated a single time instead of once per row.  Arity is
+        validated for the whole batch before anything is inserted.
+        """
+        schema = self.schemas.get(relation)
+        if schema is None:
+            raise SchemaError(f"unknown relation {relation!r}; add_relation first")
+        staged = [tuple(row) for row in rows]
+        for row in staged:
+            if len(row) != schema.arity:
+                raise SchemaError(
+                    f"{relation} has arity {schema.arity}, "
+                    f"got row of length {len(row)}"
+                )
+        target = self._facts[relation]
+        before = len(target)
+        target.update(staged)
+        if len(target) != before:
+            self._versions[relation] += 1
 
     def discard(self, relation: str, row: Sequence) -> None:
         """Remove a fact if present."""

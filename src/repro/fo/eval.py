@@ -11,6 +11,7 @@ quantifiers are always relation-guarded — fast in practice.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.terms import Variable, is_variable
@@ -35,8 +36,14 @@ from .formula import (
 Env = Dict[Variable, object]
 
 
+@lru_cache(maxsize=8192)
 def nnf(f: Formula, negate: bool = False) -> Formula:
-    """Negation normal form: negations pushed onto atoms and equalities."""
+    """Negation normal form: negations pushed onto atoms and equalities.
+
+    Memoized (formulas are immutable): every :class:`Evaluator` and every
+    plan compilation normalizes its input, and repeated cross-validation
+    runs construct evaluators for the same rewriting over and over.
+    """
     if isinstance(f, Verum):
         return FALSE if negate else TRUE
     if isinstance(f, Falsum):

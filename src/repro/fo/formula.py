@@ -11,6 +11,7 @@ disjunction, and the two quantifiers.  Implication is provided as sugar.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Mapping, Sequence
 
 from ..core.atoms import Atom
@@ -69,7 +70,7 @@ FALSE = Falsum()
 class AtomF(Formula):
     """An atomic formula R(t_1, ..., t_n), wrapping a core Atom."""
 
-    __slots__ = ("atom",)
+    __slots__ = ("atom", "_hash")
 
     def __init__(self, atom: Atom):
         self.atom = atom
@@ -81,13 +82,21 @@ class AtomF(Formula):
         return isinstance(other, AtomF) and self.atom == other.atom
 
     def __hash__(self) -> int:
-        return hash(("AtomF", self.atom))
+        # Formulas are immutable, and the rewritings of Algorithm 1 can
+        # be exponentially large (Example 6.12), so every composite node
+        # caches its hash: the memoized traversals below and the plan
+        # cache both key on whole formulas.
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("AtomF", self.atom))
+            return self._hash
 
 
 class Eq(Formula):
     """The equality t1 = t2."""
 
-    __slots__ = ("lhs", "rhs")
+    __slots__ = ("lhs", "rhs", "_hash")
 
     def __init__(self, lhs: Term, rhs: Term):
         self.lhs = lhs
@@ -100,13 +109,17 @@ class Eq(Formula):
         return isinstance(other, Eq) and self.lhs == other.lhs and self.rhs == other.rhs
 
     def __hash__(self) -> int:
-        return hash(("Eq", self.lhs, self.rhs))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("Eq", self.lhs, self.rhs))
+            return self._hash
 
 
 class Not(Formula):
     """Negation."""
 
-    __slots__ = ("sub",)
+    __slots__ = ("sub", "_hash")
 
     def __init__(self, sub: Formula):
         self.sub = sub
@@ -118,13 +131,17 @@ class Not(Formula):
         return isinstance(other, Not) and self.sub == other.sub
 
     def __hash__(self) -> int:
-        return hash(("Not", self.sub))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("Not", self.sub))
+            return self._hash
 
 
 class And(Formula):
     """Conjunction over a tuple of subformulas."""
 
-    __slots__ = ("subs",)
+    __slots__ = ("subs", "_hash")
 
     def __init__(self, subs: Iterable[Formula]):
         self.subs = tuple(subs)
@@ -136,13 +153,17 @@ class And(Formula):
         return isinstance(other, And) and self.subs == other.subs
 
     def __hash__(self) -> int:
-        return hash(("And", self.subs))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("And", self.subs))
+            return self._hash
 
 
 class Or(Formula):
     """Disjunction over a tuple of subformulas."""
 
-    __slots__ = ("subs",)
+    __slots__ = ("subs", "_hash")
 
     def __init__(self, subs: Iterable[Formula]):
         self.subs = tuple(subs)
@@ -154,13 +175,17 @@ class Or(Formula):
         return isinstance(other, Or) and self.subs == other.subs
 
     def __hash__(self) -> int:
-        return hash(("Or", self.subs))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("Or", self.subs))
+            return self._hash
 
 
 class Exists(Formula):
     """Existential quantification over a tuple of variables."""
 
-    __slots__ = ("vars", "sub")
+    __slots__ = ("vars", "sub", "_hash")
 
     def __init__(self, variables: Iterable[Variable], sub: Formula):
         self.vars = tuple(variables)
@@ -174,13 +199,17 @@ class Exists(Formula):
         return isinstance(other, Exists) and self.vars == other.vars and self.sub == other.sub
 
     def __hash__(self) -> int:
-        return hash(("Exists", self.vars, self.sub))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("Exists", self.vars, self.sub))
+            return self._hash
 
 
 class Forall(Formula):
     """Universal quantification over a tuple of variables."""
 
-    __slots__ = ("vars", "sub")
+    __slots__ = ("vars", "sub", "_hash")
 
     def __init__(self, variables: Iterable[Variable], sub: Formula):
         self.vars = tuple(variables)
@@ -194,7 +223,11 @@ class Forall(Formula):
         return isinstance(other, Forall) and self.vars == other.vars and self.sub == other.sub
 
     def __hash__(self) -> int:
-        return hash(("Forall", self.vars, self.sub))
+        try:
+            return self._hash
+        except AttributeError:
+            self._hash = hash(("Forall", self.vars, self.sub))
+            return self._hash
 
 
 # ----------------------------------------------------------------------
@@ -294,8 +327,16 @@ def implies(premise: Formula, conclusion: Formula) -> Formula:
 # ----------------------------------------------------------------------
 # traversals
 # ----------------------------------------------------------------------
+#
+# free_variables and constants_of are memoized: the certainty engine and
+# the plan compiler call them repeatedly on the *same* (immutable)
+# rewriting, and cross-validation runs re-derive them once per strategy.
+# The caches are keyed on formula equality, so structurally identical
+# rewritings built in different calls share entries; recursion means
+# every subformula is cached too.
 
 
+@lru_cache(maxsize=16384)
 def free_variables(f: Formula) -> FrozenSet[Variable]:
     """The free variables of a formula."""
     if isinstance(f, (Verum, Falsum)):
@@ -320,6 +361,7 @@ def free_variables(f: Formula) -> FrozenSet[Variable]:
     raise TypeError(f"not a formula: {f!r}")
 
 
+@lru_cache(maxsize=16384)
 def constants_of(f: Formula) -> FrozenSet[Constant]:
     """All constants occurring in the formula."""
     if isinstance(f, (Verum, Falsum)):

@@ -47,7 +47,9 @@ class TestCrossValidation:
         engine = CertaintyEngine(q3())
         db = random_small_database(q3(), rng, domain_size=3)
         cv = engine.cross_validate(db)
-        assert set(cv.results) == {"brute", "interpreted", "rewriting", "sql"}
+        assert set(cv.results) == {
+            "brute", "interpreted", "rewriting", "compiled", "sql"
+        }
         assert cv.consistent
         assert cv.answer in (True, False)
 
