@@ -1,0 +1,78 @@
+"""Incremental view maintenance vs full recompute per committed batch.
+
+The regression grid behind BENCH_incremental.json at CI-friendly
+sizes.  Every benchmark replays the same pre-materialized update
+stream, and correctness is asserted against a batch-by-batch compiled
+recompute before anything is timed — a speedup can never hide a wrong
+answer (the same discipline as bench_plan.py).
+"""
+
+import random
+
+import pytest
+
+from repro.core.terms import Variable
+from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.incremental import ViewManager
+from repro.workloads.generators import (
+    UpdateStreamParams,
+    apply_update_stream,
+    random_update_stream,
+)
+from repro.workloads.poll import random_poll_database
+from repro.workloads.queries import poll_qa
+
+SIZES = [(60, 12), (150, 25)]
+STREAM = UpdateStreamParams(n_batches=10, batch_size=5, delete_fraction=0.5,
+                            churn=0.6)
+
+
+def _workload(people, towns, seed=71):
+    db = random_poll_database(people, towns, conflict_rate=0.5,
+                              rng=random.Random(seed))
+    batches = random_update_stream(db, STREAM, random.Random(2018))
+    return db, batches
+
+
+def _maintain(db, batches):
+    db = db.copy()
+    view = ViewManager(db).register_view(poll_qa(), [Variable("p")])
+    for batch in batches:
+        with db.batch():
+            for insert, relation, row in batch:
+                (db.add if insert else db.discard)(relation, row)
+    return view.answers
+
+
+def _recompute(db, batches):
+    db = db.copy()
+    open_query = OpenQuery(poll_qa(), [Variable("p")])
+    answers = None
+    for batch in batches:
+        with db.batch():
+            for insert, relation, row in batch:
+                (db.add if insert else db.discard)(relation, row)
+        answers = certain_answers(open_query, db, "compiled")
+    return answers
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+@pytest.mark.parametrize("strategy", [_maintain, _recompute],
+                         ids=["incremental", "recompute"])
+def test_update_stream(benchmark, size, strategy):
+    db, batches = _workload(*size)
+    expected = _recompute(db, batches)
+    result = benchmark(strategy, db, batches)
+    assert result == expected
+
+
+def test_view_agrees_with_recompute_after_every_batch():
+    db, batches = _workload(100, 20)
+    maintained = db.copy()
+    view = ViewManager(maintained).register_view(poll_qa(), [Variable("p")])
+    open_query = OpenQuery(poll_qa(), [Variable("p")])
+    for batch in batches:
+        apply_update_stream(maintained, [batch])
+        assert view.answers == certain_answers(open_query, maintained,
+                                               "compiled")
+    assert view.stats()["fallback_recomputes"] == 0

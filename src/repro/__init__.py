@@ -18,6 +18,8 @@ Public surface:
 * ``repro.fo`` — first-order formulas, evaluation, SQL compilation;
 * ``repro.cqa`` — consistent FO rewritings (Algorithm 1) and the
   certainty engine;
+* ``repro.incremental`` — delta-maintained materialized certain-answer
+  views over the plan IR;
 * ``repro.matching`` — Hopcroft–Karp, Hall's theorem, S-COVERING;
 * ``repro.reductions`` — the paper's hardness reductions, executable;
 * ``repro.workloads`` — canonical queries and synthetic databases;
@@ -53,6 +55,7 @@ from .cqa import (
     is_certain_brute_force,
 )
 from .db import Database, database_from_facts, iter_repairs, satisfies
+from .incremental import View, ViewManager, view_manager, view_stats
 
 __version__ = "0.1.0"
 
@@ -71,6 +74,8 @@ __all__ = [
     "RelationSchema",
     "Variable",
     "Verdict",
+    "View",
+    "ViewManager",
     "analyze",
     "atom",
     "certain",
@@ -85,4 +90,6 @@ __all__ = [
     "parse_query",
     "query_to_text",
     "satisfies",
+    "view_manager",
+    "view_stats",
 ]

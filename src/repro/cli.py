@@ -121,6 +121,20 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stats() -> None:
+    """The --stats payload: plan cache + incremental view counters."""
+    import json
+
+    print(json.dumps(
+        {
+            "plan_cache": CertaintyEngine.plan_cache_stats(),
+            "views": CertaintyEngine.view_stats(),
+        },
+        indent=2,
+        sort_keys=True,
+    ))
+
+
 def cmd_certain(args: argparse.Namespace) -> int:
     query = _parse_query_arg(args.query)
     db = load_database_file(args.db)
@@ -128,6 +142,8 @@ def cmd_certain(args: argparse.Namespace) -> int:
     answer = engine.certain(db, args.method)
     print(f"CERTAINTY = {answer}   (method: {args.method}, "
           f"{db.size()} facts, {db.repair_count()} repairs)")
+    if args.stats:
+        _print_stats()
     return 0
 
 
@@ -144,6 +160,108 @@ def cmd_answers(args: argparse.Namespace) -> int:
     print(f"certain answers ({names}): {len(answers)}")
     for row in sorted(answers, key=repr):
         print("  " + ", ".join(repr(v) for v in row))
+    if args.stats:
+        _print_stats()
+    return 0
+
+
+def _parse_stream_value(token: str):
+    """A stream value: int when int-like, else a (possibly quoted) string."""
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "'\"":
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail a fact stream and print certain-answer diffs as they land.
+
+    Stream protocol (one op per line; values are whitespace-separated,
+    int-like tokens become ints, quotes force strings):
+
+        + R ann mons        insert R(ann, mons), commit immediately
+        - R ann mons        delete R(ann, mons), commit immediately
+        begin               start staging ops into one batch
+        commit              commit the staged batch (one diff)
+        # ...               comment; blank lines are skipped
+
+    Each commit that changes the view prints one line per answer-set
+    change, prefixed with the database clock:  ``v12 +('ann',)``.
+    Boolean views (no --free) print certainty flips instead.
+    """
+    from .incremental import view_manager
+
+    query = _parse_query_arg(args.query)
+    db = load_database_file(args.db)
+    free = [Variable(n.strip()) for n in args.free.split(",") if n.strip()]
+    manager = view_manager(db)
+    view = manager.register_view(query, free)
+
+    if free:
+        print(f"watching {len(view.answers)} certain answers at v{db.clock}")
+    else:
+        print(f"watching CERTAINTY = {view.holds} at v{db.clock}")
+
+    stream = sys.stdin if args.stream in (None, "-") else open(args.stream)
+    commits = 0
+    last_holds = view.holds
+    last_version = view.version
+    try:
+        for lineno, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            op, _, rest = line.partition(" ")
+            try:
+                if op == "begin":
+                    db.begin_batch()
+                elif op == "commit":
+                    db.commit()
+                elif op in ("+", "-"):
+                    tokens = rest.split()
+                    if not tokens:
+                        raise ValueError("missing relation name")
+                    relation = tokens[0]
+                    row = tuple(_parse_stream_value(t) for t in tokens[1:])
+                    if op == "+":
+                        db.add(relation, row)
+                    else:
+                        db.discard(relation, row)
+                else:
+                    raise ValueError(
+                        f"unknown op {op!r} (expected +, -, begin, commit)"
+                    )
+            except Exception as exc:
+                print(f"error: stream line {lineno}: {exc}", file=sys.stderr)
+                return 1
+            if db.in_batch or view.version == last_version:
+                continue
+            commits += 1
+            if free:
+                ins, dels = view.changed_since(last_version)
+                for row in sorted(dels, key=repr):
+                    print(f"v{db.clock} -{row!r}")
+                for row in sorted(ins, key=repr):
+                    print(f"v{db.clock} +{row!r}")
+            elif view.holds != last_holds:
+                print(f"v{db.clock} CERTAINTY -> {view.holds}")
+                last_holds = view.holds
+            last_version = view.version
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        if db.in_batch:
+            db.commit()
+    if free:
+        print(f"final: {len(view.answers)} certain answers at v{db.clock} "
+              f"({commits} update batches)")
+    else:
+        print(f"final: CERTAINTY = {view.holds} at v{db.clock} "
+              f"({commits} update batches)")
+    if args.stats:
+        _print_stats()
     return 0
 
 
@@ -251,7 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--db", required=True, help="database JSON file")
     p.add_argument("--method", default="auto",
-                   choices=("auto",) + METHODS)
+                   choices=("auto",) + METHODS,
+                   help="solving strategy (auto: compiled when in FO, "
+                        "else brute)")
+    p.add_argument("--stats", action="store_true",
+                   help="also print plan-cache and view counters as JSON")
     p.set_defaults(func=cmd_certain)
 
     p = sub.add_parser("answers",
@@ -261,10 +383,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated free variable names")
     p.add_argument("--db", required=True, help="database JSON file")
     p.add_argument("--method", default="auto",
-                   choices=("auto", "brute", "rewriting", "compiled", "sql"))
+                   choices=("auto", "brute", "rewriting", "compiled", "sql"),
+                   help="solving strategy (auto: compiled when in FO, "
+                        "else brute)")
     p.add_argument("--show-sql", action="store_true",
                    help="print the single SQL query first")
+    p.add_argument("--stats", action="store_true",
+                   help="also print plan-cache and view counters as JSON")
     p.set_defaults(func=cmd_answers)
+
+    p = sub.add_parser("watch",
+                       help="maintain a query's certain answers under a "
+                            "fact stream and print answer-set diffs")
+    p.add_argument("query")
+    p.add_argument("--db", required=True,
+                   help="database JSON file with the initial facts")
+    p.add_argument("--free", default="",
+                   help="comma-separated free variable names "
+                        "(empty: watch Boolean certainty)")
+    p.add_argument("--stream", default="-",
+                   help="fact stream file, '-' for stdin (lines: "
+                        "'+ R v1 v2', '- R v1 v2', 'begin', 'commit')")
+    p.add_argument("--stats", action="store_true",
+                   help="print view maintenance counters as JSON at EOF")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("explain",
                        help="explain a certainty answer (falsifying "

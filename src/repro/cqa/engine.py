@@ -130,6 +130,29 @@ class CertaintyEngine:
         """
         return plan_cache.stats()
 
+    def register_view(self, db: Database, free=()):
+        """Materialize this query as an incrementally maintained view.
+
+        Returns a :class:`repro.incremental.View` kept current by the
+        database's changelog: after any mutation (or batch commit),
+        ``view.holds`` / ``view.answers`` reflect the new certain
+        answers without a full re-execution.  Requires the query to be
+        in FO, like ``method="compiled"``.
+        """
+        from ..incremental import view_manager
+
+        self._require_fo("incremental")
+        return view_manager(db).register_view(self.query, free)
+
+    @staticmethod
+    def view_stats() -> Dict[str, int]:
+        """Process-wide incremental-view counters (deltas applied, rows
+        touched, fallback recomputes), mirroring
+        :meth:`plan_cache_stats`."""
+        from ..incremental import view_stats
+
+        return view_stats()
+
     def cross_validate(self, db: Database) -> CrossValidation:
         """Run every applicable strategy and collect the answers."""
         results = {"brute": self.certain(db, "brute")}

@@ -1,6 +1,7 @@
 """Databases, blocks, repairs, satisfaction, and the sqlite backend."""
 
-from .database import Database, SchemaError, database_from_facts
+from .changelog import Changelog, Delta
+from .database import BatchError, Database, SchemaError, database_from_facts
 from .profile import (
     DatabaseProfile,
     RelationProfile,
@@ -25,7 +26,10 @@ from .satisfaction import key_relevant_facts, satisfies, satisfying_valuations
 from .sqlite_backend import create_tables, load_database, run_sentence_sql
 
 __all__ = [
+    "BatchError",
+    "Changelog",
     "Database",
+    "Delta",
     "DatabaseProfile",
     "RelationProfile",
     "SchemaError",

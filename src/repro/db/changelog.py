@@ -1,0 +1,117 @@
+"""Change capture for databases: per-relation deltas at block granularity.
+
+A :class:`Delta` is the *net* effect of a batch of mutations on one
+relation — rows genuinely inserted and rows genuinely deleted, with
+add-then-discard (and discard-then-add) of the same row inside one
+batch cancelling out.  A :class:`Changelog` groups the deltas of one
+committed batch together with the database clock value at commit time.
+
+Because every relation carries a primary key, a delta can also be read
+at *block* granularity: :meth:`Delta.touched_keys` reports the key
+values whose blocks gained or lost facts, which is exactly the unit at
+which repairs (and hence certain answers) can change.  The incremental
+view subsystem (:mod:`repro.incremental`) consumes changelogs row-wise
+and exposes block-level reporting through these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
+
+from ..core.atoms import RelationSchema
+
+Row = Tuple
+
+
+class Delta:
+    """The net row-level change of one relation over one batch."""
+
+    __slots__ = ("relation", "inserted", "deleted")
+
+    def __init__(self, relation: str,
+                 inserted: Iterable[Row] = (), deleted: Iterable[Row] = ()):
+        self.relation = relation
+        self.inserted: Set[Row] = set(inserted)
+        self.deleted: Set[Row] = set(deleted)
+
+    def record_insert(self, row: Row) -> None:
+        """Fold one genuine insertion into the net delta."""
+        if row in self.deleted:
+            self.deleted.discard(row)
+        else:
+            self.inserted.add(row)
+
+    def record_delete(self, row: Row) -> None:
+        """Fold one genuine deletion into the net delta."""
+        if row in self.inserted:
+            self.inserted.discard(row)
+        else:
+            self.deleted.add(row)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    def touched_keys(self, schema: RelationSchema) -> FrozenSet[Tuple]:
+        """The primary-key values whose blocks changed in this delta."""
+        if schema.name != self.relation:
+            raise ValueError(
+                f"schema {schema.name!r} does not match delta relation "
+                f"{self.relation!r}"
+            )
+        keys = {schema.key_of(row) for row in self.inserted}
+        keys.update(schema.key_of(row) for row in self.deleted)
+        return frozenset(keys)
+
+    def __len__(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    def __repr__(self) -> str:
+        return (f"Delta({self.relation!r}, +{len(self.inserted)}, "
+                f"-{len(self.deleted)})")
+
+
+class Changelog:
+    """The net deltas of one committed batch, tagged with the database
+    clock (:attr:`version`) observed at commit time."""
+
+    __slots__ = ("version", "deltas")
+
+    def __init__(self, version: int, deltas: Dict[str, Delta]):
+        self.version = version
+        self.deltas: Dict[str, Delta] = {
+            name: d for name, d in deltas.items() if not d.is_empty
+        }
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.deltas
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """The relations whose contents actually changed."""
+        return frozenset(self.deltas)
+
+    def delta(self, relation: str) -> Delta:
+        """The delta of one relation (empty if it did not change)."""
+        found = self.deltas.get(relation)
+        return found if found is not None else Delta(relation)
+
+    def rows_touched(self) -> int:
+        """Total inserted + deleted rows across all relations."""
+        return sum(len(d) for d in self.deltas.values())
+
+    def touched_blocks(
+        self, schemas: Dict[str, RelationSchema]
+    ) -> Iterator[Tuple[str, Tuple]]:
+        """Iterate ``(relation, key)`` over every block the batch touched."""
+        for name in sorted(self.deltas):
+            schema = schemas.get(name)
+            if schema is None:
+                continue
+            for key in sorted(self.deltas[name].touched_keys(schema), key=repr):
+                yield name, key
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(d) for _, d in sorted(self.deltas.items()))
+        return f"Changelog(v{self.version}, [{inner}])"

@@ -9,13 +9,19 @@ block is a singleton (Section 3 of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Iterator, Sequence, Tuple
+import contextlib
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom, RelationSchema
+from .changelog import Changelog, Delta
 
 
 class SchemaError(ValueError):
     """Raised on arity/signature mismatches."""
+
+
+class BatchError(RuntimeError):
+    """Raised on mismatched begin_batch/commit calls."""
 
 
 class Database:
@@ -33,6 +39,12 @@ class Database:
         # tagged with the relation version they were built against.
         self._versions: Dict[str, int] = {}
         self._indexes: Dict[Tuple[str, Tuple[int, ...]], Tuple[int, Dict]] = {}
+        # Change capture: a monotone clock over all mutations, an open
+        # batch of per-relation net deltas (None outside begin_batch/
+        # commit), and subscribers receiving one Changelog per commit.
+        self._clock: int = 0
+        self._batch: Optional[Dict[str, Delta]] = None
+        self._listeners: List[Callable[[Changelog], None]] = []
         for s in schemas:
             self.add_relation(s)
 
@@ -72,7 +84,7 @@ class Database:
         before = len(rows)
         rows.add(row)
         if len(rows) != before:
-            self._versions[relation] += 1
+            self._changed(relation, inserted=(row,))
 
     def add_fact(self, fact: Atom) -> None:
         """Add a ground atom, registering its schema if necessary."""
@@ -98,10 +110,10 @@ class Database:
                     f"got row of length {len(row)}"
                 )
         target = self._facts[relation]
-        before = len(target)
-        target.update(staged)
-        if len(target) != before:
-            self._versions[relation] += 1
+        fresh = [row for row in staged if row not in target]
+        if fresh:
+            target.update(fresh)
+            self._changed(relation, inserted=fresh)
 
     def discard(self, relation: str, row: Sequence) -> None:
         """Remove a fact if present."""
@@ -111,13 +123,112 @@ class Database:
         row = tuple(row)
         if row in rows:
             rows.discard(row)
-            self._versions[relation] = self._versions.get(relation, 0) + 1
+            self._changed(relation, deleted=(row,))
+
+    def discard_all(self, relation: str, rows: Iterable[Sequence]) -> None:
+        """Remove many facts of one relation in one shot.
+
+        The deletion mirror of :meth:`add_all`: the relation version is
+        bumped at most once for the whole batch, so lazy indexes are
+        invalidated a single time instead of once per row.  Rows not
+        present are ignored, like :meth:`discard`.
+        """
+        target = self._facts.get(relation)
+        if target is None:
+            return
+        doomed = {tuple(row) for row in rows}
+        doomed &= target
+        if doomed:
+            target -= doomed
+            self._changed(relation, deleted=doomed)
 
     def clear_relation(self, relation: str) -> None:
         """Remove every fact of one relation (schema stays registered)."""
         if relation in self._facts and self._facts[relation]:
+            gone = self._facts[relation]
             self._facts[relation] = set()
-            self._versions[relation] = self._versions.get(relation, 0) + 1
+            self._changed(relation, deleted=gone)
+
+    # ------------------------------------------------------------------
+    # change capture
+    # ------------------------------------------------------------------
+
+    def _changed(self, relation: str,
+                 inserted: Iterable[Tuple] = (),
+                 deleted: Iterable[Tuple] = ()) -> None:
+        """Record one genuine mutation: bump versions and either fold
+        the rows into the open batch or emit a single-op changelog."""
+        self._versions[relation] = self._versions.get(relation, 0) + 1
+        self._clock += 1
+        if self._batch is not None:
+            delta = self._batch.get(relation)
+            if delta is None:
+                delta = self._batch[relation] = Delta(relation)
+            for row in inserted:
+                delta.record_insert(row)
+            for row in deleted:
+                delta.record_delete(row)
+        elif self._listeners:
+            log = Changelog(
+                self._clock, {relation: Delta(relation, inserted, deleted)}
+            )
+            self._notify(log)
+
+    def _notify(self, log: Changelog) -> None:
+        if not log.is_empty:
+            for listener in tuple(self._listeners):
+                listener(log)
+
+    @property
+    def clock(self) -> int:
+        """A monotone counter bumped on every genuine mutation."""
+        return self._clock
+
+    @property
+    def in_batch(self) -> bool:
+        """Is a begin_batch/commit batch currently open?"""
+        return self._batch is not None
+
+    def begin_batch(self) -> None:
+        """Start staging mutations into one net delta per relation.
+
+        Until :meth:`commit`, subscribers see nothing; mutations apply
+        to the database immediately (reads stay consistent) but their
+        deltas are folded together, with add-then-discard of the same
+        row cancelling out.
+        """
+        if self._batch is not None:
+            raise BatchError("a batch is already open; commit it first")
+        self._batch = {}
+
+    def commit(self) -> Changelog:
+        """Close the open batch and publish its net changelog."""
+        if self._batch is None:
+            raise BatchError("no open batch; call begin_batch first")
+        staged, self._batch = self._batch, None
+        log = Changelog(self._clock, staged)
+        self._notify(log)
+        return log
+
+    @contextlib.contextmanager
+    def batch(self) -> Iterator[None]:
+        """``with db.batch(): ...`` — begin_batch/commit as a scope."""
+        self.begin_batch()
+        try:
+            yield
+        finally:
+            self.commit()
+
+    def subscribe(self, listener: Callable[[Changelog], None]) -> None:
+        """Register a callback receiving one Changelog per commit (and
+        per mutation outside any batch).  Empty changelogs are skipped."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[Changelog], None]) -> None:
+        """Remove a previously subscribed callback (no-op if absent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def index(
         self, relation: str, positions: Tuple[int, ...]

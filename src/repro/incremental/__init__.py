@@ -1,0 +1,28 @@
+"""Incremental certain-answer maintenance over the plan IR.
+
+``IncrementalPlan`` materializes every operator of a compiled plan and
+maintains it under changelog deltas; ``ViewManager``/``View`` expose
+that as registered, always-current certain-answer sets on a database.
+See docs/INCREMENTAL.md for the delta rules and fallback semantics.
+"""
+
+from .delta import DeltaError, IncrementalPlan
+from .views import (
+    StaleVersionError,
+    View,
+    ViewManager,
+    reset_view_stats,
+    view_manager,
+    view_stats,
+)
+
+__all__ = [
+    "DeltaError",
+    "IncrementalPlan",
+    "StaleVersionError",
+    "View",
+    "ViewManager",
+    "reset_view_stats",
+    "view_manager",
+    "view_stats",
+]

@@ -1,0 +1,554 @@
+"""Delta execution for the plan IR: materialized per-operator state.
+
+A :class:`CompiledQuery` plan is a tree (occasionally a DAG, through
+seeded lowering) of set-valued operators.  :class:`IncrementalPlan`
+materializes the output of *every* node once, then keeps all of them up
+to date under the row-level deltas a :class:`~repro.db.changelog.Changelog`
+carries — classic incremental view maintenance, specialized to the
+twelve operators of :mod:`repro.fo.plan`:
+
+``Scan``/``Project``/``Union``
+    maintain a derivation counter per output row (several base rows or
+    parts can support the same output row), emitting a delta only on
+    0↔positive transitions;
+``Select``
+    is one-to-one on rows, so child deltas are simply filtered;
+``Join``
+    keeps both inputs hash-indexed on the shared columns; because the
+    output columns are the union of the input columns, every output row
+    has exactly one derivation and no counting is needed;
+``SemiJoin``/``AntiJoin``
+    keep the left input indexed by join key and a per-key counter of
+    right matches; a key whose counter hits zero *inserts* rows into an
+    anti-join's output — the retraction-induced insertions that make
+    a query certain when a fact leaves a block;
+``Difference``
+    the same, with the whole row as the key;
+``Literal``
+    never changes.
+
+``AdomProduct``/``AdomGuard``/``AdomEq`` depend on the active domain of
+the whole database, whose membership can shrink under deletion; they
+(and any operator without a delta rule) use the escape hatch instead:
+*recompute-from-dirty-subtree* — re-execute the node with a fresh
+:class:`~repro.fo.plan.Executor` and diff against its stored output, so
+maintenance stays correct for every plan the compiler can emit.  The
+``fallback_recomputes`` counter makes that path observable.
+
+Deltas propagate bottom-up in one pass per batch; clean subtrees (no
+dirty relation below, active domain untouched) are skipped entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..db.changelog import Changelog
+from ..db.database import Database
+from ..fo.plan import (
+    AdomEq,
+    AdomGuard,
+    AdomProduct,
+    AntiJoin,
+    Difference,
+    Executor,
+    Join,
+    Literal,
+    Plan,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+    _tuple_getter,
+)
+
+Row = Tuple
+RowDelta = Tuple[Set[Row], Set[Row]]  # (inserted, deleted)
+
+_EMPTY: RowDelta = (frozenset(), frozenset())  # type: ignore[assignment]
+
+
+class DeltaError(RuntimeError):
+    """Raised when maintained state is found inconsistent (a bug)."""
+
+
+def _apply_counted(
+    counts: Dict[Row, int], dec: Iterable[Row], inc: Iterable[Row]
+) -> RowDelta:
+    """Apply ±1 multiplicity changes and report 0↔positive transitions.
+
+    ``dec``/``inc`` carry multiplicity (the same row may occur several
+    times); zero-count entries are dropped so ``row in counts`` means
+    "currently derivable".
+    """
+    touched: Dict[Row, int] = {}
+    for row in dec:
+        if row not in touched:
+            touched[row] = counts.get(row, 0)
+        counts[row] = counts.get(row, 0) - 1
+    for row in inc:
+        if row not in touched:
+            touched[row] = counts.get(row, 0)
+        counts[row] = counts.get(row, 0) + 1
+    ins: Set[Row] = set()
+    dels: Set[Row] = set()
+    for row, old in touched.items():
+        new = counts.get(row, 0)
+        if new < 0:
+            raise DeltaError(f"negative derivation count for {row!r}")
+        if new == 0:
+            del counts[row]
+        if old == 0 and new > 0:
+            ins.add(row)
+        elif old > 0 and new == 0:
+            dels.add(row)
+    return ins, dels
+
+
+def _index_rows(rows: Iterable[Row], key) -> Dict[Row, Set[Row]]:
+    out: Dict[Row, Set[Row]] = {}
+    for row in rows:
+        out.setdefault(key(row), set()).add(row)
+    return out
+
+
+def _index_add(index: Dict[Row, Set[Row]], rows: Iterable[Row], key) -> None:
+    for row in rows:
+        index.setdefault(key(row), set()).add(row)
+
+
+def _index_remove(index: Dict[Row, Set[Row]], rows: Iterable[Row], key) -> None:
+    for row in rows:
+        k = key(row)
+        bucket = index.get(k)
+        if bucket is not None:
+            bucket.discard(row)
+            if not bucket:
+                del index[k]
+
+
+class _NodeState:
+    """Materialized output rows plus operator-specific auxiliaries."""
+
+    __slots__ = ("rows", "counts", "lindex", "rindex", "rcounts",
+                 "lset", "rset", "lkey", "rkey", "emit")
+
+    def __init__(self, rows: Set[Row]):
+        self.rows: Set[Row] = rows
+        self.counts: Optional[Dict[Row, int]] = None
+        self.lindex: Optional[Dict[Row, Set[Row]]] = None
+        self.rindex: Optional[Dict[Row, Set[Row]]] = None
+        self.rcounts: Optional[Dict[Row, int]] = None
+        self.lset: Optional[Set[Row]] = None
+        self.rset: Optional[Set[Row]] = None
+        self.lkey = None
+        self.rkey = None
+        self.emit = None
+
+
+class _NodeInfo:
+    """Static per-node facts: which relations the subtree reads, whether
+    it touches the active domain, and whether it must always recompute."""
+
+    __slots__ = ("relations", "uses_adom", "always_dirty")
+
+    def __init__(self, relations: FrozenSet[str], uses_adom: bool,
+                 always_dirty: bool):
+        self.relations = relations
+        self.uses_adom = uses_adom
+        self.always_dirty = always_dirty
+
+
+def _binary_keys(node) -> Tuple[Callable, Callable]:
+    shared = node.shared
+    lkey = _tuple_getter([node.left.cols.index(c) for c in shared])
+    rkey = _tuple_getter([node.right.cols.index(c) for c in shared])
+    return lkey, rkey
+
+
+class IncrementalPlan:
+    """One materialized plan, maintained under changelog batches.
+
+    ``constants`` must be the compiled query's constant pool so fallback
+    re-executions see the same active domain as a fresh run.
+    """
+
+    def __init__(self, plan: Plan, db: Database, constants: Iterable = ()):
+        self.plan = plan
+        self.constants: Tuple = tuple(constants)
+        self.deltas_applied = 0
+        self.rows_touched = 0
+        self.fallback_recomputes = 0
+        self._info: Dict[int, _NodeInfo] = {}
+        self._state: Dict[int, _NodeState] = {}
+        self._order: List[Plan] = []
+        self._collect(plan, set())
+        self._materialize(db)
+        # Per-batch scratch, valid only inside apply():
+        self._memo: Dict[int, RowDelta] = {}
+        self._dirty: FrozenSet[str] = frozenset()
+        self._adom_changed = False
+        self._db: Optional[Database] = None
+        self._log: Optional[Changelog] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _collect(self, node: Plan, seen: Set[int]) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children():
+            self._collect(child, seen)
+        kind = type(node)
+        relations: FrozenSet[str] = frozenset()
+        uses_adom = False
+        always_dirty = False
+        if kind is Scan:
+            relations = frozenset((node.atom.relation,))
+        elif kind is Literal:
+            pass
+        elif kind in (AdomProduct, AdomGuard, AdomEq):
+            uses_adom = True
+        elif kind in _COMPOSITE:
+            for child in node.children():
+                info = self._info[id(child)]
+                relations |= info.relations
+                uses_adom = uses_adom or info.uses_adom
+                always_dirty = always_dirty or info.always_dirty
+        else:
+            # Unknown operator: no delta rule and no dependency model —
+            # recompute it whenever anything at all changes.
+            for child in node.children():
+                relations |= self._info[id(child)].relations
+            always_dirty = True
+        self._info[id(node)] = _NodeInfo(relations, uses_adom, always_dirty)
+        self._order.append(node)
+
+    @property
+    def uses_adom(self) -> bool:
+        """Does any node depend on active-domain membership?"""
+        return self._info[id(self.plan)].uses_adom
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        """The database relations the plan reads."""
+        return self._info[id(self.plan)].relations
+
+    @property
+    def rows(self) -> Set[Row]:
+        """The maintained output of the root (do not mutate)."""
+        return self._state[id(self.plan)].rows
+
+    def _materialize(self, db: Database) -> None:
+        ex = Executor(db, None, self.constants)
+        for node in self._order:
+            state = _NodeState(set(ex.run(node)))
+            kind = type(node)
+            if kind is Scan:
+                state.counts = {}
+                getter = _tuple_getter(node.proj)
+                for row in self._scan_source(node, db.facts(node.atom.relation)):
+                    out = getter(row)
+                    state.counts[out] = state.counts.get(out, 0) + 1
+            elif kind is Project:
+                state.counts = {}
+                getter = _tuple_getter(node.positions)
+                for row in ex.run(node.child):
+                    out = getter(row)
+                    state.counts[out] = state.counts.get(out, 0) + 1
+            elif kind is Union:
+                state.counts = {}
+                for part in node.parts:
+                    for row in ex.run(part):
+                        state.counts[row] = state.counts.get(row, 0) + 1
+            elif kind is Join:
+                state.lkey, state.rkey = _binary_keys(node)
+                width = len(node.left.cols)
+                state.emit = _tuple_getter(
+                    [i if side == 0 else width + i for side, i in node.emit]
+                )
+                state.lindex = _index_rows(ex.run(node.left), state.lkey)
+                state.rindex = _index_rows(ex.run(node.right), state.rkey)
+            elif kind in (SemiJoin, AntiJoin):
+                state.lkey, state.rkey = _binary_keys(node)
+                state.lindex = _index_rows(ex.run(node.left), state.lkey)
+                state.rcounts = {}
+                for row in ex.run(node.right):
+                    k = state.rkey(row)
+                    state.rcounts[k] = state.rcounts.get(k, 0) + 1
+            elif kind is Difference:
+                state.lset = set(ex.run(node.left))
+                state.rset = set(ex.run(node.right))
+            self._state[id(node)] = state
+
+    @staticmethod
+    def _scan_source(node: Scan, rows: Iterable[Row]) -> Iterable[Row]:
+        """Base rows surviving the scan's constant/equality pattern."""
+        consts = node.consts
+        checks = node.eq_checks
+        for row in rows:
+            if consts and any(row[i] != v for i, v in consts.items()):
+                continue
+            if checks and any(row[i] != row[j] for i, j in checks):
+                continue
+            yield row
+
+    # ------------------------------------------------------------------
+    # delta application
+    # ------------------------------------------------------------------
+
+    def apply(self, log: Changelog, db: Database,
+              adom_changed: bool = False) -> RowDelta:
+        """Propagate one committed batch; returns the net answer delta.
+
+        Must be called for *every* commit on the database, in order,
+        with ``db`` already in its post-commit state (exactly what a
+        changelog subscriber observes).  ``adom_changed`` reports
+        whether active-domain membership moved, net of this plan's
+        constant pool; callers without Adom* operators may pass False
+        unconditionally (see :attr:`uses_adom`).
+        """
+        self._memo = {}
+        self._dirty = log.relations
+        self._adom_changed = adom_changed
+        self._db = db
+        self._log = log
+        try:
+            ins, dels = self._delta(self.plan)
+        finally:
+            self._db = None
+            self._log = None
+        self.deltas_applied += 1
+        return ins, dels
+
+    def _is_dirty(self, node: Plan) -> bool:
+        info = self._info[id(node)]
+        return bool(
+            info.always_dirty
+            or (info.relations & self._dirty)
+            or (info.uses_adom and self._adom_changed)
+        )
+
+    def _delta(self, node: Plan) -> RowDelta:
+        found = self._memo.get(id(node))
+        if found is not None:
+            return found
+        if not self._is_dirty(node):
+            result = _EMPTY
+        else:
+            handler = self._DELTA_HANDLERS.get(type(node))
+            if handler is None:
+                result = self._fallback(node)
+            else:
+                result = handler(self, node)
+        self._memo[id(node)] = result
+        ins, dels = result
+        if ins or dels:
+            state = self._state[id(node)]
+            state.rows.difference_update(dels)
+            state.rows.update(ins)
+            self.rows_touched += len(ins) + len(dels)
+        return result
+
+    def _fallback(self, node: Plan) -> RowDelta:
+        """Escape hatch: recompute the dirty subtree and diff.
+
+        Children are still delta-processed first so their own state
+        remains current for later batches; the recomputation itself
+        reads only the database.
+        """
+        for child in node.children():
+            self._delta(child)
+        self.fallback_recomputes += 1
+        new = Executor(self._db, None, self.constants).run(node)
+        old = self._state[id(node)].rows
+        return set(new - old), set(old - new)
+
+    # -- per-operator delta rules --------------------------------------
+
+    def _d_scan(self, node: Scan) -> RowDelta:
+        state = self._state[id(node)]
+        schema = self._db.schemas.get(node.atom.relation)
+        if schema is None or schema.arity != node.atom.schema.arity:
+            return _EMPTY
+        delta = self._log.deltas.get(node.atom.relation)
+        if delta is None:
+            return _EMPTY
+        getter = _tuple_getter(node.proj)
+        dec = [getter(r) for r in self._scan_source(node, delta.deleted)]
+        inc = [getter(r) for r in self._scan_source(node, delta.inserted)]
+        return _apply_counted(state.counts, dec, inc)
+
+    def _d_literal(self, node: Literal) -> RowDelta:
+        return _EMPTY
+
+    def _d_select(self, node: Select) -> RowDelta:
+        cins, cdels = self._delta(node.child)
+        if not cins and not cdels:
+            return _EMPTY
+        preds = []
+        for lhs, rhs, equal in node.conds:
+            getl = Executor._operand_getter(lhs)
+            getr = Executor._operand_getter(rhs)
+            preds.append((getl, getr, equal))
+
+        def passes(row: Row) -> bool:
+            return all(
+                (getl(row) == getr(row)) == equal for getl, getr, equal in preds
+            )
+
+        return {r for r in cins if passes(r)}, {r for r in cdels if passes(r)}
+
+    def _d_project(self, node: Project) -> RowDelta:
+        cins, cdels = self._delta(node.child)
+        if not cins and not cdels:
+            return _EMPTY
+        state = self._state[id(node)]
+        getter = _tuple_getter(node.positions)
+        return _apply_counted(
+            state.counts, [getter(r) for r in cdels], [getter(r) for r in cins]
+        )
+
+    def _d_union(self, node: Union) -> RowDelta:
+        state = self._state[id(node)]
+        dec: List[Row] = []
+        inc: List[Row] = []
+        for part in node.parts:
+            pins, pdels = self._delta(part)
+            inc.extend(pins)
+            dec.extend(pdels)
+        if not inc and not dec:
+            return _EMPTY
+        return _apply_counted(state.counts, dec, inc)
+
+    def _d_join(self, node: Join) -> RowDelta:
+        state = self._state[id(node)]
+        lins, ldel = self._delta(node.left)
+        rins, rdel = self._delta(node.right)
+        if not (lins or ldel or rins or rdel):
+            return _EMPTY
+        lkey, rkey, emit = state.lkey, state.rkey, state.emit
+        lindex, rindex = state.lindex, state.rindex
+        dels: Set[Row] = set()
+        # Deletions pair against the *old* indexes ...
+        for lrow in ldel:
+            for r in rindex.get(lkey(lrow), ()):
+                dels.add(emit(lrow + r))
+        for r in rdel:
+            for lrow in lindex.get(rkey(r), ()):
+                dels.add(emit(lrow + r))
+        _index_remove(lindex, ldel, lkey)
+        _index_add(lindex, lins, lkey)
+        _index_remove(rindex, rdel, rkey)
+        _index_add(rindex, rins, rkey)
+        # ... and insertions against the new ones (the (Δleft, Δright)
+        # pair lands twice; the set dedupes).
+        ins: Set[Row] = set()
+        for lrow in lins:
+            for r in rindex.get(lkey(lrow), ()):
+                ins.add(emit(lrow + r))
+        for r in rins:
+            for lrow in lindex.get(rkey(r), ()):
+                ins.add(emit(lrow + r))
+        return ins, dels
+
+    def _semi_transitions(self, node, state) -> Tuple[RowDelta, RowDelta, Callable]:
+        """Shared semi/anti plumbing: child deltas, right-key membership
+        transitions, and an old-membership probe."""
+        left_delta = self._delta(node.left)
+        rins, rdel = self._delta(node.right)
+        rkey = state.rkey
+        became_present, became_absent = _apply_counted(
+            state.rcounts, [rkey(r) for r in rdel], [rkey(r) for r in rins]
+        )
+
+        def old_present(k: Row) -> bool:
+            if k in became_present:
+                return False
+            if k in became_absent:
+                return True
+            return k in state.rcounts
+
+        return left_delta, (became_present, became_absent), old_present
+
+    def _d_semi_join(self, node: SemiJoin) -> RowDelta:
+        state = self._state[id(node)]
+        (lins, ldel), (became_present, became_absent), old_present = (
+            self._semi_transitions(node, state)
+        )
+        lkey, lindex = state.lkey, state.lindex
+        dels = {lrow for lrow in ldel if old_present(lkey(lrow))}
+        for k in became_absent:
+            dels.update(lindex.get(k, ()))  # old index: includes Δ⁻left rows
+        _index_remove(lindex, ldel, lkey)
+        _index_add(lindex, lins, lkey)
+        ins = {lrow for lrow in lins if lkey(lrow) in state.rcounts}
+        for k in became_present:
+            ins.update(lindex.get(k, ()))
+        return ins, dels
+
+    def _d_anti_join(self, node: AntiJoin) -> RowDelta:
+        state = self._state[id(node)]
+        (lins, ldel), (became_present, became_absent), old_present = (
+            self._semi_transitions(node, state)
+        )
+        lkey, lindex = state.lkey, state.lindex
+        dels = {lrow for lrow in ldel if not old_present(lkey(lrow))}
+        for k in became_present:
+            dels.update(lindex.get(k, ()))
+        _index_remove(lindex, ldel, lkey)
+        _index_add(lindex, lins, lkey)
+        ins = {lrow for lrow in lins if lkey(lrow) not in state.rcounts}
+        # Retraction-induced insertions: a right key emptied out, so the
+        # surviving left rows under it (re-)enter the output.
+        for k in became_absent:
+            ins.update(lindex.get(k, ()))
+        return ins, dels
+
+    def _d_difference(self, node: Difference) -> RowDelta:
+        state = self._state[id(node)]
+        lins, ldel = self._delta(node.left)
+        rins, rdel = self._delta(node.right)
+        if not (lins or ldel or rins or rdel):
+            return _EMPTY
+        lset, rset = state.lset, state.rset
+        dels = {lrow for lrow in ldel if lrow not in rset}
+        dels.update(r for r in rins if r in lset and r not in ldel)
+        ins = {lrow for lrow in lins
+               if (lrow not in rset or lrow in rdel) and lrow not in rins}
+        # Retraction-induced insertions on the right operand:
+        ins.update(r for r in rdel if (r in lset and r not in ldel) or r in lins)
+        lset.difference_update(ldel)
+        lset.update(lins)
+        rset.difference_update(rdel)
+        rset.update(rins)
+        return ins, dels
+
+    _DELTA_HANDLERS = {
+        Scan: _d_scan,
+        Literal: _d_literal,
+        Select: _d_select,
+        Project: _d_project,
+        Union: _d_union,
+        Join: _d_join,
+        SemiJoin: _d_semi_join,
+        AntiJoin: _d_anti_join,
+        Difference: _d_difference,
+        # AdomProduct / AdomGuard / AdomEq intentionally absent: they
+        # take the recompute-from-dirty-subtree escape hatch.
+    }
+
+    def stats(self) -> Dict[str, int]:
+        """Maintenance counters for this plan."""
+        return {
+            "deltas_applied": self.deltas_applied,
+            "rows_touched": self.rows_touched,
+            "fallback_recomputes": self.fallback_recomputes,
+            "nodes": len(self._order),
+        }
+
+
+_COMPOSITE = (Select, Project, Join, SemiJoin, AntiJoin, Union, Difference)

@@ -1,0 +1,336 @@
+"""Materialized certain-answer views, maintained under updates.
+
+A :class:`View` is the certain-answer set of one FO-rewritable query,
+kept current as facts are inserted and deleted.  A :class:`ViewManager`
+subscribes to a database's changelog (:meth:`Database.subscribe`) and
+pushes every committed batch through each registered view's
+:class:`~repro.incremental.delta.IncrementalPlan` — so after any
+``commit()`` (or any single mutation outside a batch), ``view.answers``
+is already up to date, without a full re-execution.
+
+The manager also maintains an occurrence counter over the active
+domain, because deletions can *shrink* it: a view whose plan contains
+active-domain operators is recomputed through the escape hatch whenever
+domain membership moves (net of the view's constant pool).  Guarded
+rewritings — the common case — compile without Adom* operators and
+never take that path.
+
+Stats mirror the plan cache: per-manager :meth:`ViewManager.stats` and
+a process-wide :func:`view_stats`, surfaced on
+:class:`~repro.cqa.engine.CertaintyEngine` next to
+``plan_cache_stats``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.classify import Verdict, classify
+from ..core.query import Query
+from ..core.terms import Variable
+from ..db.changelog import Changelog
+from ..db.database import Database
+from ..fo.compile import plan_cache
+from ..fo.formula import Formula, free_variables
+from .delta import IncrementalPlan
+
+Row = Tuple
+
+
+class StaleVersionError(ValueError):
+    """Raised by :meth:`View.changed_since` for trimmed-away versions."""
+
+
+class _GlobalStats:
+    """Process-wide counters, aggregated across all view managers."""
+
+    __slots__ = ("views_registered", "commits_seen", "deltas_applied",
+                 "rows_touched", "fallback_recomputes")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.views_registered = 0
+        self.commits_seen = 0
+        self.deltas_applied = 0
+        self.rows_touched = 0
+        self.fallback_recomputes = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "views_registered": self.views_registered,
+            "commits_seen": self.commits_seen,
+            "deltas_applied": self.deltas_applied,
+            "rows_touched": self.rows_touched,
+            "fallback_recomputes": self.fallback_recomputes,
+        }
+
+
+_GLOBAL = _GlobalStats()
+
+
+def view_stats() -> Dict[str, int]:
+    """Process-wide incremental-maintenance counters (all managers)."""
+    return _GLOBAL.snapshot()
+
+
+def reset_view_stats() -> None:
+    """Zero the process-wide counters (test isolation hook)."""
+    _GLOBAL.reset()
+
+
+class View:
+    """One maintained certain-answer set.
+
+    ``answers`` is always current with the owning database;
+    ``changed_since(version)`` reports the net answer diff since an
+    earlier :attr:`version` (a :attr:`Database.clock` value).
+    """
+
+    def __init__(self, manager: "ViewManager", query: Optional[Query],
+                 free: Tuple[Variable, ...], formula: Formula,
+                 incremental: IncrementalPlan, version: int):
+        self._manager = manager
+        self.query = query
+        self.free = free
+        self.formula = formula
+        self.incremental = incremental
+        self._version = version
+        self._registered_at = version
+        # (version-after, inserted, deleted) per applied non-empty batch.
+        self._history: List[Tuple[int, FrozenSet[Row], FrozenSet[Row]]] = []
+        self._trimmed_before = version
+
+    @property
+    def answers(self) -> FrozenSet[Row]:
+        """The current certain answers (aligned with :attr:`free`)."""
+        return frozenset(self.incremental.rows)
+
+    @property
+    def holds(self) -> bool:
+        """For a Boolean view (no free variables): is the query certain?"""
+        return bool(self.incremental.rows)
+
+    @property
+    def version(self) -> int:
+        """The database clock value this view is current with."""
+        return self._version
+
+    def changed_since(self, version: int) -> Tuple[FrozenSet[Row], FrozenSet[Row]]:
+        """Net ``(inserted, deleted)`` answer rows since *version*.
+
+        *version* must be a clock value at or after this view's
+        registration that is still within the retained history window
+        (:attr:`ViewManager.history_limit` batches).
+        """
+        if version >= self._version:
+            return frozenset(), frozenset()
+        if version < self._trimmed_before:
+            raise StaleVersionError(
+                f"version {version} predates retained view history "
+                f"(oldest known: {self._trimmed_before})"
+            )
+        ins: Set[Row] = set()
+        dels: Set[Row] = set()
+        for after, step_ins, step_dels in self._history:
+            if after <= version:
+                continue
+            for row in step_dels:
+                if row in ins:  # inserted earlier in the window: nets out
+                    ins.discard(row)
+                else:
+                    dels.add(row)
+            for row in step_ins:
+                if row in dels:  # deleted earlier in the window: nets out
+                    dels.discard(row)
+                else:
+                    ins.add(row)
+        return frozenset(ins), frozenset(dels)
+
+    def _record(self, version: int, ins: FrozenSet[Row],
+                dels: FrozenSet[Row], limit: int) -> None:
+        self._version = version
+        if not ins and not dels:
+            return
+        self._history.append((version, ins, dels))
+        while len(self._history) > limit:
+            dropped = self._history.pop(0)
+            self._trimmed_before = dropped[0]
+
+    def stats(self) -> Dict[str, int]:
+        """Maintenance counters of this view's incremental plan."""
+        return self.incremental.stats()
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.free) or "boolean"
+        return (f"View[{names}] v{self._version} "
+                f"({len(self.incremental.rows)} answers)")
+
+
+class ViewManager:
+    """Keeps registered views current under one database's changelog."""
+
+    def __init__(self, db: Database, history_limit: int = 256):
+        self.db = db
+        self.history_limit = history_limit
+        self._views: List[View] = []
+        self._adom_counts: Dict[object, int] = {}
+        for name in db.relations():
+            for row in db.facts(name):
+                for value in row:
+                    self._adom_counts[value] = self._adom_counts.get(value, 0) + 1
+        self.commits_seen = 0
+        db.subscribe(self._on_commit)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register_view(self, query: Query,
+                      free: Sequence[Variable] = ()) -> View:
+        """Materialize and maintain the certain answers of *query*.
+
+        With ``free`` empty this is a Boolean certainty view (query
+        :attr:`View.holds`); otherwise the view maintains the certain
+        answers over the given free variables.  Requires the (grounded)
+        query to be in FO — the same condition as ``method="compiled"``.
+        """
+        from ..cqa.certain_answers import OpenQuery, _guarded_open_rewriting
+        from ..cqa.rewriting import NotInFO, consistent_rewriting
+
+        free = tuple(free)
+        if free:
+            open_query = OpenQuery(query, free)
+            if not open_query.in_fo:
+                raise NotInFO(
+                    "incremental views require a consistent FO rewriting; "
+                    "the grounded query's attack graph is cyclic"
+                )
+            formula = _guarded_open_rewriting(open_query)
+        else:
+            if classify(query).verdict is not Verdict.IN_FO:
+                raise NotInFO(
+                    "incremental views require a consistent FO rewriting; "
+                    "the query's attack graph is cyclic"
+                )
+            formula = consistent_rewriting(query)
+        return self._register(query, free, formula)
+
+    def register_formula(self, formula: Formula,
+                         free: Optional[Sequence[Variable]] = None) -> View:
+        """Maintain an arbitrary FO formula's answer set (expert hook)."""
+        out = tuple(free) if free is not None else tuple(
+            sorted(free_variables(formula))
+        )
+        return self._register(None, out, formula)
+
+    def _register(self, query: Optional[Query], free: Tuple[Variable, ...],
+                  formula: Formula) -> View:
+        compiled = plan_cache.get_or_compile(formula, self.db, free or None)
+        incremental = IncrementalPlan(compiled.plan, self.db, compiled.constants)
+        view = View(self, query, compiled.free, formula, incremental,
+                    self.db.clock)
+        self._views.append(view)
+        _GLOBAL.views_registered += 1
+        return view
+
+    def unregister(self, view: View) -> None:
+        """Stop maintaining a view (its answers freeze at this state)."""
+        if view in self._views:
+            self._views.remove(view)
+
+    def close(self) -> None:
+        """Detach from the database; all views freeze."""
+        self.db.unsubscribe(self._on_commit)
+        self._views.clear()
+
+    @property
+    def views(self) -> Tuple[View, ...]:
+        return tuple(self._views)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def _update_adom(self, log: Changelog) -> FrozenSet[object]:
+        """Fold a batch into the domain-occurrence counter; returns the
+        values whose active-domain membership flipped."""
+        flipped: Set[object] = set()
+        counts = self._adom_counts
+
+        def toggle(value: object) -> None:
+            # Net membership flip = odd number of 0↔positive transitions.
+            if value in flipped:
+                flipped.discard(value)
+            else:
+                flipped.add(value)
+
+        for delta in log.deltas.values():
+            for row in delta.deleted:
+                for value in row:
+                    counts[value] = counts.get(value, 0) - 1
+                    if counts[value] == 0:
+                        del counts[value]
+                        toggle(value)
+            for row in delta.inserted:
+                for value in row:
+                    before = counts.get(value, 0)
+                    counts[value] = before + 1
+                    if before == 0:
+                        toggle(value)
+        return frozenset(flipped)
+
+    def _on_commit(self, log: Changelog) -> None:
+        self.commits_seen += 1
+        _GLOBAL.commits_seen += 1
+        flipped = self._update_adom(log)
+        for view in self._views:
+            inc = view.incremental
+            adom_changed = bool(
+                inc.uses_adom
+                and any(v not in set(inc.constants) for v in flipped)
+            )
+            if not adom_changed and not (inc.relations & log.relations):
+                view._version = log.version
+                continue
+            before_touched = inc.rows_touched
+            before_fallback = inc.fallback_recomputes
+            ins, dels = inc.apply(log, self.db, adom_changed)
+            _GLOBAL.deltas_applied += 1
+            _GLOBAL.rows_touched += inc.rows_touched - before_touched
+            _GLOBAL.fallback_recomputes += (
+                inc.fallback_recomputes - before_fallback
+            )
+            view._record(log.version, frozenset(ins), frozenset(dels),
+                         self.history_limit)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters across this manager's views (mirrors the plan
+        cache's stats hook)."""
+        out = {
+            "views": len(self._views),
+            "commits_seen": self.commits_seen,
+            "deltas_applied": 0,
+            "rows_touched": 0,
+            "fallback_recomputes": 0,
+        }
+        for view in self._views:
+            s = view.incremental.stats()
+            out["deltas_applied"] += s["deltas_applied"]
+            out["rows_touched"] += s["rows_touched"]
+            out["fallback_recomputes"] += s["fallback_recomputes"]
+        return out
+
+
+def view_manager(db: Database, history_limit: int = 256) -> ViewManager:
+    """The database's attached view manager, created on first use.
+
+    One manager per database keeps subscription bookkeeping in one
+    place; repeated calls return the same instance.
+    """
+    manager = getattr(db, "_view_manager", None)
+    if manager is None:
+        manager = ViewManager(db, history_limit)
+        db._view_manager = manager  # type: ignore[attr-defined]
+    return manager

@@ -102,6 +102,118 @@ def random_small_database(
 
 
 @dataclass(frozen=True)
+class UpdateStreamParams:
+    """Knobs for random update streams over an existing database.
+
+    Attributes
+    ----------
+    n_batches: number of committed batches in the stream.
+    batch_size: mutations per batch.
+    delete_fraction: probability that an op deletes a live fact instead
+        of inserting one (deletions are what flip certainty *on*).
+    churn: probability that an insert re-targets an existing block
+        (growing it, i.e. adding inconsistency) rather than opening a
+        fresh key.
+    fresh_value_rate: probability that an inserted non-key value is a
+        brand-new domain constant (``u0``, ``u1``, ...) instead of one
+        drawn from the current active domain.
+    """
+
+    n_batches: int = 50
+    batch_size: int = 4
+    delete_fraction: float = 0.5
+    churn: float = 0.5
+    fresh_value_rate: float = 0.05
+
+
+UpdateOp = Tuple[bool, str, Tuple]  # (insert?, relation, row)
+
+
+def random_update_stream(
+    db: Database,
+    params: UpdateStreamParams = UpdateStreamParams(),
+    rng: Optional[random.Random] = None,
+) -> List[List[UpdateOp]]:
+    """A pre-materialized update-heavy workload for *db*.
+
+    Returns batches of ``(insert, relation, row)`` ops meant to be
+    applied in order (each batch inside one ``db.batch()`` scope).  The
+    stream is simulated against the database's current contents while
+    being drawn, so every deletion hits a fact that is live at its point
+    in the stream and duplicate inserts are avoided; *db* itself is not
+    touched.  The same stream can therefore be replayed on independent
+    copies — exactly what comparing incremental maintenance against
+    full recompute requires.
+    """
+    rng = rng or random.Random()
+    relations = [name for name in db.relations()]
+    if not relations:
+        return [[] for _ in range(params.n_batches)]
+    # Live simulation state: per relation a list (O(1) swap-pop removal
+    # and uniform choice) plus a membership set.
+    live = {name: sorted(db.facts(name), key=repr) for name in relations}
+    member = {name: set(rows) for name, rows in live.items()}
+    pool: List = sorted(db.active_domain(), key=repr) or [0]
+    fresh_counter = 0
+
+    def draw_value():
+        nonlocal fresh_counter
+        if rng.random() < params.fresh_value_rate:
+            value = f"u{fresh_counter}"
+            fresh_counter += 1
+            pool.append(value)
+            return value
+        return rng.choice(pool)
+
+    batches: List[List[UpdateOp]] = []
+    for _ in range(params.n_batches):
+        batch: List[UpdateOp] = []
+        for _ in range(params.batch_size):
+            name = rng.choice(relations)
+            schema = db.schemas[name]
+            rows = live[name]
+            if rows and rng.random() < params.delete_fraction:
+                i = rng.randrange(len(rows))
+                row = rows[i]
+                rows[i] = rows[-1]
+                rows.pop()
+                member[name].discard(row)
+                batch.append((False, name, row))
+                continue
+            if rows and rng.random() < params.churn:
+                key = rng.choice(rows)[:schema.key_size]
+            else:
+                key = tuple(draw_value() for _ in range(schema.key_size))
+            row = key + tuple(
+                draw_value() for _ in range(schema.arity - schema.key_size)
+            )
+            if row in member[name]:
+                continue  # duplicate insert would be a no-op anyway
+            rows.append(row)
+            member[name].add(row)
+            batch.append((True, name, row))
+        batches.append(batch)
+    return batches
+
+
+def apply_update_stream(
+    db: Database, batches: Sequence[Sequence[UpdateOp]]
+) -> int:
+    """Replay a stream from :func:`random_update_stream`, one committed
+    batch per entry; returns the number of ops applied."""
+    applied = 0
+    for batch in batches:
+        with db.batch():
+            for insert, relation, row in batch:
+                if insert:
+                    db.add(relation, row)
+                else:
+                    db.discard(relation, row)
+                applied += 1
+    return applied
+
+
+@dataclass(frozen=True)
 class QueryParams:
     """Knobs for random sjfBCQ¬ query generation."""
 

@@ -2,12 +2,27 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.terms import Variable
 from repro.db.database import Database
+
+# Hypothesis profiles: CI runs with HYPOTHESIS_PROFILE=ci for a
+# deterministic (derandomized, no-deadline) run; locally the default
+# profile keeps random exploration but still disables deadlines, which
+# flake under coverage and slow containers.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,222 @@
+"""Tests for change capture: deltas, changelogs, batches, subscribers,
+and the bulk-deletion fast path."""
+
+import pytest
+
+from repro.core.atoms import RelationSchema
+from repro.db import BatchError, Changelog, Delta
+
+from conftest import db_from
+
+
+class TestDelta:
+    def test_insert_then_delete_cancels(self):
+        d = Delta("R")
+        d.record_insert((1, 2))
+        d.record_delete((1, 2))
+        assert d.is_empty
+        assert len(d) == 0
+
+    def test_delete_then_insert_cancels(self):
+        d = Delta("R")
+        d.record_delete((1, 2))
+        d.record_insert((1, 2))
+        assert d.is_empty
+
+    def test_distinct_rows_accumulate(self):
+        d = Delta("R")
+        d.record_insert((1, 2))
+        d.record_delete((3, 4))
+        assert d.inserted == {(1, 2)}
+        assert d.deleted == {(3, 4)}
+        assert len(d) == 2
+
+    def test_touched_keys_is_block_granular(self):
+        schema = RelationSchema("R", 2, 1)
+        d = Delta("R", inserted=[(1, "a"), (1, "b")], deleted=[(2, "z")])
+        assert d.touched_keys(schema) == {(1,), (2,)}
+
+    def test_touched_keys_rejects_mismatched_schema(self):
+        d = Delta("R")
+        with pytest.raises(ValueError):
+            d.touched_keys(RelationSchema("S", 2, 1))
+
+
+class TestChangelog:
+    def test_empty_deltas_are_dropped(self):
+        log = Changelog(7, {"R": Delta("R"), "S": Delta("S", [(1,)])})
+        assert log.relations == {"S"}
+        assert not log.is_empty
+        assert log.version == 7
+
+    def test_delta_lookup_for_untouched_relation(self):
+        log = Changelog(1, {"R": Delta("R", [(1, 2)])})
+        assert log.delta("R").inserted == {(1, 2)}
+        assert log.delta("S").is_empty
+
+    def test_rows_touched(self):
+        log = Changelog(1, {
+            "R": Delta("R", [(1, 2)], [(3, 4)]),
+            "S": Delta("S", [(5,)]),
+        })
+        assert log.rows_touched() == 3
+
+    def test_touched_blocks(self):
+        schemas = {"R": RelationSchema("R", 2, 1),
+                   "S": RelationSchema("S", 1, 1)}
+        log = Changelog(1, {
+            "R": Delta("R", [(1, "a"), (1, "b")], [(2, "z")]),
+            "S": Delta("S", [(9,)]),
+        })
+        assert list(log.touched_blocks(schemas)) == [
+            ("R", (1,)), ("R", (2,)), ("S", (9,)),
+        ]
+
+
+class TestClockAndListeners:
+    def test_clock_bumps_only_on_genuine_mutations(self):
+        db = db_from({"R/2/1": [(1, "a")]})
+        start = db.clock
+        db.add("R", (1, "a"))          # duplicate: no-op
+        db.discard("R", (9, "q"))      # absent: no-op
+        assert db.clock == start
+        db.add("R", (1, "b"))
+        db.discard("R", (1, "a"))
+        assert db.clock == start + 2
+
+    def test_subscriber_sees_one_log_per_mutation(self):
+        db = db_from({"R/2/1": []})
+        logs = []
+        db.subscribe(logs.append)
+        db.add("R", (1, "a"))
+        db.discard("R", (1, "a"))
+        assert [log.relations for log in logs] == [{"R"}, {"R"}]
+        assert logs[0].delta("R").inserted == {(1, "a")}
+        assert logs[1].delta("R").deleted == {(1, "a")}
+
+    def test_noop_mutations_do_not_notify(self):
+        db = db_from({"R/2/1": [(1, "a")]})
+        logs = []
+        db.subscribe(logs.append)
+        db.add("R", (1, "a"))
+        db.discard("R", (2, "b"))
+        db.discard_all("R", [(2, "b"), (3, "c")])
+        assert logs == []
+
+    def test_unsubscribe(self):
+        db = db_from({"R/2/1": []})
+        logs = []
+        db.subscribe(logs.append)
+        db.unsubscribe(logs.append)
+        db.add("R", (1, "a"))
+        assert logs == []
+
+    def test_duplicate_subscribe_delivers_once(self):
+        db = db_from({"R/2/1": []})
+        logs = []
+        db.subscribe(logs.append)
+        db.subscribe(logs.append)
+        db.add("R", (1, "a"))
+        assert len(logs) == 1
+
+
+class TestBatches:
+    def test_batch_folds_net_delta(self):
+        db = db_from({"R/2/1": [(1, "a")]})
+        logs = []
+        db.subscribe(logs.append)
+        db.begin_batch()
+        db.add("R", (2, "b"))
+        db.add("R", (3, "c"))
+        db.discard("R", (1, "a"))
+        assert logs == []  # nothing published until commit
+        log = db.commit()
+        assert logs == [log]
+        assert log.delta("R").inserted == {(2, "b"), (3, "c")}
+        assert log.delta("R").deleted == {(1, "a")}
+        assert log.version == db.clock
+
+    def test_add_then_discard_in_batch_cancels(self):
+        db = db_from({"R/2/1": []})
+        logs = []
+        db.subscribe(logs.append)
+        with db.batch():
+            db.add("R", (1, "a"))
+            db.discard("R", (1, "a"))
+        assert logs == []  # empty changelogs are not delivered
+
+    def test_reads_stay_consistent_inside_batch(self):
+        db = db_from({"R/2/1": [(1, "a")]})
+        db.begin_batch()
+        db.add("R", (2, "b"))
+        assert db.contains("R", (2, "b"))
+        assert db.in_batch
+        db.commit()
+        assert not db.in_batch
+
+    def test_nested_begin_raises(self):
+        db = db_from({"R/2/1": []})
+        db.begin_batch()
+        with pytest.raises(BatchError):
+            db.begin_batch()
+        db.commit()
+
+    def test_commit_without_begin_raises(self):
+        db = db_from({"R/2/1": []})
+        with pytest.raises(BatchError):
+            db.commit()
+
+    def test_batch_contextmanager_commits_on_error(self):
+        db = db_from({"R/2/1": []})
+        logs = []
+        db.subscribe(logs.append)
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.batch():
+                db.add("R", (1, "a"))
+                raise RuntimeError("boom")
+        assert not db.in_batch
+        assert len(logs) == 1
+        assert logs[0].delta("R").inserted == {(1, "a")}
+
+    def test_bulk_mutations_emit_one_changelog_each(self):
+        db = db_from({"R/2/1": [(1, "a"), (2, "b")]})
+        logs = []
+        db.subscribe(logs.append)
+        db.add_all("R", [(3, "c"), (4, "d"), (1, "a")])  # one dup
+        db.discard_all("R", [(1, "a"), (2, "b"), (9, "x")])  # one absent
+        db.clear_relation("R")
+        assert len(logs) == 3
+        assert logs[0].delta("R").inserted == {(3, "c"), (4, "d")}
+        assert logs[1].delta("R").deleted == {(1, "a"), (2, "b")}
+        assert logs[2].delta("R").deleted == {(3, "c"), (4, "d")}
+
+
+class TestDiscardAll:
+    def test_removes_present_ignores_absent(self):
+        db = db_from({"R/2/1": [(1, "a"), (1, "b"), (2, "c")]})
+        db.discard_all("R", [(1, "a"), (9, "z")])
+        assert db.facts("R") == {(1, "b"), (2, "c")}
+
+    def test_unknown_relation_is_noop(self):
+        db = db_from({"R/2/1": [(1, "a")]})
+        db.discard_all("Nope", [(1, "a")])
+        assert db.facts("R") == {(1, "a")}
+
+    def test_single_version_bump(self):
+        db = db_from({"R/2/1": [(1, "a"), (2, "b"), (3, "c")]})
+        start = db.clock
+        db.discard_all("R", [(1, "a"), (2, "b")])
+        assert db.clock == start + 1
+
+    def test_all_absent_rows_do_not_bump(self):
+        db = db_from({"R/2/1": [(1, "a")]})
+        start = db.clock
+        before = db.index("R", (0,))
+        db.discard_all("R", [(7, "x"), (8, "y")])
+        assert db.clock == start
+        assert db.index("R", (0,)) is before  # index survives the no-op
+
+    def test_rows_accepts_any_sequence(self):
+        db = db_from({"R/2/1": [(1, "a"), (2, "b")]})
+        db.discard_all("R", [[1, "a"], [2, "b"]])
+        assert db.facts("R") == frozenset()

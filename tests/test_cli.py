@@ -1,10 +1,14 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.db.io import save_database
 from repro.workloads.poll import paper_flavoured_poll_database
+
+from conftest import db_from
 
 QA = "Lives(p | t), not Born(p | t), not Likes(p, t)"
 Q1 = "R(x | y), not S(y | x)"
@@ -79,6 +83,109 @@ class TestAnswers:
         assert main(["answers", QA, "--free", "p", "--db", poll_file,
                      "--show-sql"]) == 0
         assert "SELECT DISTINCT" in capsys.readouterr().out
+
+
+def _stats_payload(out: str) -> dict:
+    """The JSON object --stats appends after the human-readable lines."""
+    return json.loads(out[out.index("{"):])
+
+
+VIEW_STAT_KEYS = {"views_registered", "commits_seen", "deltas_applied",
+                  "rows_touched", "fallback_recomputes"}
+
+
+class TestStatsFlag:
+    def test_certain_stats_json_shape(self, capsys, poll_file):
+        assert main(["certain", QA, "--db", poll_file,
+                     "--method", "compiled", "--stats"]) == 0
+        payload = _stats_payload(capsys.readouterr().out)
+        assert set(payload) == {"plan_cache", "views"}
+        assert {"hits", "misses", "size"} <= set(payload["plan_cache"])
+        assert set(payload["views"]) == VIEW_STAT_KEYS
+        assert all(isinstance(v, int) for v in payload["views"].values())
+
+    def test_answers_stats_json_shape(self, capsys, poll_file):
+        assert main(["answers", QA, "--free", "p", "--db", poll_file,
+                     "--method", "compiled", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "certain answers (p)" in out
+        payload = _stats_payload(out)
+        assert set(payload) == {"plan_cache", "views"}
+
+    def test_without_flag_no_json(self, capsys, poll_file):
+        assert main(["certain", QA, "--db", poll_file]) == 0
+        assert "{" not in capsys.readouterr().out
+
+
+class TestWatch:
+    @pytest.fixture
+    def q3_file(self, tmp_path):
+        db = db_from({"P/2/1": [(1, "a")],
+                      "N/2/1": [("c", "a"), ("c", "b")]})
+        path = tmp_path / "q3.json"
+        save_database(db, path)
+        return str(path)
+
+    def test_open_view_diffs(self, capsys, poll_file, tmp_path):
+        stream = tmp_path / "ops.txt"
+        stream.write_text(
+            "# dan moves in, then confesses to liking mons\n"
+            "begin\n"
+            "+ Lives dan mons\n"
+            "+ Born dan rome\n"
+            "commit\n"
+            "+ Likes dan mons\n"
+        )
+        assert main(["watch", QA, "--db", poll_file, "--free", "p",
+                     "--stream", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "watching" in out
+        plus = out.index("+('dan',)")
+        minus = out.index("-('dan',)")
+        assert plus < minus  # certain after the batch, retracted after Likes
+        assert "(2 update batches)" in out
+
+    def test_boolean_certainty_flip_on_retraction(self, capsys, q3_file,
+                                                  tmp_path):
+        stream = tmp_path / "ops.txt"
+        stream.write_text("- N 'c' 'a'\n+ N 'c' 'a'\n")
+        assert main(["watch", Q3, "--db", q3_file,
+                     "--stream", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "watching CERTAINTY = False" in out
+        assert "CERTAINTY -> True" in out
+        assert "CERTAINTY -> False" in out
+        assert "final: CERTAINTY = False" in out
+
+    def test_stats_flag(self, capsys, q3_file, tmp_path):
+        stream = tmp_path / "ops.txt"
+        stream.write_text("- N 'c' 'a'\n")
+        assert main(["watch", Q3, "--db", q3_file, "--stream", str(stream),
+                     "--stats"]) == 0
+        payload = _stats_payload(capsys.readouterr().out)
+        assert set(payload) == {"plan_cache", "views"}
+        assert payload["views"]["commits_seen"] >= 1
+
+    def test_bad_op_exits_nonzero(self, capsys, q3_file, tmp_path):
+        stream = tmp_path / "ops.txt"
+        stream.write_text("? N c a\n")
+        assert main(["watch", Q3, "--db", q3_file,
+                     "--stream", str(stream)]) == 1
+        assert "stream line 1" in capsys.readouterr().err
+
+    def test_unknown_relation_exits_nonzero(self, capsys, q3_file, tmp_path):
+        stream = tmp_path / "ops.txt"
+        stream.write_text("+ N 'c' 'z'\n+ Nope 1\n")
+        assert main(["watch", Q3, "--db", q3_file,
+                     "--stream", str(stream)]) == 1
+        assert "stream line 2" in capsys.readouterr().err
+
+    def test_cyclic_query_fails_gracefully(self, capsys, q3_file, tmp_path):
+        stream = tmp_path / "ops.txt"
+        stream.write_text("")
+        assert main(["watch", Q1, "--db", q3_file,
+                     "--stream", str(stream)]) == 1
+        assert "consistent FO rewriting" in capsys.readouterr().err
 
 
 class TestGraph:

@@ -44,12 +44,38 @@ class TestIndex:
         db.add("R", (1, "a"))  # no-op
         assert db.index("R", (0,)) is before
 
+    def test_index_invalidated_on_discard_all(self):
+        db = db_from({"R/2/1": [(1, "a"), (1, "b"), (2, "a")]})
+        before = db.index("R", (0,))
+        db.discard_all("R", [(1, "a"), (2, "a"), (9, "z")])
+        after = db.index("R", (0,))
+        assert after is not before
+        assert after == {(1,): frozenset({(1, "b")})}
+
+    def test_lookup_not_stale_after_discard(self):
+        # Regression: a lookup served from a pre-mutation index must not
+        # resurrect discarded rows.
+        db = db_from({"R/2/1": [(1, "a"), (1, "b")]})
+        assert db.lookup("R", {0: 1}) == {(1, "a"), (1, "b")}
+        db.discard("R", (1, "a"))
+        assert db.lookup("R", {0: 1}) == {(1, "b")}
+        db.discard_all("R", [(1, "b")])
+        assert db.lookup("R", {0: 1}) == frozenset()
+
     def test_clear_relation_invalidates(self):
         db = db_from({"R/2/1": [(1, "a")]})
         db.index("R", (0,))
         db.clear_relation("R")
         assert db.index("R", (0,)) == {}
         assert db.relations() == ("R",)
+
+    def test_lookup_not_stale_after_clear_relation(self):
+        db = db_from({"R/2/1": [(1, "a"), (2, "b")]})
+        assert db.lookup("R", {0: 2}) == {(2, "b")}
+        db.clear_relation("R")
+        assert db.lookup("R", {0: 2}) == frozenset()
+        db.add("R", (2, "c"))
+        assert db.lookup("R", {0: 2}) == {(2, "c")}
 
     def test_empty_relation_index(self):
         db = Database([RelationSchema("R", 2, 1)])
