@@ -1,0 +1,77 @@
+"""Sharded parallel executor vs serial compiled plan (smoke grid).
+
+The committed performance evidence lives in BENCH_parallel.json
+(``scripts/bench_parallel.py``); this module is the CI-sized version:
+small databases, ``jobs=2``, agreement asserted on every point.  At
+these sizes the parallel path is not expected to win — the assertion
+of interest is semantic (identical answers through real partitioning,
+forked workers, and merging), plus a sanity bound on overhead.
+"""
+
+import random
+
+import pytest
+
+from repro.core.terms import Variable
+from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.parallel import parallel_certain_answers, shutdown_pools
+from repro.parallel.pool import fork_context
+from repro.workloads.poll import adversarial_poll_database, random_poll_database
+from repro.workloads.queries import poll_qa
+
+pytestmark = pytest.mark.skipif(
+    fork_context() is None, reason="platform has no fork start method"
+)
+
+SIZES = [(800, 8), (2000, 8)]
+JOBS = 2
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pools():
+    yield
+    shutdown_pools()
+
+
+@pytest.fixture(scope="module")
+def open_query():
+    return OpenQuery(poll_qa(), [Variable("p")])
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_serial_compiled(benchmark, open_query, size):
+    people, towns = size
+    db = random_poll_database(people, towns, likes_per_person=8,
+                              conflict_rate=0.6, rng=random.Random(7))
+    benchmark(certain_answers, open_query, db, "compiled")
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_parallel_jobs2(benchmark, open_query, size):
+    people, towns = size
+    db = random_poll_database(people, towns, likes_per_person=8,
+                              conflict_rate=0.6, rng=random.Random(7))
+    expected = certain_answers(open_query, db, "compiled")
+    # Warm the pool outside the timed region: steady-state latency is
+    # the quantity BENCH_parallel.json tracks.
+    assert parallel_certain_answers(
+        db=db, open_query=open_query, jobs=JOBS, min_facts=0, shard_factor=8
+    ) == expected
+
+    def run():
+        result = parallel_certain_answers(
+            open_query, db, jobs=JOBS, min_facts=0, shard_factor=8
+        )
+        assert result == expected
+        return result
+
+    benchmark(run)
+
+
+def test_parallel_agreement_adversarial(open_query):
+    db = adversarial_poll_database(3000, 16, rng=random.Random(5))
+    serial = certain_answers(open_query, db, "compiled")
+    par = parallel_certain_answers(open_query, db, jobs=JOBS, min_facts=0,
+                                   shard_factor=8)
+    assert par == serial
+    assert sorted(map(repr, par)) == sorted(map(repr, serial))

@@ -4,9 +4,16 @@ The regression grid behind BENCH_plan.json: Boolean certainty and
 certain answers, interpreter vs compiled plan, at increasing database
 sizes.  Every benchmark asserts agreement with the rewriting path
 before timing, so a speedup can never hide a wrong answer.
+
+Boolean certainty additionally asserts an *ordering*: the executor's
+short-circuit probe mode (``Executor.nonempty``) must keep the
+compiled plan at least as fast as the tuple-at-a-time evaluator.
+This grid is where the compiled path used to regress to ~0.5x by
+materializing full witness relations only to test emptiness.
 """
 
 import random
+import time
 
 import pytest
 
@@ -47,6 +54,35 @@ def test_certain_answers(benchmark, size, method):
     expected = certain_answers(open_query, db, "rewriting")
     result = benchmark(certain_answers, open_query, db, method)
     assert result == expected
+
+
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_boolean_compiled_not_slower_than_rewriting(engine, size):
+    """The short-circuit regression guard on the boolean_certainty grid.
+
+    Min-of-5 in one process for both methods; the compiled probe
+    evaluator wins by several x on this grid, so the bare <= bound has
+    ample noise margin.
+    """
+    db = _db(*size)
+    engine.certain(db, "compiled")  # warm plan cache and indexes
+    engine.certain(db, "rewriting")
+
+    def best_of(method, repeat=5):
+        best = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            engine.certain(db, method)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    t_compiled = best_of("compiled")
+    t_rewriting = best_of("rewriting")
+    assert t_compiled <= t_rewriting, (
+        f"compiled boolean regressed: {t_compiled:.4f}s vs "
+        f"rewriting {t_rewriting:.4f}s at {size}"
+    )
 
 
 def test_plan_cache_hits_across_runs(engine):

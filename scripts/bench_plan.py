@@ -7,9 +7,12 @@ Times the ``rewriting`` (tuple-at-a-time evaluator; a per-candidate
 loop for open queries) and ``compiled`` (one set-at-a-time plan
 execution) strategies and records the speedup per point:
 
-* Boolean certainty of ``poll_qa`` — the interpreter short-circuits at
-  the first witness, so set-at-a-time is expected to be near parity
-  here, not ahead (see docs/PERFORMANCE.md).
+* Boolean certainty of ``poll_qa`` — evaluated with the executor's
+  short-circuit probe mode, which stops at the first witness (or first
+  violation) like the interpreter does but drives index lookups
+  set-at-a-time, so compiled is expected to be *ahead* here too (see
+  docs/PERFORMANCE.md; this grid used to regress to ~0.5x when plans
+  materialized full witness relations only to test emptiness).
 * Certain answers of ``poll_qa`` with free ``(p)`` and ``(p, t)`` — the
   batch case the plan compiler exists for.
 * Certain answers of ``q3`` with a large ``N(c, ·)`` block — negation

@@ -122,25 +122,51 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _print_stats() -> None:
-    """The --stats payload: plan cache + incremental view counters."""
+    """The --stats payload: plan cache, view, and parallel counters."""
     import json
 
     print(json.dumps(
         {
             "plan_cache": CertaintyEngine.plan_cache_stats(),
             "views": CertaintyEngine.view_stats(),
+            "parallel": CertaintyEngine.parallel_stats(),
         },
         indent=2,
         sort_keys=True,
     ))
 
 
+def _method_with_jobs(args: argparse.Namespace) -> str:
+    """Resolve --method against --jobs.
+
+    ``--jobs`` belongs to the parallel executor: with the default
+    ``--method auto`` it simply selects ``parallel``; any explicit
+    serial method plus ``--jobs`` is a contradiction and is rejected.
+    """
+    method = args.method
+    if args.jobs is None:
+        return method
+    if args.jobs < 1:
+        raise SystemExit("error: --jobs must be a positive integer")
+    if method == "auto":
+        return "parallel"
+    if method != "parallel":
+        raise SystemExit(
+            f"error: --jobs only applies to --method parallel "
+            f"(got --method {method})"
+        )
+    return method
+
+
 def cmd_certain(args: argparse.Namespace) -> int:
     query = _parse_query_arg(args.query)
+    method = _method_with_jobs(args)
     db = load_database_file(args.db)
     engine = CertaintyEngine(query)
-    answer = engine.certain(db, args.method)
-    print(f"CERTAINTY = {answer}   (method: {args.method}, "
+    answer = engine.certain(
+        db, method, jobs=args.jobs if method == "parallel" else None
+    )
+    print(f"CERTAINTY = {answer}   (method: {method}, "
           f"{db.size()} facts, {db.repair_count()} repairs)")
     if args.stats:
         _print_stats()
@@ -149,13 +175,17 @@ def cmd_certain(args: argparse.Namespace) -> int:
 
 def cmd_answers(args: argparse.Namespace) -> int:
     query = _parse_query_arg(args.query)
+    method = _method_with_jobs(args)
     free = [Variable(name.strip()) for name in args.free.split(",") if name.strip()]
     open_query = OpenQuery(query, free)
     db = load_database_file(args.db)
     if args.show_sql:
         print(certain_answers_sql_query(open_query, db))
         print()
-    answers = certain_answers(open_query, db, args.method)
+    answers = certain_answers(
+        open_query, db, method,
+        jobs=args.jobs if method == "parallel" else None,
+    )
     names = ", ".join(v.name for v in free)
     print(f"certain answers ({names}): {len(answers)}")
     for row in sorted(answers, key=repr):
@@ -372,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("auto",) + METHODS,
                    help="solving strategy (auto: compiled when in FO, "
                         "else brute)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker count for --method parallel (implies it "
+                        "when --method is auto; Boolean certainty falls "
+                        "back to the serial compiled plan)")
     p.add_argument("--stats", action="store_true",
                    help="also print plan-cache and view counters as JSON")
     p.set_defaults(func=cmd_certain)
@@ -383,9 +417,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated free variable names")
     p.add_argument("--db", required=True, help="database JSON file")
     p.add_argument("--method", default="auto",
-                   choices=("auto", "brute", "rewriting", "compiled", "sql"),
+                   choices=("auto", "brute", "interpreted", "rewriting",
+                            "compiled", "sql", "parallel"),
                    help="solving strategy (auto: compiled when in FO, "
                         "else brute)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker count for --method parallel (implies it "
+                        "when --method is auto)")
     p.add_argument("--show-sql", action="store_true",
                    help="print the single SQL query first")
     p.add_argument("--stats", action="store_true",

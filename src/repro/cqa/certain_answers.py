@@ -21,6 +21,12 @@ This module implements exactly that reduction, with four strategies:
     Compile φ(x⃗) into a single SQL SELECT returning all certain
     answers at once — consistent query answering as one query over the
     dirty database.
+``parallel``
+    Split the database into block-preserving shards and run the
+    compiled plan on every shard in a forked worker pool
+    (:mod:`repro.parallel`); falls back to ``compiled`` in-process
+    whenever sharding cannot help (Boolean query, tiny database,
+    ``jobs=1``, ...).
 
 The candidate space is enumerated from rows of the positive atoms
 (complete, because a repair is a subset of the database): free
@@ -57,6 +63,7 @@ from ..fo.formula import (
 from ..fo.simplify import simplify_fixpoint
 from ..fo.sql import SQLCompiler, decode_value
 from .brute_force import is_certain_brute_force
+from .is_certain import is_certain
 from .rewriting import NotInFO, Rewriter
 
 
@@ -272,18 +279,35 @@ def certain_answers(
     open_query: OpenQuery,
     db: Database,
     method: str = "auto",
+    jobs: Optional[int] = None,
 ) -> FrozenSet[Tuple]:
     """All certain answers of q(x⃗) on db.
 
     ``auto`` picks ``compiled`` when the grounded query is in FO,
-    otherwise ``brute``.
+    otherwise ``brute``.  ``jobs`` sets the worker count of the
+    ``parallel`` method (default: the CPU count, capped by
+    ``REPRO_MAX_WORKERS``) and is rejected for every other method —
+    the serial strategies have nothing to parallelize.
     """
     if method == "auto":
         method = "compiled" if open_query.in_fo else "brute"
+    if jobs is not None and method != "parallel":
+        raise ValueError(
+            f"jobs= only applies to method='parallel', not {method!r}"
+        )
+    if method == "parallel":
+        from ..parallel import parallel_certain_answers
+
+        return parallel_certain_answers(open_query, db, jobs=jobs)
     if method == "brute":
         return frozenset(
             c for c in candidate_values(open_query, db)
             if is_certain_brute_force(open_query.grounded(c), db)
+        )
+    if method == "interpreted":
+        return frozenset(
+            c for c in candidate_values(open_query, db)
+            if is_certain(open_query.grounded(c), db)
         )
     if method == "rewriting":
         formula = open_rewriting(open_query)
@@ -343,12 +367,25 @@ def _certain_answers_sql(open_query: OpenQuery, db: Database) -> FrozenSet[Tuple
 
 
 def cross_validate_answers(
-    open_query: OpenQuery, db: Database
+    open_query: OpenQuery, db: Database, parallel_jobs: int = 0
 ) -> Dict[str, FrozenSet[Tuple]]:
-    """Answers from every applicable strategy (tests assert agreement)."""
+    """Answers from every applicable strategy (tests assert agreement).
+
+    ``parallel_jobs > 0`` additionally runs the sharded parallel path
+    with that worker count and no size threshold, so even tiny test
+    databases exercise real partitioning and merging.
+    """
     out = {"brute": certain_answers(open_query, db, "brute")}
     if open_query.in_fo:
+        out["interpreted"] = certain_answers(open_query, db, "interpreted")
         out["rewriting"] = certain_answers(open_query, db, "rewriting")
         out["compiled"] = certain_answers(open_query, db, "compiled")
         out["sql"] = certain_answers(open_query, db, "sql")
+        if parallel_jobs > 0:
+            from ..parallel import parallel_certain_answers
+
+            out["parallel"] = parallel_certain_answers(
+                open_query, db, jobs=parallel_jobs, min_facts=0,
+                shard_factor=1,
+            )
     return out

@@ -17,6 +17,12 @@ Strategies
     the default fast path for queries in FO.
 ``sql``
     Compile the rewriting to a single SQL query, run it on sqlite.
+``parallel``
+    Shard the database block-by-block and run the compiled plan in a
+    forked worker pool (:mod:`repro.parallel`).  Only the open
+    (free-variable) form decomposes over shards, so for Boolean
+    certainty this method is a documented serial fallback to
+    ``compiled`` — counted in :meth:`CertaintyEngine.parallel_stats`.
 """
 
 from __future__ import annotations
@@ -36,7 +42,8 @@ from .brute_force import is_certain_brute_force
 from .is_certain import is_certain
 from .rewriting import NotInFO, consistent_rewriting
 
-METHODS = ("brute", "interpreted", "rewriting", "compiled", "sql")
+METHODS = ("brute", "interpreted", "rewriting", "compiled", "sql",
+           "parallel")
 
 
 @dataclass
@@ -96,12 +103,22 @@ class CertaintyEngine:
             self._rewriting = consistent_rewriting(self.query)
         return self._rewriting
 
-    def certain(self, db: Database, method: str = "auto") -> bool:
+    def certain(self, db: Database, method: str = "auto",
+                jobs: Optional[int] = None) -> bool:
         """Is q true in every repair of db?
 
         ``method="auto"`` uses the compiled plan when the query is in FO
-        and falls back to brute force otherwise.
+        and falls back to brute force otherwise.  ``method="parallel"``
+        accepts a ``jobs`` knob for symmetry with
+        :meth:`certain_answers`, but Boolean certainty does not
+        decompose over shards (see ``docs/PERFORMANCE.md``), so it runs
+        the serial compiled plan and counts a ``boolean`` fallback in
+        :meth:`parallel_stats`.
         """
+        if jobs is not None and method != "parallel":
+            raise ValueError(
+                f"jobs= only applies to method='parallel', not {method!r}"
+            )
         if method == "auto":
             method = "compiled" if self.in_fo else "brute"
         if method == "brute":
@@ -118,7 +135,25 @@ class CertaintyEngine:
         if method == "sql":
             self._require_fo(method)
             return run_sentence_sql(self.rewriting, db)
+        if method == "parallel":
+            self._require_fo(method)
+            return bool(self.certain_answers(db, (), method="parallel",
+                                             jobs=jobs))
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+
+    def certain_answers(self, db: Database, free=(), method: str = "auto",
+                        jobs: Optional[int] = None):
+        """All certain answers of q(x⃗) on db, for answer variables
+        ``free``.
+
+        Thin wrapper around :func:`repro.cqa.certain_answers.certain_answers`
+        reusing this engine's query; ``method="parallel"`` with
+        ``jobs=N`` runs the sharded worker-pool path.
+        """
+        from .certain_answers import OpenQuery, certain_answers
+
+        return certain_answers(OpenQuery(self.query, free), db, method,
+                               jobs=jobs)
 
     @staticmethod
     def plan_cache_stats() -> Dict[str, int]:
@@ -129,6 +164,15 @@ class CertaintyEngine:
         hits, observable through this hook.
         """
         return plan_cache.stats()
+
+    @staticmethod
+    def parallel_stats() -> Dict[str, object]:
+        """Aggregated counters of the sharded parallel executor (shard
+        and worker counts, partition/merge/exec wall time, serial
+        fallbacks by reason), mirroring :meth:`plan_cache_stats`."""
+        from ..parallel import parallel_stats
+
+        return parallel_stats()
 
     def register_view(self, db: Database, free=()):
         """Materialize this query as an incrementally maintained view.

@@ -2,8 +2,10 @@
 
 Section 1 of the paper: free variables can be treated as constants, so
 the Boolean machinery answers non-Boolean queries too.  This experiment
-validates the three answer strategies against each other and measures
-the single-SELECT SQL path on growing databases.
+validates the answer strategies against each other — including the
+sharded parallel executor, forced through real partitioning and forked
+workers even at these sizes — and measures the single-SELECT SQL path
+on growing databases.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from ..cqa.certain_answers import (
     certain_answers,
     cross_validate_answers,
 )
+from ..parallel import parallel_certain_answers, shutdown_pools
 from ..workloads.generators import random_small_database
 from ..workloads.poll import random_poll_database
 from ..workloads.queries import poll_qa, q3
@@ -26,8 +29,9 @@ from .harness import Table, timed
 def agreement_table(trials: int = 20, seed: int = 17) -> Table:
     rng = random.Random(seed)
     table = Table(
-        "E12a: certain-answer strategies agree (brute / rewriting / SQL)",
-        ["query", "free vars", "trials", "all agree"],
+        "E12a: certain-answer strategies agree "
+        "(brute / interpreted / rewriting / compiled / SQL / parallel)",
+        ["query", "free vars", "trials", "methods", "all agree"],
     )
     cases = [
         ("q3", q3(), [Variable("x")]),
@@ -37,13 +41,16 @@ def agreement_table(trials: int = 20, seed: int = 17) -> Table:
     for name, query, free in cases:
         open_query = OpenQuery(query, free)
         agree = True
+        n_methods = 0
         for _ in range(trials):
             db = random_small_database(query, rng, domain_size=3,
                                        facts_per_relation=4)
-            results = cross_validate_answers(open_query, db)
+            results = cross_validate_answers(open_query, db, parallel_jobs=2)
+            n_methods = max(n_methods, len(results))
             if len(set(results.values())) != 1:
                 agree = False
-        table.add_row(name, ",".join(v.name for v in free), trials, agree)
+        table.add_row(name, ",".join(v.name for v in free), trials,
+                      n_methods, agree)
     return table
 
 
@@ -52,18 +59,29 @@ def scaling_table(people_sizes=(10, 40, 160), seed: int = 18) -> Table:
     open_query = OpenQuery(poll_qa(), [Variable("p")])
     table = Table(
         "E12b: one SQL SELECT returns the whole certain-answer set",
-        ["people", "facts", "answers", "t_sql(s)", "t_rewriting(s)"],
+        ["people", "facts", "answers", "t_sql(s)", "t_rewriting(s)",
+         "t_parallel(s)"],
     )
     for people in people_sizes:
         db = random_poll_database(people, max(3, people // 4),
                                   conflict_rate=0.5, rng=rng)
         answers_sql, t_sql = timed(certain_answers, open_query, db, "sql")
         answers_rw, t_rw = timed(certain_answers, open_query, db, "rewriting")
-        assert answers_sql == answers_rw
-        table.add_row(people, db.size(), len(answers_sql), t_sql, t_rw)
+        # Force real sharded execution (no serial fallback) so the table
+        # exercises partitioning + forked workers even at these sizes;
+        # a second call reuses the warm pool, which is what we time.
+        parallel_certain_answers(open_query, db, jobs=2, min_facts=0,
+                                 shard_factor=2)
+        answers_par, t_par = timed(parallel_certain_answers, open_query, db,
+                                   jobs=2, min_facts=0, shard_factor=2)
+        assert answers_sql == answers_rw == answers_par
+        table.add_row(people, db.size(), len(answers_sql), t_sql, t_rw, t_par)
     return table
 
 
 def run(seed: int = 17) -> List[Table]:
     """All E12 tables."""
-    return [agreement_table(seed=seed), scaling_table(seed=seed + 1)]
+    try:
+        return [agreement_table(seed=seed), scaling_table(seed=seed + 1)]
+    finally:
+        shutdown_pools()  # don't leak forked workers into later experiments

@@ -64,6 +64,7 @@ from .plan import (
     SemiJoin,
     Union,
     execute_plan,
+    execute_plan_nonempty,
     explain,
 )
 
@@ -95,8 +96,15 @@ class CompiledQuery:
         return frozenset(execute_plan(self.plan, db, self.constants))
 
     def holds(self, db: Database) -> bool:
-        """Truth value of a sentence (a plan over zero columns)."""
-        return bool(self.rows(db))
+        """Truth value of a sentence (a plan over zero columns).
+
+        Evaluated with the executor's short-circuit mode: rows stream
+        lazily to the root, so an existential sentence stops at its
+        first witness and a universally guarded one at its first
+        violation, instead of materializing the full witness relation
+        only to ask whether it is empty.
+        """
+        return execute_plan_nonempty(self.plan, db, self.constants)
 
     def explain(self) -> str:
         """Readable plan rendering (see :func:`repro.fo.plan.explain`)."""
@@ -464,6 +472,14 @@ class PlanCache:
     compilation; a schema change (different arity or key) misses and
     recompiles.  Counters make cache behaviour observable
     (:meth:`stats`), which the engine exposes as its stats hook.
+
+    **Fork safety.**  The cache is plain per-process state: a worker
+    forked by :mod:`repro.parallel` inherits a snapshot of the parent's
+    entries (so pre-compiled plans are hits with no recompilation), but
+    from that point the two caches evolve independently — worker-side
+    hits/misses never appear in the parent's :meth:`stats`, and
+    vice versa.  Aggregated parallel-execution counters live in
+    ``CertaintyEngine.parallel_stats()`` instead.
     """
 
     __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")

@@ -342,6 +342,8 @@ class Executor:
         self._adom: Optional[Tuple] = tuple(adom) if adom is not None else None
         self._constants: Tuple = tuple(constants)
         self._memo: Dict[object, Set[Row]] = {}
+        self._probe_memo: Dict[object, bool] = {}
+        self._adom_frozen: Optional[Set] = None
 
     @property
     def adom(self) -> Tuple:
@@ -481,6 +483,182 @@ class Executor:
     def _run_difference(self, plan: Difference) -> Set[Row]:
         return self.run(plan.left) - self.run(plan.right)
 
+    # ------------------------------------------------------------------
+    # short-circuit (boolean) evaluation
+    # ------------------------------------------------------------------
+
+    def nonempty(self, plan: Plan) -> bool:
+        """Does the plan produce at least one row?
+
+        Unlike ``bool(run(plan))`` this never materializes the result:
+        rows stream lazily to the root, and every filtering operator
+        (semi/anti-join, difference) *probes* its right side with the
+        candidate row's values bound instead of materializing it —
+        sideways information passing, which turns the violator sets of
+        lowered ∀-blocks into per-key index lookups.  An existential
+        root therefore stops at its first witness and a universal root
+        at its first violation.
+        """
+        if id(plan) in self._memo:  # already materialized: reuse it
+            return bool(self.run(plan))
+        return self.probe(plan, {})
+
+    def probe(self, plan: Plan, binding: Dict[Variable, object]) -> bool:
+        """∃ a row of ``plan`` consistent with ``binding`` (a partial
+        assignment of the plan's columns)?  Short-circuits at the first
+        such row; results are memoized per (node, binding)."""
+        key = (id(plan), tuple(sorted(binding.items())))
+        cached = self._probe_memo.get(key)
+        if cached is None:
+            sentinel = object()
+            cached = next(self._iter_bound(plan, binding),
+                          sentinel) is not sentinel
+            self._probe_memo[key] = cached
+        return cached
+
+    def _iter_bound(self, plan: Plan, binding: Dict[Variable, object]):
+        """Lazily iterate rows of ``plan`` consistent with ``binding``.
+
+        Duplicates are allowed (callers probe for existence).  Bindings
+        are pushed down: into scan index lookups, through projections
+        and joins, and — crucially — into the right sides of semi/anti-
+        joins and differences as per-row probes.  Nodes already
+        materialized by :meth:`run`, and node types without a lazy
+        form, fall back to filtering the memoized result.
+        """
+        if id(plan) in self._memo:
+            return self._iter_filtered(plan, binding)
+        method = self._LAZY_HANDLERS.get(type(plan))
+        if method is not None:
+            return method(self, plan, binding)
+        return self._iter_filtered(plan, binding)
+
+    def _iter_filtered(self, plan: Plan, binding):
+        rows = self.run(plan)
+        if not binding:
+            return iter(rows)
+        checks = [(plan.cols.index(c), v) for c, v in binding.items()]
+        return (r for r in rows if all(r[i] == v for i, v in checks))
+
+    def _iter_bound_scan(self, plan: Scan, binding):
+        schema = self.db.schemas.get(plan.atom.relation)
+        if schema is None or schema.arity != plan.atom.schema.arity:
+            return
+        consts = plan.consts
+        if binding:
+            consts = dict(consts)
+            for i, col in enumerate(plan.cols):
+                if col in binding:
+                    consts[plan.proj[i]] = binding[col]
+        rows = self.db.lookup(plan.atom.relation, consts)
+        checks = plan.eq_checks
+        getter = _tuple_getter(plan.proj)
+        for r in rows:
+            if not checks or all(r[i] == r[j] for i, j in checks):
+                yield getter(r)
+
+    def _iter_bound_literal(self, plan: Literal, binding):
+        checks = [(plan.cols.index(c), v) for c, v in binding.items()]
+        for r in plan.rows:
+            if all(r[i] == v for i, v in checks):
+                yield r
+
+    @property
+    def _adom_set(self) -> Set:
+        if self._adom_frozen is None:
+            self._adom_frozen = set(self.adom)
+        return self._adom_frozen
+
+    def _iter_bound_adom_product(self, plan: AdomProduct, binding):
+        pools = []
+        for col in plan.cols:
+            if col in binding:
+                if binding[col] not in self._adom_set:
+                    return
+                pools.append((binding[col],))
+            else:
+                pools.append(self.adom)
+        yield from itertools.product(*pools)
+
+    def _iter_bound_adom_guard(self, plan: AdomGuard, binding):
+        if self.adom:
+            yield ()
+
+    def _iter_bound_adom_eq(self, plan: AdomEq, binding):
+        values = {binding[c] for c in plan.cols if c in binding}
+        if len(values) > 1:
+            return
+        if values:
+            v = values.pop()
+            if v in self._adom_set:
+                yield (v, v)
+            return
+        for v in self.adom:
+            yield (v, v)
+
+    def _iter_bound_select(self, plan: Select, binding):
+        getters = [
+            (self._operand_getter(lhs), self._operand_getter(rhs), equal)
+            for lhs, rhs, equal in plan.conds
+        ]
+        for row in self._iter_bound(plan.child, binding):
+            if all((getl(row) == getr(row)) is equal
+                   for getl, getr, equal in getters):
+                yield row
+
+    def _iter_bound_project(self, plan: Project, binding):
+        child_binding = {
+            plan.child.cols[plan.positions[i]]: binding[col]
+            for i, col in enumerate(plan.cols)
+            if col in binding
+        }
+        getter = _tuple_getter(plan.positions)
+        for row in self._iter_bound(plan.child, child_binding):
+            yield getter(row)
+
+    def _iter_bound_union(self, plan: Union, binding):
+        for part in plan.parts:
+            yield from self._iter_bound(part, binding)
+
+    def _iter_bound_join(self, plan: Join, binding):
+        lcols = set(plan.left.cols)
+        rcols = set(plan.right.cols)
+        lbind = {c: v for c, v in binding.items() if c in lcols}
+        rbind_base = {c: v for c, v in binding.items() if c in rcols}
+        shared = plan.shared
+        lpos = [plan.left.cols.index(c) for c in shared]
+        width = len(plan.left.cols)
+        emit = _tuple_getter(
+            [i if side == 0 else width + i for side, i in plan.emit]
+        )
+        for lrow in self._iter_bound(plan.left, lbind):
+            rbind = dict(rbind_base)
+            for c, i in zip(shared, lpos):
+                rbind[c] = lrow[i]
+            for rrow in self._iter_bound(plan.right, rbind):
+                yield emit(lrow + rrow)
+
+    def _probe_binding(self, plan: _Binary, lrow: Row):
+        shared = plan.shared
+        lpos = [plan.left.cols.index(c) for c in shared]
+        return {c: lrow[i] for c, i in zip(shared, lpos)}
+
+    def _iter_bound_semi_join(self, plan: SemiJoin, binding):
+        for lrow in self._iter_bound(plan.left, binding):
+            if self.probe(plan.right, self._probe_binding(plan, lrow)):
+                yield lrow
+
+    def _iter_bound_anti_join(self, plan: AntiJoin, binding):
+        for lrow in self._iter_bound(plan.left, binding):
+            if not self.probe(plan.right, self._probe_binding(plan, lrow)):
+                yield lrow
+
+    def _iter_bound_difference(self, plan: Difference, binding):
+        cols = plan.cols
+        for lrow in self._iter_bound(plan.left, binding):
+            if not self.probe(plan.right, dict(zip(cols, lrow))):
+                yield lrow
+
     _HANDLERS = {
         Scan: _run_scan,
         Literal: _run_literal,
@@ -496,11 +674,33 @@ class Executor:
         Difference: _run_difference,
     }
 
+    _LAZY_HANDLERS = {
+        Scan: _iter_bound_scan,
+        Literal: _iter_bound_literal,
+        AdomProduct: _iter_bound_adom_product,
+        AdomGuard: _iter_bound_adom_guard,
+        AdomEq: _iter_bound_adom_eq,
+        Select: _iter_bound_select,
+        Project: _iter_bound_project,
+        Union: _iter_bound_union,
+        Join: _iter_bound_join,
+        SemiJoin: _iter_bound_semi_join,
+        AntiJoin: _iter_bound_anti_join,
+        Difference: _iter_bound_difference,
+    }
+
 
 def execute_plan(plan: Plan, db: Database, constants: Sequence = ()) -> Set[Row]:
     """One-shot execution under ``adom = active_domain(db) | constants``
     (collected lazily — only plans with Adom* nodes touch it)."""
     return Executor(db, None, constants).run(plan)
+
+
+def execute_plan_nonempty(plan: Plan, db: Database,
+                          constants: Sequence = ()) -> bool:
+    """One-shot short-circuit non-emptiness test (see
+    :meth:`Executor.nonempty`): the boolean-certainty fast path."""
+    return Executor(db, None, constants).nonempty(plan)
 
 
 # ----------------------------------------------------------------------

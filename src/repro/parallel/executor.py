@@ -1,0 +1,221 @@
+"""Parallel sharded certain-answer execution (``method="parallel"``).
+
+Splits the database into block-preserving shards (one hash class of
+the shard variable's key values per shard), runs the compiled open
+rewriting on every shard in a persistent forked worker pool, and
+unions the post-filtered per-shard answers.  Exactness rests on the
+partitioning argument in :mod:`repro.parallel.partition`; the parity
+suite (``tests/test_method_parity.py``) and the benchmark's
+byte-identical assertion (``scripts/bench_parallel.py``) check it
+end to end.
+
+Serial fallback — running the plain ``compiled`` path in-process — is
+taken whenever sharding cannot help or cannot be trusted:
+
+* ``jobs <= 1``, or the platform cannot ``fork``;
+* the database is below ``REPRO_PARALLEL_MIN_FACTS`` (default 2000),
+  where fork + IPC overhead dwarfs the work;
+* the query is Boolean (certainty does not decompose over shards —
+  see the counterexample in ``docs/PERFORMANCE.md``);
+* no answer variable sits at a key position of any atom, so there is
+  nothing sound to route blocks by;
+* the compiled plan touches the active domain (``Adom*`` nodes):
+  shards see a smaller domain than the whole database, so such plans
+  are not shard-local.
+
+Every fallback is counted (with its reason) in
+:func:`parallel_stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..db.database import Database
+from ..fo.compile import plan_cache
+from ..fo.plan import AdomEq, AdomGuard, AdomProduct, Plan, _Binary, Project, Select, Union as PlanUnion
+from .partition import shard_database, shard_spec
+from .pool import fork_context, max_workers_cap, run_sharded, worker_pool
+
+__all__ = [
+    "parallel_certain_answers",
+    "parallel_stats",
+    "reset_parallel_stats",
+    "plan_has_adom",
+]
+
+DEFAULT_MIN_FACTS = 2000
+# Shards per worker.  Far more shards than workers, so each shard's
+# per-relation indexes stay cache-resident: on the benchmark host the
+# sharded execution sum keeps dropping until ~64 shards (see
+# docs/PERFORMANCE.md), and idle cost of extra shards is negligible.
+DEFAULT_SHARD_FACTOR = 16
+
+_STATS: Dict[str, object] = {}
+
+# Shard layouts keyed by (database identity, clock, spec, n_shards):
+# partitioning depends only on the layout, not the worker count, so a
+# jobs sweep over one database re-uses the same shard list for every
+# pool instead of re-hashing millions of rows per worker count.
+_SHARDS_CACHE_LIMIT = 4
+_shards_cache: Dict[Tuple, list] = {}
+
+
+def reset_parallel_stats() -> None:
+    _STATS.clear()
+    _STATS.update(
+        runs=0,
+        parallel_runs=0,
+        serial_fallbacks=0,
+        fallback_reasons={},
+        shards=0,
+        workers=0,
+        tasks=0,
+        partition_ms=0.0,
+        merge_ms=0.0,
+        worker_exec_ms=0.0,
+    )
+
+
+reset_parallel_stats()
+
+
+def parallel_stats() -> Dict[str, object]:
+    """Aggregated parallel-execution counters.
+
+    Mirrors ``CertaintyEngine.plan_cache_stats()`` in spirit: shard
+    and worker counts of the most recent parallel run, cumulative
+    partition/merge wall time, and serial fallbacks keyed by reason.
+    Per-worker plan-cache hits live in the forked workers and are
+    intentionally *not* folded into the parent's ``plan_cache_stats``
+    (see the fork-safety note on ``repro.fo.compile.PlanCache``).
+    """
+    out = dict(_STATS)
+    out["fallback_reasons"] = dict(_STATS["fallback_reasons"])  # type: ignore[arg-type]
+    return out
+
+
+def plan_has_adom(plan: Plan) -> bool:
+    """Does the plan contain any active-domain node?"""
+    if isinstance(plan, (AdomProduct, AdomGuard, AdomEq)):
+        return True
+    if isinstance(plan, _Binary):
+        return plan_has_adom(plan.left) or plan_has_adom(plan.right)
+    if isinstance(plan, (Select, Project)):
+        return plan_has_adom(plan.child)
+    if isinstance(plan, PlanUnion):
+        return any(plan_has_adom(p) for p in plan.parts)
+    return False
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """The effective worker count: explicit ``jobs`` or the CPU count,
+    clamped by the ``REPRO_MAX_WORKERS`` env cap."""
+    n = jobs if jobs is not None else (os.cpu_count() or 1)
+    cap = max_workers_cap()
+    if cap is not None:
+        n = min(n, cap)
+    return max(1, n)
+
+
+def _min_facts(min_facts: Optional[int]) -> int:
+    if min_facts is not None:
+        return min_facts
+    raw = os.environ.get("REPRO_PARALLEL_MIN_FACTS", "").strip()
+    if raw.isdigit():
+        return int(raw)
+    return DEFAULT_MIN_FACTS
+
+
+def _fallback(open_query, db: Database, reason: str) -> FrozenSet[Tuple]:
+    from ..cqa.certain_answers import certain_answers
+
+    _STATS["serial_fallbacks"] += 1  # type: ignore[operator]
+    reasons: Dict[str, int] = _STATS["fallback_reasons"]  # type: ignore[assignment]
+    reasons[reason] = reasons.get(reason, 0) + 1
+    return certain_answers(open_query, db, method="compiled")
+
+
+def parallel_certain_answers(
+    open_query,
+    db: Database,
+    jobs: Optional[int] = None,
+    min_facts: Optional[int] = None,
+    shard_factor: int = DEFAULT_SHARD_FACTOR,
+) -> FrozenSet[Tuple]:
+    """All certain answers of q(x⃗) on db, computed shard-parallel.
+
+    Returns exactly ``certain_answers(open_query, db, "compiled")`` —
+    the point is wall-clock, not semantics.  ``jobs=None`` uses the
+    CPU count; see the module docstring for the serial-fallback
+    conditions.  ``shard_factor`` controls over-partitioning: with
+    ``jobs * shard_factor`` shards in the work queue, workers that
+    finish early pick up remaining chunks, and smaller shards keep
+    per-shard hash tables cache-resident.
+    """
+    from ..cqa.certain_answers import _guarded_open_rewriting
+
+    _STATS["runs"] += 1  # type: ignore[operator]
+    n_jobs = resolve_jobs(jobs)
+    if not open_query.free:
+        return _fallback(open_query, db, "boolean")
+    if n_jobs <= 1:
+        return _fallback(open_query, db, "jobs=1")
+    if db.size() < _min_facts(min_facts):
+        return _fallback(open_query, db, "below-min-facts")
+    if fork_context() is None:
+        return _fallback(open_query, db, "no-fork")
+    spec = shard_spec(open_query, db)
+    if spec is None:
+        return _fallback(open_query, db, "no-shard-variable")
+    formula = _guarded_open_rewriting(open_query)
+    compiled = plan_cache.get_or_compile(formula, db, open_query.free)
+    if plan_has_adom(compiled.plan):
+        return _fallback(open_query, db, "plan-touches-adom")
+
+    n_shards = max(2, n_jobs * max(1, shard_factor))
+    filter_pos = compiled.free.index(spec.var)
+    # A fully sharded layout (no broadcast relations) only ever scans
+    # rows whose routing value belongs to the executing shard, so its
+    # answers are shard-local by construction; the post-filter is only
+    # needed when broadcast relations can generate foreign candidates.
+    do_filter = bool(spec.broadcast)
+
+    t0 = time.perf_counter()
+    partitioned: Dict[str, bool] = {"fresh": False}
+    layout_key = (id(db), db.clock, spec, n_shards)
+
+    def factory():
+        shards = _shards_cache.get(layout_key)
+        if shards is not None:
+            return shards
+        stale = [k for k in _shards_cache
+                 if k[0] == id(db) and k[1] != db.clock]
+        while stale or len(_shards_cache) >= _SHARDS_CACHE_LIMIT:
+            victim = stale.pop() if stale else next(iter(_shards_cache))
+            del _shards_cache[victim]
+        partitioned["fresh"] = True
+        shards = shard_database(db, spec, n_shards)
+        _shards_cache[layout_key] = shards
+        return shards
+
+    cache_key = (db.clock, n_jobs, n_shards, spec)
+    got = worker_pool(db, cache_key, n_jobs, n_shards, factory)
+    if got is None:
+        return _fallback(open_query, db, "no-fork")
+    shards, pools = got
+    if partitioned["fresh"]:
+        _STATS["partition_ms"] += (time.perf_counter() - t0) * 1e3  # type: ignore[operator]
+
+    merged, merge_seconds, exec_seconds = run_sharded(
+        pools, compiled.plan, compiled.constants, filter_pos, do_filter
+    )
+    _STATS["merge_ms"] += merge_seconds * 1e3  # type: ignore[operator]
+    _STATS["worker_exec_ms"] += exec_seconds * 1e3  # type: ignore[operator]
+    _STATS["parallel_runs"] += 1  # type: ignore[operator]
+    _STATS["shards"] = n_shards
+    _STATS["workers"] = n_jobs
+    _STATS["tasks"] += n_jobs  # type: ignore[operator]
+    return frozenset(merged)

@@ -1,0 +1,142 @@
+"""Block-aware horizontal partitioning of databases.
+
+CERTAINTY(q) for a grounded sjfBCQ¬ query factors over key-equal
+blocks: a repair chooses one fact per block, and the choices in
+distinct blocks are independent.  Once an answer variable ``v`` is
+bound to a candidate value, an atom whose key carries ``v`` at
+position ``i`` can only be satisfied or violated by facts whose key
+holds that value at position ``i`` — every other block of the relation
+is irrelevant to the grounded query, whichever fact the repair picks
+from it.  Hashing rows of such a relation on that key position
+therefore (a) never splits a block (key-equal facts agree on every key
+position) and (b) routes every block that can interact with a
+candidate answer to the candidate's own shard.  Relations whose atom
+does not carry the shard variable in its key cannot be filtered this
+way and are *broadcast* — copied whole into every shard.
+
+The upshot: for answers ``a`` with ``shard_of(a[v], n) == s``, the
+certain answers of the grounded query on shard ``s`` equal those on
+the full database.  Shards post-filter their answer rows on exactly
+that predicate (see :mod:`repro.parallel.pool`), which also discards
+stray candidates that a broadcast relation may generate for foreign
+shards.  Boolean queries do **not** decompose this way — with no
+answer variable there is nothing to route blocks by, and certainty on
+every shard neither implies nor is implied by certainty on the whole
+database — so the boolean path stays serial (see
+``docs/PERFORMANCE.md`` for a two-shard counterexample).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..core.terms import Variable
+from ..db.database import Database
+
+__all__ = ["ShardSpec", "shard_of", "shard_spec", "shard_database"]
+
+
+def shard_of(value: object, n_shards: int) -> int:
+    """Deterministic, process-independent shard of a domain value.
+
+    Built on CRC-32 of ``repr(value)`` rather than ``hash()``: string
+    hashing is salted per process (PYTHONHASHSEED), and shard routing
+    must agree between the parent that partitions and the forked
+    workers that post-filter.
+    """
+    return zlib.crc32(repr(value).encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How to split a database for one open query.
+
+    ``var`` is the shard variable (an answer variable), ``key_pos``
+    maps each shardable relation to the key position carrying ``var``
+    in its atom, and ``broadcast`` lists the query relations copied
+    whole into every shard.
+    """
+
+    var: Variable
+    key_pos: Tuple[Tuple[str, int], ...] = field(default=())
+    broadcast: FrozenSet[str] = field(default_factory=frozenset)
+
+    @property
+    def sharded(self) -> Dict[str, int]:
+        return dict(self.key_pos)
+
+
+def _spec_for(var: Variable, atoms) -> ShardSpec:
+    key_pos: List[Tuple[str, int]] = []
+    broadcast: List[str] = []
+    for atom in atoms:
+        pos = next(
+            (i for i, t in enumerate(atom.key_terms) if t == var), None
+        )
+        if pos is None:
+            broadcast.append(atom.relation)
+        else:
+            key_pos.append((atom.relation, pos))
+    return ShardSpec(var, tuple(sorted(key_pos)), frozenset(broadcast))
+
+
+def shard_spec(open_query, db: Optional[Database] = None) -> Optional[ShardSpec]:
+    """Choose a shard variable and partitioning layout, or ``None``.
+
+    Candidates are answer variables occurring at a key position of at
+    least one atom (self-join-freeness gives each relation one atom,
+    hence one well-defined routing position).  When a database is
+    supplied, the variable routing the most facts wins — broadcast
+    relations are replicated ``n`` times, so maximizing the sharded
+    fact mass minimizes total shard volume; ties (and the db-less
+    case) break deterministically by variable name.
+    """
+    atoms = tuple(open_query.query.atoms)
+    best: Optional[ShardSpec] = None
+    best_score: Tuple[int, ...] = ()
+    for var in sorted(open_query.free, key=lambda v: v.name, reverse=True):
+        spec = _spec_for(var, atoms)
+        if not spec.key_pos:
+            continue
+        if db is not None:
+            mass = sum(
+                len(db.facts(rel)) for rel, _ in spec.key_pos
+                if rel in db.schemas
+            )
+        else:
+            mass = len(spec.key_pos)
+        score = (mass, len(spec.key_pos))
+        if best is None or score >= best_score:
+            best, best_score = spec, score
+    return best
+
+
+def shard_database(db: Database, spec: ShardSpec,
+                   n_shards: int) -> List[Database]:
+    """Split ``db`` into ``n_shards`` databases under ``spec``.
+
+    Sharded relations distribute rows by ``shard_of`` on their routing
+    key position; broadcast relations are copied whole.  Relations of
+    the database that the query never mentions are dropped — compiled
+    plans only scan query relations, and the parallel path refuses
+    plans that touch the active domain (see
+    ``repro.parallel.executor``), so the omission is invisible.
+    """
+    shards = [Database(db.schemas.values()) for _ in range(n_shards)]
+    for rel in sorted(spec.broadcast):
+        if rel not in db.schemas:
+            continue
+        rows = db.facts(rel)
+        for shard in shards:
+            shard.add_all(rel, rows)
+    for rel, pos in spec.key_pos:
+        if rel not in db.schemas:
+            continue
+        buckets: List[List[Tuple]] = [[] for _ in range(n_shards)]
+        for row in db.facts(rel):
+            buckets[shard_of(row[pos], n_shards)].append(row)
+        for shard, bucket in zip(shards, buckets):
+            shard.add_all(rel, bucket)
+    return shards

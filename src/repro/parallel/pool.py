@@ -1,0 +1,263 @@
+"""Persistent fork-based worker pools for sharded plan execution.
+
+Workers are forked *after* the parent has partitioned the database, so
+every worker inherits the shard list copy-on-write — no shard is ever
+pickled.  Only the per-call payload (a compiled plan of ~1 KB plus the
+post-filter position) crosses the pipe on the way in, and only answer
+rows cross it on the way out.
+
+Two lifecycle decisions matter for steady-state latency:
+
+* **Shard affinity.**  A shared work queue would hand shard *i* to a
+  different worker on every call, and the column indexes that
+  ``Database`` caches per relation would stay forever cold (each
+  worker warms only its own copy-on-write copy).  The pool is
+  therefore a *pool of pinned pools*: ``jobs`` single-worker
+  ``ProcessPoolExecutor``s, each owning the fixed shard group
+  ``shards[w::jobs]``.  A worker executes the same shards on every
+  call, so its indexes warm once and stay warm.
+* **``gc.freeze()`` after fork.**  Each worker's heap starts as a
+  copy-on-write snapshot of the parent — including the parent's full
+  database and every other shard.  Freezing moves those inherited
+  objects into the permanent generation, so worker collections
+  neither traverse the (immutable) snapshot nor dirty its pages with
+  refcount writes.
+
+Pools are cached per (database identity, changelog clock, shard
+layout): repeated certain-answer calls against an unchanged database
+reuse the warm pool, while any mutation bumps ``Database.clock`` and
+transparently retires the stale pool.  ``REPRO_MAX_WORKERS`` caps the
+worker count (CI sets it to keep smoke jobs tame), and
+:func:`shutdown_pools` — also registered ``atexit`` — tears everything
+down.
+
+Fork safety of process-wide caches: each worker inherits a snapshot of
+the parent's ``repro.fo.compile.plan_cache`` (and every other module
+global) at fork time.  Worker-side hits and misses accumulate in the
+*worker's* copy and are never reflected in the parent's
+``plan_cache_stats()``; aggregated parallel counters live in
+``repro.parallel.parallel_stats()`` instead.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import marshal
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..db.database import Database
+from ..fo.plan import Executor, Plan
+from .partition import shard_of
+
+__all__ = ["max_workers_cap", "fork_context", "worker_pool", "run_sharded",
+           "shutdown_pools"]
+
+_POOL_CACHE_LIMIT = 4
+
+# key -> (db strong ref, shards, pinned single-worker executors); the
+# strong reference keeps the id()-based key honest for the cache's
+# (short) lifetime.
+_pools: Dict[
+    Tuple, Tuple[Database, List[Database], List[ProcessPoolExecutor]]
+] = {}
+
+
+def max_workers_cap() -> Optional[int]:
+    """The ``REPRO_MAX_WORKERS`` env cap, if set and positive."""
+    raw = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return None
+
+
+def fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The ``fork`` start method, or ``None`` where unsupported.
+
+    The pool relies on copy-on-write shard inheritance; platforms
+    without ``fork`` (Windows) fall back to serial execution upstream.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+# One pinned shard group per worker process: [(shard_index, shard_db)].
+_group_shards: List[Tuple[int, Database]] = []
+_group_n_shards: int = 0
+_group_admission = None
+
+
+def _init_group(shards: List[Database], indices: Sequence[int],
+                n_shards: int, admission) -> None:
+    # Under fork these arguments re-bind inherited objects; nothing is
+    # serialized.  Freezing the inherited heap keeps worker GC cycles
+    # from traversing the parent snapshot (or dirtying its COW pages).
+    global _group_shards, _group_n_shards, _group_admission
+    _group_shards = [(i, shards[i]) for i in indices]
+    _group_n_shards = n_shards
+    _group_admission = admission
+    gc.freeze()
+
+
+def _run_group(task: Tuple) -> Tuple[bytes, float]:
+    """Execute one compiled plan on every shard this worker owns.
+
+    Each per-shard execution holds one slot of the admission semaphore
+    (``min(jobs, cpu_count)`` slots), so at most one execution runs per
+    physical core.  Oversubscribed workers — ``jobs`` beyond the core
+    count — would otherwise time-slice against each other and evict
+    each other's shard working sets from the shared cache, destroying
+    the very locality that sharding buys; with admission control they
+    simply take turns, and the slot is released between shards so cores
+    rotate fairly.  Result pickling happens outside the slot.
+
+    When the layout has broadcast relations, rows are post-filtered to
+    the shard's own hash class — discarding candidates that broadcast
+    relations generated on behalf of other shards — so shard results
+    are pairwise disjoint and merge by plain union.  Fully sharded
+    layouts need no filter: every scanned row already carries a
+    shard-local value at the routing position.
+    """
+    plan, constants, filter_pos, do_filter = task
+    out: List[List[Tuple]] = []
+    exec_seconds = 0.0
+    for index, shard_db in _group_shards:
+        with _group_admission:
+            t0 = time.perf_counter()
+            rows = Executor(shard_db, None, constants).run(plan)
+            exec_seconds += time.perf_counter() - t0
+        if do_filter:
+            kept = [
+                row for row in rows
+                if shard_of(row[filter_pos], _group_n_shards) == index
+            ]
+        else:
+            kept = list(rows)
+        out.append(kept)
+    return _encode_rows(out), exec_seconds
+
+
+def _encode_rows(groups: List[List[Tuple]]) -> bytes:
+    """Serialize answer rows for the trip back to the parent.
+
+    ``marshal`` handles tuples of primitive values (the overwhelmingly
+    common shape of database rows) several times faster than pickle,
+    and the result crosses the process boundary as a single ``bytes``
+    payload — which the executor machinery pickles as a near-memcpy.
+    Exotic value types fall back to pickle transparently.
+    """
+    try:
+        return b"M" + marshal.dumps(groups)
+    except ValueError:
+        return b"P" + pickle.dumps(groups)
+
+
+def _decode_rows(blob: bytes) -> List[List[Tuple]]:
+    if blob[:1] == b"M":
+        return marshal.loads(blob[1:])
+    return pickle.loads(blob[1:])
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+def worker_pool(
+    db: Database,
+    cache_key: Tuple,
+    jobs: int,
+    n_shards: int,
+    shards_factory,
+) -> Optional[Tuple[List[Database], List[ProcessPoolExecutor]]]:
+    """A warm (shards, pinned executors) pair, forked on first use.
+
+    ``cache_key`` must determine the shard layout (it includes the
+    database's clock, the shard spec, and the worker count);
+    ``shards_factory`` is invoked only on a cache miss, *before* the
+    fork, so workers inherit the fresh shards copy-on-write.  Worker
+    ``w`` permanently owns ``shards[w::jobs]``.  Returns ``None`` when
+    the platform cannot fork.
+    """
+    key = (id(db),) + cache_key
+    entry = _pools.get(key)
+    if entry is not None:
+        return entry[1], entry[2]
+    ctx = fork_context()
+    if ctx is None:
+        return None
+    # Retire stale pools for the same database object (old clock only —
+    # same-clock siblings such as another jobs value over the same
+    # database stay warm) and enforce the small cache bound.
+    stale = [k for k in _pools if k[0] == id(db) and k[1] != db.clock]
+    while stale or len(_pools) >= _POOL_CACHE_LIMIT:
+        victim = stale.pop() if stale else next(iter(_pools))
+        for pool in _pools.pop(victim)[2]:
+            pool.shutdown(wait=False, cancel_futures=True)
+    shards = shards_factory()
+    # Admission control: at most one in-flight plan execution per
+    # physical core, however many workers the caller asked for.
+    admission = ctx.Semaphore(max(1, min(jobs, os.cpu_count() or 1)))
+    pools = [
+        ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=ctx,
+            initializer=_init_group,
+            initargs=(shards, range(w, n_shards, jobs), n_shards, admission),
+        )
+        for w in range(jobs)
+    ]
+    _pools[key] = (db, shards, pools)
+    return shards, pools
+
+
+def run_sharded(
+    pools: List[ProcessPoolExecutor],
+    plan: Plan,
+    constants: Sequence,
+    filter_pos: int,
+    do_filter: bool,
+) -> Tuple[Set[Tuple], float, float]:
+    """Fan one plan out to every pinned worker and union the answers.
+
+    All groups are submitted before any result is awaited, so workers
+    run concurrently; results merge in worker order (and shard order
+    within a worker), which makes the merge deterministic — though the
+    shard answer sets are disjoint, so the union is order-insensitive
+    anyway.
+    """
+    task = (plan, tuple(constants), filter_pos, do_filter)
+    futures = [pool.submit(_run_group, task) for pool in pools]
+    merged: Set[Tuple] = set()
+    merge_seconds = 0.0
+    exec_seconds = 0.0
+    for future in futures:
+        blob, group_exec = future.result()
+        exec_seconds += group_exec
+        t0 = time.perf_counter()
+        for rows in _decode_rows(blob):
+            merged.update(rows)
+        merge_seconds += time.perf_counter() - t0
+    return merged, merge_seconds, exec_seconds
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached pool (also registered ``atexit``)."""
+    while _pools:
+        _, entry = _pools.popitem()
+        for pool in entry[2]:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pools)

@@ -85,6 +85,47 @@ class TestAnswers:
         assert "SELECT DISTINCT" in capsys.readouterr().out
 
 
+class TestJobsFlag:
+    def test_jobs_implies_parallel(self, capsys, poll_file):
+        assert main(["answers", QA, "--free", "p", "--db", poll_file,
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "certain answers (p)" in out
+        assert "'cal'" in out
+
+    def test_explicit_parallel_method(self, capsys, poll_file):
+        assert main(["answers", QA, "--free", "p", "--db", poll_file,
+                     "--method", "parallel", "--jobs", "2"]) == 0
+        assert "'cal'" in capsys.readouterr().out
+
+    def test_certain_jobs_boolean_fallback(self, capsys, poll_file):
+        # Boolean certainty does not shard; --jobs still works and the
+        # engine silently runs the serial compiled plan.
+        assert main(["certain", QA, "--db", poll_file, "--jobs", "2",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "CERTAINTY = True" in out
+        assert "(method: parallel" in out
+        payload = _stats_payload(out)
+        assert payload["parallel"]["fallback_reasons"].get("boolean", 0) >= 1
+
+    @pytest.mark.parametrize("method", ["brute", "compiled", "sql"])
+    def test_jobs_rejected_for_serial_methods(self, poll_file, method):
+        with pytest.raises(SystemExit, match="--jobs only applies"):
+            main(["answers", QA, "--free", "p", "--db", poll_file,
+                  "--method", method, "--jobs", "2"])
+
+    def test_certain_jobs_rejected_for_serial_methods(self, poll_file):
+        with pytest.raises(SystemExit, match="--jobs only applies"):
+            main(["certain", QA, "--db", poll_file,
+                  "--method", "interpreted", "--jobs", "4"])
+
+    def test_nonpositive_jobs_rejected(self, poll_file):
+        with pytest.raises(SystemExit, match="positive"):
+            main(["answers", QA, "--free", "p", "--db", poll_file,
+                  "--jobs", "0"])
+
+
 def _stats_payload(out: str) -> dict:
     """The JSON object --stats appends after the human-readable lines."""
     return json.loads(out[out.index("{"):])
@@ -99,10 +140,12 @@ class TestStatsFlag:
         assert main(["certain", QA, "--db", poll_file,
                      "--method", "compiled", "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
-        assert set(payload) == {"plan_cache", "views"}
+        assert set(payload) == {"plan_cache", "views", "parallel"}
         assert {"hits", "misses", "size"} <= set(payload["plan_cache"])
         assert set(payload["views"]) == VIEW_STAT_KEYS
         assert all(isinstance(v, int) for v in payload["views"].values())
+        assert {"runs", "serial_fallbacks", "shards",
+                "workers"} <= set(payload["parallel"])
 
     def test_answers_stats_json_shape(self, capsys, poll_file):
         assert main(["answers", QA, "--free", "p", "--db", poll_file,
@@ -110,7 +153,7 @@ class TestStatsFlag:
         out = capsys.readouterr().out
         assert "certain answers (p)" in out
         payload = _stats_payload(out)
-        assert set(payload) == {"plan_cache", "views"}
+        assert set(payload) == {"plan_cache", "views", "parallel"}
 
     def test_without_flag_no_json(self, capsys, poll_file):
         assert main(["certain", QA, "--db", poll_file]) == 0
@@ -163,7 +206,7 @@ class TestWatch:
         assert main(["watch", Q3, "--db", q3_file, "--stream", str(stream),
                      "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
-        assert set(payload) == {"plan_cache", "views"}
+        assert set(payload) == {"plan_cache", "views", "parallel"}
         assert payload["views"]["commits_seen"] >= 1
 
     def test_bad_op_exits_nonzero(self, capsys, q3_file, tmp_path):

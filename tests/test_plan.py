@@ -336,3 +336,66 @@ class TestPlanCache:
         engine.certain(db, "compiled")
         after = CertaintyEngine.plan_cache_stats()["hits"]
         assert after >= before + 1
+
+
+class TestProbe:
+    """The executor's short-circuit mode: probe/nonempty answer
+    emptiness questions without materializing intermediate results."""
+
+    def _db(self):
+        return db_from({
+            "R/2/1": [(i, i + 1) for i in range(50)],
+            "S/2/1": [(i, i + 1) for i in range(0, 50, 2)],
+        })
+
+    def test_probe_matches_materialized_membership(self):
+        db = self._db()
+        plan = Scan(atom("R", [x], [y]))
+        ex = Executor(db, sorted(db.active_domain(), key=repr))
+        assert ex.probe(plan, {x: 4, y: 5})
+        assert not ex.probe(plan, {x: 4, y: 6})
+        assert ex.probe(plan, {}) == bool(ex.run(plan))
+
+    def test_probe_does_not_materialize(self):
+        db = self._db()
+        plan = Difference(Scan(atom("R", [x], [y])),
+                          Scan(atom("S", [x], [y])))
+        ex = Executor(db, sorted(db.active_domain(), key=repr))
+        assert ex.nonempty(plan)
+        assert id(plan) not in ex._memo  # answered lazily, never ran
+
+    def test_nonempty_reuses_materialized_runs(self):
+        db = self._db()
+        plan = Project(Scan(atom("R", [x], [y])), (x,))
+        ex = Executor(db, sorted(db.active_domain(), key=repr))
+        ex.run(plan)
+        assert id(plan) in ex._memo  # Scans memoize structurally, Projects by id
+        assert ex.nonempty(plan)
+
+    @pytest.mark.parametrize("rows,expected", [
+        ([(1, 2)], True),
+        ([], False),
+    ])
+    def test_execute_plan_nonempty_sentence(self, rows, expected):
+        from repro.fo.plan import execute_plan_nonempty
+
+        db = db_from({"R/2/1": rows})
+        plan = Project(Scan(atom("R", [x], [y])), ())
+        assert execute_plan_nonempty(plan, db, ()) is expected
+
+    def test_probe_through_joins_and_antijoins(self):
+        db = self._db()
+        joined = Join(Scan(atom("R", [x], [y])), Scan(atom("S", [y], [z])))
+        ex = Executor(db, sorted(db.active_domain(), key=repr))
+        reference = ex2 = Executor(db, sorted(db.active_domain(), key=repr))
+        rows = reference.run(joined)
+        for binding in ({x: 1, y: 2}, {x: 1, y: 3}, {z: 3}, {}):
+            want = any(
+                all(row[joined.cols.index(c)] == v for c, v in binding.items())
+                for row in rows
+            )
+            assert ex.probe(joined, binding) == want, binding
+        anti = AntiJoin(Scan(atom("R", [x], [y])), Scan(atom("S", [x], [y])))
+        anti_rows = reference.run(anti)
+        assert ex.probe(anti, {x: 1}) == any(r[0] == 1 for r in anti_rows)
+        assert ex.probe(anti, {x: 2}) == any(r[0] == 2 for r in anti_rows)
