@@ -85,6 +85,27 @@ def test_boolean_compiled_not_slower_than_rewriting(engine, size):
     )
 
 
+@pytest.mark.parametrize("size", SIZES, ids=lambda s: f"{s[0]}x{s[1]}")
+def test_tracing_parity_on_bench_grid(engine, size):
+    """Tracing must be a pure observer on the benchmark workload:
+    identical Boolean answers and identical answer sets, with the
+    traced run actually producing spans and an operator profile."""
+    from repro.obs import Tracer
+
+    db = _db(*size)
+    open_query = OpenQuery(poll_qa(), [Variable("p")])
+
+    tracer = Tracer()
+    assert engine.certain(db, "compiled", tracer=tracer) == \
+        engine.certain(db, "compiled")
+    assert tracer.roots and tracer.profiles
+
+    tracer = Tracer()
+    traced = certain_answers(open_query, db, "compiled", tracer=tracer)
+    assert traced == certain_answers(open_query, db, "compiled")
+    assert tracer.roots and tracer.profiles
+
+
 def test_plan_cache_hits_across_runs(engine):
     db = _db(30, 8)
     engine.certain(db, "compiled")

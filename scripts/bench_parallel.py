@@ -43,6 +43,7 @@ import time
 
 from repro.core.terms import Variable
 from repro.cqa.certain_answers import OpenQuery, certain_answers
+from repro.obs import RunConfig
 from repro.parallel import (
     parallel_certain_answers,
     parallel_stats,
@@ -52,12 +53,14 @@ from repro.parallel import (
 from repro.workloads.poll import random_poll_database
 from repro.workloads.queries import poll_qa
 
+RUN_CONFIG = RunConfig.from_env()
+
 SIZES = [50_000, 200_000, 500_000]
 JOBS_GRID = [2, 4, 8]
 N_SHARDS = 64
 ROUNDS = 3
 
-if os.environ.get("BENCH_PARALLEL_SMOKE"):
+if RUN_CONFIG.parallel_smoke:
     SIZES = [2_000, 5_000]
     JOBS_GRID = [2]
     ROUNDS = 2
@@ -152,7 +155,7 @@ def main(argv):
         ),
         "grid": grid,
     }
-    if not os.environ.get("BENCH_PARALLEL_SMOKE"):
+    if not RUN_CONFIG.parallel_smoke:
         best = largest["parallel"].get("jobs=4", {}).get("speedup")
         report["largest_size_jobs4_speedup"] = best
     out_path.write_text(json.dumps(report, indent=2) + "\n")

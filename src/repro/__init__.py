@@ -20,6 +20,8 @@ Public surface:
   certainty engine;
 * ``repro.incremental`` — delta-maintained materialized certain-answer
   views over the plan IR;
+* ``repro.obs`` — structured tracing, per-operator plan profiling, and
+  the unified :class:`EngineMetrics` API;
 * ``repro.matching`` — Hopcroft–Karp, Hall's theorem, S-COVERING;
 * ``repro.reductions`` — the paper's hardness reductions, executable;
 * ``repro.workloads`` — canonical queries and synthetic databases;
@@ -56,6 +58,7 @@ from .cqa import (
 )
 from .db import Database, database_from_facts, iter_repairs, satisfies
 from .incremental import View, ViewManager, view_manager, view_stats
+from .obs import EngineMetrics, PlanProfile, RunConfig, Tracer, collect_metrics
 
 __version__ = "0.1.0"
 
@@ -67,11 +70,15 @@ __all__ = [
     "Constant",
     "Database",
     "Diseq",
+    "EngineMetrics",
     "Hardness",
     "NotInFO",
+    "PlanProfile",
     "Query",
     "QueryError",
     "RelationSchema",
+    "RunConfig",
+    "Tracer",
     "Variable",
     "Verdict",
     "View",
@@ -80,6 +87,7 @@ __all__ = [
     "atom",
     "certain",
     "classify",
+    "collect_metrics",
     "consistent_rewriting",
     "database_from_facts",
     "has_consistent_rewriting",

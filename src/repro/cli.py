@@ -39,6 +39,15 @@ from .fo.parser import FormulaParseError, parse_sentence
 from .fo.sql import compile_to_sql
 from .fo.stats import pretty, stats
 from .lint import LintError, lint_text
+from .obs import (
+    PlanProfile,
+    RunConfig,
+    collect_metrics,
+    profile_tree,
+    render_profile,
+    render_spans,
+    trace_payload,
+)
 
 
 def _parse_query_arg(text: str):
@@ -102,6 +111,11 @@ def cmd_plan(args: argparse.Namespace) -> int:
     from .fo.compile import compile_formula
     from .fo.plan import plan_nodes
 
+    if args.analyze and not args.db:
+        raise SystemExit("error: --analyze requires --db (a database to "
+                         "execute the plan against)")
+    if args.json and not args.analyze:
+        raise SystemExit("error: --json requires --analyze")
     query = _parse_query_arg(args.query)
     try:
         if args.free:
@@ -116,24 +130,60 @@ def cmd_plan(args: argparse.Namespace) -> int:
         return 1
     n_nodes = sum(1 for _ in plan_nodes(compiled.plan))
     cols = ", ".join(v.name for v in compiled.free) or "(boolean)"
-    print(f"plan: {n_nodes} operators, output columns: {cols}")
-    print(compiled.explain())
+    if not args.analyze:
+        print(f"plan: {n_nodes} operators, output columns: {cols}")
+        print(compiled.explain())
+        return 0
+    import json
+
+    db = load_database_file(args.db)
+    profile = PlanProfile()
+    if compiled.free:
+        result = len(compiled.rows(db, profile=profile))
+        outcome = f"{result} answer rows"
+    else:
+        result = compiled.holds(db, profile=profile)
+        outcome = f"CERTAINTY = {result}"
+    if args.json:
+        print(json.dumps(profile_tree(compiled.plan, profile),
+                         indent=2, sort_keys=True))
+    else:
+        print(f"plan: {n_nodes} operators, output columns: {cols}")
+        print(f"executed on {args.db} ({db.size()} facts): {outcome}")
+        print(render_profile(compiled.plan, profile))
     return 0
 
 
 def _print_stats() -> None:
-    """The --stats payload: plan cache, view, and parallel counters."""
-    import json
+    """The --stats payload: the unified EngineMetrics document."""
+    print(collect_metrics().to_json())
 
-    print(json.dumps(
-        {
-            "plan_cache": CertaintyEngine.plan_cache_stats(),
-            "views": CertaintyEngine.view_stats(),
-            "parallel": CertaintyEngine.parallel_stats(),
-        },
-        indent=2,
-        sort_keys=True,
-    ))
+
+def _run_tracing(args: argparse.Namespace) -> RunConfig:
+    """The RunConfig for a traced CLI call (env fallbacks included)."""
+    if getattr(args, "json", False) and not args.trace:
+        raise SystemExit("error: --json requires --trace")
+    return RunConfig.from_env(trace=args.trace, trace_file=args.trace_out)
+
+
+def _print_trace(tracer) -> None:
+    """Human-readable span forest + per-operator profiles."""
+    print()
+    print("trace:")
+    print(render_spans(tracer))
+    for plan, profile, tags in tracer.profiles:
+        label = " ".join(f"{k}={v}" for k, v in sorted(tags.items()))
+        print()
+        print(f"operators{f' ({label})' if label else ''}:")
+        print(render_profile(plan, profile))
+
+
+def _flush_trace(tracer, config: RunConfig) -> None:
+    """Append the span JSONL when a trace file is configured."""
+    if tracer is not None and config.trace_file:
+        n = tracer.write_jsonl(config.trace_file)
+        print(f"wrote {n} span records to {config.trace_file}",
+              file=sys.stderr)
 
 
 def _method_with_jobs(args: argparse.Namespace) -> str:
@@ -159,37 +209,64 @@ def _method_with_jobs(args: argparse.Namespace) -> str:
 
 
 def cmd_certain(args: argparse.Namespace) -> int:
+    import json
+
     query = _parse_query_arg(args.query)
     method = _method_with_jobs(args)
+    config = _run_tracing(args)
+    tracer = config.make_tracer()
     db = load_database_file(args.db)
     engine = CertaintyEngine(query)
     answer = engine.certain(
-        db, method, jobs=args.jobs if method == "parallel" else None
+        db, method, jobs=args.jobs if method == "parallel" else None,
+        tracer=tracer, config=config,
     )
-    print(f"CERTAINTY = {answer}   (method: {method}, "
-          f"{db.size()} facts, {db.repair_count()} repairs)")
+    if args.json:
+        payload = trace_payload(args.query, method, tracer, answer=answer)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"CERTAINTY = {answer}   (method: {method}, "
+              f"{db.size()} facts, {db.repair_count()} repairs)")
+        if tracer is not None:
+            _print_trace(tracer)
+    _flush_trace(tracer, config)
     if args.stats:
         _print_stats()
     return 0
 
 
 def cmd_answers(args: argparse.Namespace) -> int:
+    import json
+
     query = _parse_query_arg(args.query)
     method = _method_with_jobs(args)
+    config = _run_tracing(args)
+    tracer = config.make_tracer()
     free = [Variable(name.strip()) for name in args.free.split(",") if name.strip()]
     open_query = OpenQuery(query, free)
     db = load_database_file(args.db)
-    if args.show_sql:
+    if args.show_sql and not args.json:
         print(certain_answers_sql_query(open_query, db))
         print()
     answers = certain_answers(
         open_query, db, method,
         jobs=args.jobs if method == "parallel" else None,
+        tracer=tracer, config=config,
     )
-    names = ", ".join(v.name for v in free)
-    print(f"certain answers ({names}): {len(answers)}")
-    for row in sorted(answers, key=repr):
-        print("  " + ", ".join(repr(v) for v in row))
+    if args.json:
+        payload = trace_payload(
+            args.query, method, tracer,
+            free=[v.name for v in free], answers=len(answers),
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        names = ", ".join(v.name for v in free)
+        print(f"certain answers ({names}): {len(answers)}")
+        for row in sorted(answers, key=repr):
+            print("  " + ", ".join(repr(v) for v in row))
+        if tracer is not None:
+            _print_trace(tracer)
+    _flush_trace(tracer, config)
     if args.stats:
         _print_stats()
     return 0
@@ -224,9 +301,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
     from .incremental import view_manager
 
     query = _parse_query_arg(args.query)
+    config = RunConfig.from_env(trace_file=args.trace_out)
+    tracer = config.make_tracer()
     db = load_database_file(args.db)
     free = [Variable(n.strip()) for n in args.free.split(",") if n.strip()]
-    manager = view_manager(db)
+    manager = view_manager(db, tracer=tracer)
     view = manager.register_view(query, free)
 
     if free:
@@ -290,6 +369,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     else:
         print(f"final: CERTAINTY = {view.holds} at v{db.clock} "
               f"({commits} update batches)")
+    _flush_trace(tracer, config)
     if args.stats:
         _print_stats()
     return 0
@@ -393,6 +473,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--free", default="",
                    help="comma-separated free variable names "
                         "(empty: Boolean certainty plan)")
+    p.add_argument("--analyze", action="store_true",
+                   help="EXPLAIN ANALYZE: execute the plan on --db and "
+                        "annotate each operator with times/cardinalities")
+    p.add_argument("--db", help="database JSON file (required by --analyze)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the analyzed operator tree as JSON "
+                        "(requires --analyze)")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("certain", help="answer CERTAINTY(q) on a database")
@@ -406,8 +493,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker count for --method parallel (implies it "
                         "when --method is auto; Boolean certainty falls "
                         "back to the serial compiled plan)")
+    p.add_argument("--trace", action="store_true",
+                   help="collect spans and per-operator timings; print an "
+                        "EXPLAIN ANALYZE report after the answer")
+    p.add_argument("--json", action="store_true",
+                   help="emit the trace document as JSON instead of text "
+                        "(requires --trace; shape: docs/trace.schema.json)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="append span JSONL records to FILE (implies "
+                        "tracing; env fallback: REPRO_TRACE_FILE)")
     p.add_argument("--stats", action="store_true",
-                   help="also print plan-cache and view counters as JSON")
+                   help="also print the unified EngineMetrics JSON")
     p.set_defaults(func=cmd_certain)
 
     p = sub.add_parser("answers",
@@ -426,8 +522,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "when --method is auto)")
     p.add_argument("--show-sql", action="store_true",
                    help="print the single SQL query first")
+    p.add_argument("--trace", action="store_true",
+                   help="collect spans and per-operator timings; print an "
+                        "EXPLAIN ANALYZE report after the answers")
+    p.add_argument("--json", action="store_true",
+                   help="emit the trace document as JSON instead of text "
+                        "(requires --trace; shape: docs/trace.schema.json)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="append span JSONL records to FILE (implies "
+                        "tracing; env fallback: REPRO_TRACE_FILE)")
     p.add_argument("--stats", action="store_true",
-                   help="also print plan-cache and view counters as JSON")
+                   help="also print the unified EngineMetrics JSON")
     p.set_defaults(func=cmd_answers)
 
     p = sub.add_parser("watch",
@@ -442,8 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stream", default="-",
                    help="fact stream file, '-' for stdin (lines: "
                         "'+ R v1 v2', '- R v1 v2', 'begin', 'commit')")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="append maintenance span JSONL records to FILE at "
+                        "EOF (env fallback: REPRO_TRACE_FILE)")
     p.add_argument("--stats", action="store_true",
-                   help="print view maintenance counters as JSON at EOF")
+                   help="print the unified EngineMetrics JSON at EOF")
     p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("explain",

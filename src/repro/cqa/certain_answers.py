@@ -280,6 +280,8 @@ def certain_answers(
     db: Database,
     method: str = "auto",
     jobs: Optional[int] = None,
+    tracer=None,
+    config=None,
 ) -> FrozenSet[Tuple]:
     """All certain answers of q(x⃗) on db.
 
@@ -288,9 +290,22 @@ def certain_answers(
     ``parallel`` method (default: the CPU count, capped by
     ``REPRO_MAX_WORKERS``) and is rejected for every other method —
     the serial strategies have nothing to parallelize.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records phase spans and,
+    for the ``compiled``/``parallel`` methods, a per-operator
+    :class:`repro.obs.PlanProfile` attached via
+    ``tracer.add_profile``.  ``config`` (a :class:`repro.obs.RunConfig`)
+    supplies worker-count and threshold defaults for the parallel path.
+    Tracing never changes the answers — the parity tests in
+    ``tests/test_obs.py`` pin that down for every method.
     """
+    from ..obs.trace import NULL_TRACER
+
+    t = tracer if tracer is not None else NULL_TRACER
     if method == "auto":
         method = "compiled" if open_query.in_fo else "brute"
+    if jobs is None and config is not None and method == "parallel":
+        jobs = config.jobs
     if jobs is not None and method != "parallel":
         raise ValueError(
             f"jobs= only applies to method='parallel', not {method!r}"
@@ -298,30 +313,61 @@ def certain_answers(
     if method == "parallel":
         from ..parallel import parallel_certain_answers
 
-        return parallel_certain_answers(open_query, db, jobs=jobs)
+        with t.span("certain-answers", method=method):
+            return parallel_certain_answers(
+                open_query, db, jobs=jobs, config=config,
+                tracer=tracer if t.enabled else None,
+            )
     if method == "brute":
-        return frozenset(
-            c for c in candidate_values(open_query, db)
-            if is_certain_brute_force(open_query.grounded(c), db)
-        )
+        with t.span("certain-answers", method=method) as span:
+            candidates = candidate_values(open_query, db)
+            span.count("candidates", len(candidates))
+            return frozenset(
+                c for c in candidates
+                if is_certain_brute_force(open_query.grounded(c), db)
+            )
     if method == "interpreted":
-        return frozenset(
-            c for c in candidate_values(open_query, db)
-            if is_certain(open_query.grounded(c), db)
-        )
+        with t.span("certain-answers", method=method) as span:
+            candidates = candidate_values(open_query, db)
+            span.count("candidates", len(candidates))
+            return frozenset(
+                c for c in candidates
+                if is_certain(open_query.grounded(c), db)
+            )
     if method == "rewriting":
-        formula = open_rewriting(open_query)
-        evaluator = Evaluator(formula, db)
-        return frozenset(
-            c for c in candidate_values(open_query, db)
-            if evaluator.evaluate(dict(zip(open_query.free, c)))
-        )
+        with t.span("certain-answers", method=method) as span:
+            with t.span("rewrite"):
+                formula = open_rewriting(open_query)
+            evaluator = Evaluator(formula, db)
+            candidates = candidate_values(open_query, db)
+            span.count("candidates", len(candidates))
+            return frozenset(
+                c for c in candidates
+                if evaluator.evaluate(dict(zip(open_query.free, c)))
+            )
     if method == "compiled":
-        formula = _guarded_open_rewriting(open_query)
-        compiled = plan_cache.get_or_compile(formula, db, open_query.free)
-        return compiled.rows(db)
+        if not t.enabled:
+            formula = _guarded_open_rewriting(open_query)
+            compiled = plan_cache.get_or_compile(formula, db, open_query.free)
+            return compiled.rows(db)
+        from ..obs.profile import PlanProfile
+
+        with t.span("certain-answers", method=method):
+            with t.span("rewrite-and-compile"):
+                formula = _guarded_open_rewriting(open_query)
+                compiled = plan_cache.get_or_compile(
+                    formula, db, open_query.free
+                )
+            profile = PlanProfile()
+            with t.span("execute") as span:
+                rows = compiled.rows(db, profile=profile)
+                span.count("rows_out", len(rows))
+            t.add_profile(compiled.plan, profile, method=method,
+                          phase="execute")
+            return rows
     if method == "sql":
-        return _certain_answers_sql(open_query, db)
+        with t.span("certain-answers", method=method):
+            return _certain_answers_sql(open_query, db)
     raise ValueError(f"unknown method {method!r}")
 
 

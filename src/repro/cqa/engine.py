@@ -27,6 +27,7 @@ Strategies
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -104,7 +105,8 @@ class CertaintyEngine:
         return self._rewriting
 
     def certain(self, db: Database, method: str = "auto",
-                jobs: Optional[int] = None) -> bool:
+                jobs: Optional[int] = None, tracer=None,
+                config=None) -> bool:
         """Is q true in every repair of db?
 
         ``method="auto"`` uses the compiled plan when the query is in FO
@@ -113,8 +115,16 @@ class CertaintyEngine:
         :meth:`certain_answers`, but Boolean certainty does not
         decompose over shards (see ``docs/PERFORMANCE.md``), so it runs
         the serial compiled plan and counts a ``boolean`` fallback in
-        :meth:`parallel_stats`.
+        the parallel metrics.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records method spans
+        and — for ``compiled`` — a per-operator probe profile; it never
+        changes the answer.  ``config`` is a :class:`repro.obs.RunConfig`
+        forwarded to the parallel path.
         """
+        from ..obs.trace import NULL_TRACER
+
+        t = tracer if tracer is not None else NULL_TRACER
         if jobs is not None and method != "parallel":
             raise ValueError(
                 f"jobs= only applies to method='parallel', not {method!r}"
@@ -122,77 +132,133 @@ class CertaintyEngine:
         if method == "auto":
             method = "compiled" if self.in_fo else "brute"
         if method == "brute":
-            return is_certain_brute_force(self.query, db)
+            with t.span("certain", method=method):
+                return is_certain_brute_force(self.query, db)
         if method == "interpreted":
             self._require_fo(method)
-            return is_certain(self.query, db)
+            with t.span("certain", method=method):
+                return is_certain(self.query, db)
         if method == "rewriting":
             self._require_fo(method)
-            return Evaluator(self.rewriting, db).evaluate()
+            with t.span("certain", method=method):
+                return Evaluator(self.rewriting, db).evaluate()
         if method == "compiled":
             self._require_fo(method)
-            return plan_cache.get_or_compile(self.rewriting, db).holds(db)
+            if not t.enabled:
+                return plan_cache.get_or_compile(self.rewriting, db).holds(db)
+            from ..obs.profile import PlanProfile
+
+            with t.span("certain", method=method):
+                with t.span("rewrite-and-compile"):
+                    compiled = plan_cache.get_or_compile(self.rewriting, db)
+                profile = PlanProfile()
+                with t.span("probe") as span:
+                    result = compiled.holds(db, profile=profile)
+                    span.count("holds", int(result))
+                t.add_profile(compiled.plan, profile, method=method,
+                              phase="probe")
+                return result
         if method == "sql":
             self._require_fo(method)
-            return run_sentence_sql(self.rewriting, db)
+            with t.span("certain", method=method):
+                return run_sentence_sql(self.rewriting, db)
         if method == "parallel":
             self._require_fo(method)
             return bool(self.certain_answers(db, (), method="parallel",
-                                             jobs=jobs))
+                                             jobs=jobs, tracer=tracer,
+                                             config=config))
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
     def certain_answers(self, db: Database, free=(), method: str = "auto",
-                        jobs: Optional[int] = None):
+                        jobs: Optional[int] = None, tracer=None,
+                        config=None):
         """All certain answers of q(x⃗) on db, for answer variables
         ``free``.
 
         Thin wrapper around :func:`repro.cqa.certain_answers.certain_answers`
         reusing this engine's query; ``method="parallel"`` with
-        ``jobs=N`` runs the sharded worker-pool path.
+        ``jobs=N`` runs the sharded worker-pool path.  ``tracer`` and
+        ``config`` are forwarded unchanged (see
+        :func:`repro.cqa.certain_answers.certain_answers`).
         """
         from .certain_answers import OpenQuery, certain_answers
 
         return certain_answers(OpenQuery(self.query, free), db, method,
-                               jobs=jobs)
+                               jobs=jobs, tracer=tracer, config=config)
+
+    def metrics(self):
+        """A unified :class:`repro.obs.EngineMetrics` snapshot.
+
+        Bundles the plan-cache, parallel-executor, and incremental-view
+        counters (plus any sources registered on the default
+        :class:`repro.obs.MetricsRegistry`) into one typed object with a
+        stable ``to_dict()``/``to_json()`` shape.  Supersedes the
+        deprecated static trio ``plan_cache_stats`` / ``parallel_stats``
+        / ``view_stats``.
+        """
+        from ..obs.metrics import collect_metrics
+
+        return collect_metrics()
 
     @staticmethod
     def plan_cache_stats() -> Dict[str, int]:
-        """Counters of the process-wide plan cache (hits/misses/...).
+        """Deprecated: use ``engine.metrics().plan_cache`` instead.
 
-        The ``compiled`` strategy compiles each rewriting once per
-        (formula, schema) pair; repeated :meth:`certain` calls are cache
-        hits, observable through this hook.
+        Counters of the process-wide plan cache (hits/misses/...).
         """
+        warnings.warn(
+            "CertaintyEngine.plan_cache_stats() is deprecated; use "
+            "engine.metrics().plan_cache",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return plan_cache.stats()
 
     @staticmethod
     def parallel_stats() -> Dict[str, object]:
-        """Aggregated counters of the sharded parallel executor (shard
+        """Deprecated: use ``engine.metrics().parallel`` instead.
+
+        Aggregated counters of the sharded parallel executor (shard
         and worker counts, partition/merge/exec wall time, serial
-        fallbacks by reason), mirroring :meth:`plan_cache_stats`."""
+        fallbacks by reason)."""
+        warnings.warn(
+            "CertaintyEngine.parallel_stats() is deprecated; use "
+            "engine.metrics().parallel",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from ..parallel import parallel_stats
 
         return parallel_stats()
 
-    def register_view(self, db: Database, free=()):
+    def register_view(self, db: Database, free=(), tracer=None):
         """Materialize this query as an incrementally maintained view.
 
         Returns a :class:`repro.incremental.View` kept current by the
         database's changelog: after any mutation (or batch commit),
         ``view.holds`` / ``view.answers`` reflect the new certain
         answers without a full re-execution.  Requires the query to be
-        in FO, like ``method="compiled"``.
+        in FO, like ``method="compiled"``.  ``tracer`` attaches a
+        :class:`repro.obs.Tracer` to the database's view manager so
+        maintenance work is traced.
         """
         from ..incremental import view_manager
 
         self._require_fo("incremental")
-        return view_manager(db).register_view(self.query, free)
+        return view_manager(db, tracer=tracer).register_view(self.query, free)
 
     @staticmethod
     def view_stats() -> Dict[str, int]:
-        """Process-wide incremental-view counters (deltas applied, rows
-        touched, fallback recomputes), mirroring
-        :meth:`plan_cache_stats`."""
+        """Deprecated: use ``engine.metrics().views`` instead.
+
+        Process-wide incremental-view counters (deltas applied, rows
+        touched, fallback recomputes)."""
+        warnings.warn(
+            "CertaintyEngine.view_stats() is deprecated; use "
+            "engine.metrics().views",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         from ..incremental import view_stats
 
         return view_stats()

@@ -55,6 +55,7 @@ from .plan import (
     AdomProduct,
     AntiJoin,
     Difference,
+    Executor,
     Join,
     Literal,
     Plan,
@@ -91,11 +92,15 @@ class CompiledQuery:
         self.plan = plan
         self.constants = constants
 
-    def rows(self, db: Database) -> FrozenSet[Row]:
-        """All satisfying assignments over ``free``, in one execution."""
-        return frozenset(execute_plan(self.plan, db, self.constants))
+    def rows(self, db: Database, profile=None) -> FrozenSet[Row]:
+        """All satisfying assignments over ``free``, in one execution.
 
-    def holds(self, db: Database) -> bool:
+        ``profile`` (a :class:`repro.obs.profile.PlanProfile`) turns on
+        per-operator observability for this execution.
+        """
+        return frozenset(execute_plan(self.plan, db, self.constants, profile))
+
+    def holds(self, db: Database, profile=None) -> bool:
         """Truth value of a sentence (a plan over zero columns).
 
         Evaluated with the executor's short-circuit mode: rows stream
@@ -103,8 +108,22 @@ class CompiledQuery:
         first witness and a universally guarded one at its first
         violation, instead of materializing the full witness relation
         only to ask whether it is empty.
+
+        With ``profile`` the probe path counts per-operator probe and
+        index activity, and the root node records the end-to-end time;
+        intermediate cardinalities stay zero because short-circuit
+        evaluation never materializes them — that absence *is* the
+        signal that the probe fast path ran.
         """
-        return execute_plan_nonempty(self.plan, db, self.constants)
+        if profile is None:
+            return execute_plan_nonempty(self.plan, db, self.constants)
+        from time import perf_counter
+
+        executor = Executor(db, None, self.constants, profile)
+        t0 = perf_counter()
+        result = executor.nonempty(self.plan)
+        profile.record(self.plan, perf_counter() - t0, int(result))
+        return result
 
     def explain(self) -> str:
         """Readable plan rendering (see :func:`repro.fo.plan.explain`)."""
@@ -477,9 +496,10 @@ class PlanCache:
     forked by :mod:`repro.parallel` inherits a snapshot of the parent's
     entries (so pre-compiled plans are hits with no recompilation), but
     from that point the two caches evolve independently — worker-side
-    hits/misses never appear in the parent's :meth:`stats`, and
-    vice versa.  Aggregated parallel-execution counters live in
-    ``CertaintyEngine.parallel_stats()`` instead.
+    hits/misses never appear in the parent's :meth:`stats`, and vice
+    versa.  The pool ships worker-side counter deltas back with each
+    result; they are accumulated under ``worker_plan_cache`` in the
+    ``parallel`` section of ``engine.metrics()``.
     """
 
     __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import operator
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.atoms import Atom
@@ -334,16 +335,24 @@ class Executor:
     Results are memoized per plan node (by identity), so DAG-shaped
     plans evaluate shared subplans once.  Execution is pure set algebra:
     no per-row environment dictionaries, no re-walking the formula.
+
+    ``profile`` (a :class:`repro.obs.profile.PlanProfile`, or any
+    object with ``record``/``count``) turns on per-operator
+    observability: inclusive wall time and output cardinality per
+    node, plus memo/index/probe counters.  The default ``None`` keeps
+    the hot path on the exact pre-instrumentation code — one
+    ``is None`` branch per node execution is the entire cost.
     """
 
     def __init__(self, db: Database, adom: Optional[Sequence] = None,
-                 constants: Sequence = ()):
+                 constants: Sequence = (), profile=None):
         self.db = db
         self._adom: Optional[Tuple] = tuple(adom) if adom is not None else None
         self._constants: Tuple = tuple(constants)
         self._memo: Dict[object, Set[Row]] = {}
         self._probe_memo: Dict[object, bool] = {}
         self._adom_frozen: Optional[Set] = None
+        self._profile = profile
 
     @property
     def adom(self) -> Tuple:
@@ -367,8 +376,16 @@ class Executor:
             key = id(plan)
         cached = self._memo.get(key)
         if cached is None:
-            cached = self._dispatch(plan)
+            profile = self._profile
+            if profile is None:
+                cached = self._dispatch(plan)
+            else:
+                t0 = perf_counter()
+                cached = self._dispatch(plan)
+                profile.record(plan, perf_counter() - t0, len(cached))
             self._memo[key] = cached
+        elif self._profile is not None:
+            self._profile.count(plan, "memo_hits")
         return cached
 
     # ------------------------------------------------------------------
@@ -385,12 +402,18 @@ class Executor:
             return set()
         checks = plan.eq_checks
         proj = plan.proj
+        profile = self._profile
         if not plan.consts and not checks:
             # The keys of the database's hash index on ``proj`` ARE the
             # projected rows — and the index is version-cached on the
             # database, so repeated executions reuse it.
+            if profile is not None:
+                profile.count(plan, "index_hits")
             return set(self.db.index(plan.atom.relation, proj))
         rows: Sequence[Row] = self.db.lookup(plan.atom.relation, plan.consts)
+        if profile is not None:
+            profile.count(plan, "index_hits")
+            profile.count(plan, "rows_scanned", len(rows))
         if checks:
             rows = [r for r in rows if all(r[i] == r[j] for i, j in checks)]
         getter = _tuple_getter(proj)
@@ -508,12 +531,18 @@ class Executor:
         assignment of the plan's columns)?  Short-circuits at the first
         such row; results are memoized per (node, binding)."""
         key = (id(plan), tuple(sorted(binding.items())))
+        profile = self._profile
         cached = self._probe_memo.get(key)
         if cached is None:
+            if profile is not None:
+                profile.count(plan, "probe_calls")
             sentinel = object()
             cached = next(self._iter_bound(plan, binding),
                           sentinel) is not sentinel
             self._probe_memo[key] = cached
+        elif profile is not None:
+            profile.count(plan, "probe_calls")
+            profile.count(plan, "probe_memo_hits")
         return cached
 
     def _iter_bound(self, plan: Plan, binding: Dict[Variable, object]):
@@ -544,6 +573,8 @@ class Executor:
         schema = self.db.schemas.get(plan.atom.relation)
         if schema is None or schema.arity != plan.atom.schema.arity:
             return
+        if self._profile is not None:
+            self._profile.count(plan, "index_hits")
         consts = plan.consts
         if binding:
             consts = dict(consts)
@@ -690,17 +721,18 @@ class Executor:
     }
 
 
-def execute_plan(plan: Plan, db: Database, constants: Sequence = ()) -> Set[Row]:
+def execute_plan(plan: Plan, db: Database, constants: Sequence = (),
+                 profile=None) -> Set[Row]:
     """One-shot execution under ``adom = active_domain(db) | constants``
     (collected lazily — only plans with Adom* nodes touch it)."""
-    return Executor(db, None, constants).run(plan)
+    return Executor(db, None, constants, profile).run(plan)
 
 
 def execute_plan_nonempty(plan: Plan, db: Database,
-                          constants: Sequence = ()) -> bool:
+                          constants: Sequence = (), profile=None) -> bool:
     """One-shot short-circuit non-emptiness test (see
     :meth:`Executor.nonempty`): the boolean-certainty fast path."""
-    return Executor(db, None, constants).nonempty(plan)
+    return Executor(db, None, constants, profile).nonempty(plan)
 
 
 # ----------------------------------------------------------------------

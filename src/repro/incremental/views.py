@@ -16,9 +16,10 @@ rewritings — the common case — compile without Adom* operators and
 never take that path.
 
 Stats mirror the plan cache: per-manager :meth:`ViewManager.stats` and
-a process-wide :func:`view_stats`, surfaced on
-:class:`~repro.cqa.engine.CertaintyEngine` next to
-``plan_cache_stats``.
+a process-wide :func:`view_stats`, surfaced as the ``views`` section
+of ``engine.metrics()``.  Maintenance work is traceable — attach a
+:class:`repro.obs.Tracer` via ``view_manager(db, tracer=...)`` for a
+``view-maintain`` span per commit.
 """
 
 from __future__ import annotations
@@ -169,11 +170,20 @@ class View:
 
 
 class ViewManager:
-    """Keeps registered views current under one database's changelog."""
+    """Keeps registered views current under one database's changelog.
 
-    def __init__(self, db: Database, history_limit: int = 256):
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one
+    ``view-maintain`` span per committed batch — delta sizes, rows
+    touched, and fallback recomputes — plus a per-view event when a
+    view's answers actually move.
+    """
+
+    def __init__(self, db: Database, history_limit: int = 256, tracer=None):
+        from ..obs.trace import NULL_TRACER
+
         self.db = db
         self.history_limit = history_limit
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._views: List[View] = []
         self._adom_counts: Dict[object, int] = {}
         for name in db.relations():
@@ -284,26 +294,39 @@ class ViewManager:
     def _on_commit(self, log: Changelog) -> None:
         self.commits_seen += 1
         _GLOBAL.commits_seen += 1
-        flipped = self._update_adom(log)
-        for view in self._views:
-            inc = view.incremental
-            adom_changed = bool(
-                inc.uses_adom
-                and any(v not in set(inc.constants) for v in flipped)
-            )
-            if not adom_changed and not (inc.relations & log.relations):
-                view._version = log.version
-                continue
-            before_touched = inc.rows_touched
-            before_fallback = inc.fallback_recomputes
-            ins, dels = inc.apply(log, self.db, adom_changed)
-            _GLOBAL.deltas_applied += 1
-            _GLOBAL.rows_touched += inc.rows_touched - before_touched
-            _GLOBAL.fallback_recomputes += (
-                inc.fallback_recomputes - before_fallback
-            )
-            view._record(log.version, frozenset(ins), frozenset(dels),
-                         self.history_limit)
+        t = self.tracer
+        delta_size = sum(
+            len(d.inserted) + len(d.deleted) for d in log.deltas.values()
+        )
+        with t.span("view-maintain", version=log.version) as span:
+            span.count("delta_size", delta_size)
+            flipped = self._update_adom(log)
+            for i, view in enumerate(self._views):
+                inc = view.incremental
+                adom_changed = bool(
+                    inc.uses_adom
+                    and any(v not in set(inc.constants) for v in flipped)
+                )
+                if not adom_changed and not (inc.relations & log.relations):
+                    view._version = log.version
+                    span.count("views_skipped")
+                    continue
+                before_touched = inc.rows_touched
+                before_fallback = inc.fallback_recomputes
+                ins, dels = inc.apply(log, self.db, adom_changed)
+                touched = inc.rows_touched - before_touched
+                fallbacks = inc.fallback_recomputes - before_fallback
+                _GLOBAL.deltas_applied += 1
+                _GLOBAL.rows_touched += touched
+                _GLOBAL.fallback_recomputes += fallbacks
+                span.count("deltas_applied")
+                span.count("rows_touched", touched)
+                span.count("fallback_recomputes", fallbacks)
+                if ins or dels:
+                    t.event("view-delta", view=i, inserted=len(ins),
+                            deleted=len(dels))
+                view._record(log.version, frozenset(ins), frozenset(dels),
+                             self.history_limit)
 
     def stats(self) -> Dict[str, int]:
         """Counters across this manager's views (mirrors the plan
@@ -323,14 +346,19 @@ class ViewManager:
         return out
 
 
-def view_manager(db: Database, history_limit: int = 256) -> ViewManager:
+def view_manager(db: Database, history_limit: int = 256,
+                 tracer=None) -> ViewManager:
     """The database's attached view manager, created on first use.
 
     One manager per database keeps subscription bookkeeping in one
-    place; repeated calls return the same instance.
+    place; repeated calls return the same instance.  Passing ``tracer``
+    attaches it to the manager (including an already-existing one), so
+    later commits are traced.
     """
     manager = getattr(db, "_view_manager", None)
     if manager is None:
-        manager = ViewManager(db, history_limit)
+        manager = ViewManager(db, history_limit, tracer=tracer)
         db._view_manager = manager  # type: ignore[attr-defined]
+    elif tracer is not None:
+        manager.tracer = tracer
     return manager

@@ -1,0 +1,60 @@
+"""Observability: structured tracing, plan profiling, unified metrics.
+
+The engine has six execution strategies (interpreted, rewriting,
+compiled, sql, incremental, parallel); this package makes all of them
+*measurable* instead of inferable from end-to-end wall clock:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` with nestable spans
+  (monotonic-clock timings, counters, tags), a zero-overhead no-op
+  default, and JSONL export (``REPRO_TRACE_FILE`` / ``--trace-out``);
+* :mod:`repro.obs.profile` — per-operator plan profiling
+  (:class:`PlanProfile`) and the ``EXPLAIN ANALYZE``-style renderers
+  behind ``repro plan --analyze`` and ``repro certain --trace``;
+* :mod:`repro.obs.metrics` — :class:`EngineMetrics` /
+  :class:`MetricsRegistry`, the one consistent schema subsuming the
+  former ``plan_cache_stats`` / ``parallel_stats`` / ``view_stats``
+  static trio (now deprecated shims on the engine);
+* :mod:`repro.obs.config` — :class:`RunConfig`, consolidating the
+  env-var sprawl (``REPRO_MAX_WORKERS``, ``REPRO_PARALLEL_MIN_FACTS``,
+  ``REPRO_TRACE_FILE``, ``BENCH_PARALLEL_SMOKE``) behind one dataclass
+  with env vars as fallback defaults;
+* :mod:`repro.obs.schema` — a dependency-free JSON-Schema-subset
+  validator used by the ``trace-smoke`` CI job against
+  ``docs/trace.schema.json``.
+
+See ``docs/OBSERVABILITY.md`` for the span model, the metrics schema,
+and the migration table from the old static stats endpoints.
+"""
+
+from .config import RunConfig
+from .metrics import EngineMetrics, MetricsRegistry, collect_metrics, default_registry
+from .profile import (
+    OperatorStats,
+    PlanProfile,
+    profile_tree,
+    render_profile,
+    trace_payload,
+)
+from .schema import SchemaError, validate
+from .trace import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl, render_spans
+
+__all__ = [
+    "EngineMetrics",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "OperatorStats",
+    "PlanProfile",
+    "RunConfig",
+    "SchemaError",
+    "Span",
+    "Tracer",
+    "collect_metrics",
+    "default_registry",
+    "profile_tree",
+    "read_jsonl",
+    "render_profile",
+    "render_spans",
+    "trace_payload",
+    "validate",
+]

@@ -1,0 +1,125 @@
+"""``RunConfig``: one dataclass for the engine's runtime knobs.
+
+The knobs used to live in scattered ``os.environ`` reads —
+``REPRO_MAX_WORKERS`` in :mod:`repro.parallel.pool`,
+``REPRO_PARALLEL_MIN_FACTS`` in :mod:`repro.parallel.executor`,
+``BENCH_PARALLEL_SMOKE`` in the benchmark scripts — plus the new
+``REPRO_TRACE_FILE``.  :class:`RunConfig` consolidates them: construct
+one explicitly for programmatic control, or :meth:`RunConfig.from_env`
+to read the environment with explicit keyword overrides winning over
+env values.  ``certain_answers(..., config=)``, the engine methods,
+and the CLI all accept one; omitted fields fall back to the same
+defaults the env-var reads always had, so existing callers see no
+behaviour change.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+__all__ = ["RunConfig", "DEFAULT_MIN_FACTS"]
+
+#: Below this many facts the parallel path falls back to serial
+#: (fork + IPC overhead dwarfs the work).
+DEFAULT_MIN_FACTS = 2000
+
+
+def _positive_int(raw: Optional[str]) -> Optional[int]:
+    raw = (raw or "").strip()
+    if raw.isdigit() and int(raw) > 0:
+        return int(raw)
+    return None
+
+
+def _nonnegative_int(raw: Optional[str]) -> Optional[int]:
+    raw = (raw or "").strip()
+    if raw.isdigit():
+        return int(raw)
+    return None
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Consolidated runtime configuration for one engine call (or many).
+
+    ``jobs``
+        Worker count for ``method="parallel"`` (None: CPU count).
+    ``max_workers``
+        Hard cap on workers (env: ``REPRO_MAX_WORKERS``).
+    ``parallel_min_facts``
+        Database size below which the parallel path runs serially
+        (env: ``REPRO_PARALLEL_MIN_FACTS``; None: 2000).
+    ``shard_factor``
+        Shards per worker for the parallel path (None: executor
+        default of 16).
+    ``trace``
+        Collect spans and per-operator profiles for this run.
+    ``trace_file``
+        Append span JSONL here after the run (env:
+        ``REPRO_TRACE_FILE``; setting it implies ``trace``).
+    ``parallel_smoke``
+        Benchmark smoke mode: tiny sizes, jobs=2 grid (env:
+        ``BENCH_PARALLEL_SMOKE``).
+    """
+
+    jobs: Optional[int] = None
+    max_workers: Optional[int] = None
+    parallel_min_facts: Optional[int] = None
+    shard_factor: Optional[int] = None
+    trace: bool = False
+    trace_file: Optional[str] = None
+    parallel_smoke: bool = False
+
+    @classmethod
+    def from_env(cls, env: Optional[Mapping[str, str]] = None,
+                 **overrides: Any) -> "RunConfig":
+        """Environment-derived defaults, explicit overrides winning.
+
+        ``overrides`` accepts any :class:`RunConfig` field; a ``None``
+        override means "keep the env-derived value".
+        """
+        if env is None:
+            env = os.environ
+        config = cls(
+            max_workers=_positive_int(env.get("REPRO_MAX_WORKERS")),
+            parallel_min_facts=_nonnegative_int(
+                env.get("REPRO_PARALLEL_MIN_FACTS")
+            ),
+            trace_file=(env.get("REPRO_TRACE_FILE") or "").strip() or None,
+            parallel_smoke=bool((env.get("BENCH_PARALLEL_SMOKE") or "").strip()),
+        )
+        effective = {k: v for k, v in overrides.items() if v is not None}
+        return replace(config, **effective) if effective else config
+
+    @property
+    def tracing(self) -> bool:
+        """Is tracing requested (explicitly or via a trace file)?"""
+        return self.trace or self.trace_file is not None
+
+    def make_tracer(self) -> Optional[Any]:
+        """A fresh :class:`~repro.obs.trace.Tracer` when tracing is on."""
+        if not self.tracing:
+            return None
+        from .trace import Tracer
+
+        return Tracer()
+
+    def resolved_jobs(self, jobs: Optional[int] = None) -> int:
+        """The effective worker count: explicit > config > CPU count,
+        clamped by ``max_workers``."""
+        n = jobs if jobs is not None else self.jobs
+        if n is None:
+            n = os.cpu_count() or 1
+        if self.max_workers is not None:
+            n = min(n, self.max_workers)
+        return max(1, n)
+
+    def resolved_min_facts(self, min_facts: Optional[int] = None) -> int:
+        """The effective parallel size threshold."""
+        if min_facts is not None:
+            return min_facts
+        if self.parallel_min_facts is not None:
+            return self.parallel_min_facts
+        return DEFAULT_MIN_FACTS

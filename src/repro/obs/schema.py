@@ -1,0 +1,136 @@
+"""A dependency-free validator for the JSON-Schema subset we pin.
+
+The container bakes in no ``jsonschema`` package, and the trace
+document shape (``docs/trace.schema.json``) only needs a small, stable
+slice of the spec.  Supported keywords:
+
+``type`` (string or list of strings), ``properties``, ``required``,
+``additionalProperties`` (boolean or schema), ``items``, ``enum``,
+``minimum``, ``anyOf``, and ``$ref`` into the root schema's ``$defs``.
+
+Booleans are *not* integers here (matching JSON Schema, not Python),
+and ``number`` accepts both ints and floats.  :func:`validate` returns
+a list of human-readable error strings (empty = valid);
+:func:`check` raises :class:`SchemaError` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SchemaError", "validate", "check"]
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`check` when an instance violates its schema."""
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: Dict[str, Any]) -> Dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"unsupported $ref target {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"dangling $ref {ref!r}")
+        node = node[part]
+    if not isinstance(node, dict):
+        raise SchemaError(f"$ref {ref!r} does not point at a schema")
+    return node
+
+
+def _type_ok(value: Any, expected: Any) -> bool:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        checker = _TYPE_CHECKS.get(name)
+        if checker is None:
+            raise SchemaError(f"unsupported type keyword {name!r}")
+        if checker(value):
+            return True
+    return False
+
+
+def validate(instance: Any, schema: Dict[str, Any],
+             root: Optional[Dict[str, Any]] = None,
+             path: str = "$") -> List[str]:
+    """Validate ``instance`` against ``schema``; return error strings."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        schema = _resolve_ref(schema["$ref"], root)
+    errors: List[str] = []
+
+    if "type" in schema and not _type_ok(instance, schema["type"]):
+        errors.append(
+            f"{path}: expected type {schema['type']}, "
+            f"got {type(instance).__name__}"
+        )
+        return errors  # deeper keywords are meaningless on a type miss
+
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum {schema['enum']}")
+
+    if "anyOf" in schema:
+        branches = schema["anyOf"]
+        all_branch_errors = []
+        for branch in branches:
+            branch_errors = validate(instance, branch, root, path)
+            if not branch_errors:
+                break
+            all_branch_errors.extend(branch_errors)
+        else:
+            errors.append(
+                f"{path}: no anyOf branch matched "
+                f"({'; '.join(all_branch_errors)})"
+            )
+
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool):
+        if instance < schema["minimum"]:
+            errors.append(
+                f"{path}: {instance} below minimum {schema['minimum']}"
+            )
+
+    if isinstance(instance, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, value in instance.items():
+            if name in properties:
+                errors.extend(
+                    validate(value, properties[name], root, f"{path}.{name}")
+                )
+            else:
+                additional = schema.get("additionalProperties", True)
+                if additional is False:
+                    errors.append(f"{path}: unexpected property {name!r}")
+                elif isinstance(additional, dict):
+                    errors.extend(
+                        validate(value, additional, root, f"{path}.{name}")
+                    )
+
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(
+                validate(item, schema["items"], root, f"{path}[{i}]")
+            )
+
+    return errors
+
+
+def check(instance: Any, schema: Dict[str, Any]) -> None:
+    """Raise :class:`SchemaError` listing every violation, if any."""
+    errors = validate(instance, schema)
+    if errors:
+        raise SchemaError("; ".join(errors))

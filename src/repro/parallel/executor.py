@@ -36,6 +36,8 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from ..db.database import Database
 from ..fo.compile import plan_cache
 from ..fo.plan import AdomEq, AdomGuard, AdomProduct, Plan, _Binary, Project, Select, Union as PlanUnion
+from ..obs.config import RunConfig
+from ..obs.trace import NULL_TRACER
 from .partition import shard_database, shard_spec
 from .pool import fork_context, max_workers_cap, run_sharded, worker_pool
 
@@ -76,6 +78,8 @@ def reset_parallel_stats() -> None:
         partition_ms=0.0,
         merge_ms=0.0,
         worker_exec_ms=0.0,
+        worker_rows=0,
+        worker_plan_cache={"hits": 0, "misses": 0, "evictions": 0},
     )
 
 
@@ -85,15 +89,19 @@ reset_parallel_stats()
 def parallel_stats() -> Dict[str, object]:
     """Aggregated parallel-execution counters.
 
-    Mirrors ``CertaintyEngine.plan_cache_stats()`` in spirit: shard
-    and worker counts of the most recent parallel run, cumulative
-    partition/merge wall time, and serial fallbacks keyed by reason.
-    Per-worker plan-cache hits live in the forked workers and are
-    intentionally *not* folded into the parent's ``plan_cache_stats``
-    (see the fork-safety note on ``repro.fo.compile.PlanCache``).
+    Shard and worker counts of the most recent parallel run,
+    cumulative partition/merge wall time, and serial fallbacks keyed
+    by reason.  Work done inside forked workers is accounted under
+    ``worker_rows`` / ``worker_plan_cache``: each pool call ships the
+    worker-side counter *deltas* back with its result, and the parent
+    accumulates them here.  They stay separate from the parent's own
+    plan-cache counters because the caches are distinct objects after
+    fork (see the fork-safety note on ``repro.fo.compile.PlanCache``).
+    This feeds the ``parallel`` section of ``EngineMetrics``.
     """
     out = dict(_STATS)
     out["fallback_reasons"] = dict(_STATS["fallback_reasons"])  # type: ignore[arg-type]
+    out["worker_plan_cache"] = dict(_STATS["worker_plan_cache"])  # type: ignore[arg-type]
     return out
 
 
@@ -110,32 +118,46 @@ def plan_has_adom(plan: Plan) -> bool:
     return False
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """The effective worker count: explicit ``jobs`` or the CPU count,
-    clamped by the ``REPRO_MAX_WORKERS`` env cap."""
-    n = jobs if jobs is not None else (os.cpu_count() or 1)
+def resolve_jobs(jobs: Optional[int],
+                 config: Optional[RunConfig] = None) -> int:
+    """The effective worker count: explicit ``jobs``, then the config's
+    ``jobs``, then the CPU count — clamped by the config's
+    ``max_workers`` (falling back to the ``REPRO_MAX_WORKERS`` env
+    cap when no config carries one)."""
+    if config is not None:
+        if config.max_workers is not None:
+            return config.resolved_jobs(jobs)
+        n = config.resolved_jobs(jobs)
+    else:
+        n = jobs if jobs is not None else (os.cpu_count() or 1)
     cap = max_workers_cap()
     if cap is not None:
         n = min(n, cap)
     return max(1, n)
 
 
-def _min_facts(min_facts: Optional[int]) -> int:
+def _min_facts(min_facts: Optional[int],
+               config: Optional[RunConfig] = None) -> int:
     if min_facts is not None:
         return min_facts
+    if config is not None and config.parallel_min_facts is not None:
+        return config.parallel_min_facts
     raw = os.environ.get("REPRO_PARALLEL_MIN_FACTS", "").strip()
     if raw.isdigit():
         return int(raw)
     return DEFAULT_MIN_FACTS
 
 
-def _fallback(open_query, db: Database, reason: str) -> FrozenSet[Tuple]:
+def _fallback(open_query, db: Database, reason: str,
+              tracer=NULL_TRACER) -> FrozenSet[Tuple]:
     from ..cqa.certain_answers import certain_answers
 
     _STATS["serial_fallbacks"] += 1  # type: ignore[operator]
     reasons: Dict[str, int] = _STATS["fallback_reasons"]  # type: ignore[assignment]
     reasons[reason] = reasons.get(reason, 0) + 1
-    return certain_answers(open_query, db, method="compiled")
+    tracer.event("parallel-fallback", reason=reason)
+    return certain_answers(open_query, db, method="compiled",
+                           tracer=tracer if tracer.enabled else None)
 
 
 def parallel_certain_answers(
@@ -143,7 +165,9 @@ def parallel_certain_answers(
     db: Database,
     jobs: Optional[int] = None,
     min_facts: Optional[int] = None,
-    shard_factor: int = DEFAULT_SHARD_FACTOR,
+    shard_factor: Optional[int] = None,
+    config: Optional[RunConfig] = None,
+    tracer=None,
 ) -> FrozenSet[Tuple]:
     """All certain answers of q(x⃗) on db, computed shard-parallel.
 
@@ -154,26 +178,37 @@ def parallel_certain_answers(
     ``jobs * shard_factor`` shards in the work queue, workers that
     finish early pick up remaining chunks, and smaller shards keep
     per-shard hash tables cache-resident.
+
+    ``config`` (a :class:`repro.obs.RunConfig`) supplies fallback
+    defaults for ``jobs``/``min_facts``/``shard_factor`` and the
+    worker cap; explicit arguments win.  ``tracer`` records partition/
+    merge spans, one span per worker group (shards owned, rows
+    produced, in-shard execution time), and fallback events.
     """
     from ..cqa.certain_answers import _guarded_open_rewriting
 
+    t = tracer if tracer is not None else NULL_TRACER
+    if shard_factor is None:
+        shard_factor = (config.shard_factor if config is not None
+                        and config.shard_factor is not None
+                        else DEFAULT_SHARD_FACTOR)
     _STATS["runs"] += 1  # type: ignore[operator]
-    n_jobs = resolve_jobs(jobs)
+    n_jobs = resolve_jobs(jobs, config)
     if not open_query.free:
-        return _fallback(open_query, db, "boolean")
+        return _fallback(open_query, db, "boolean", t)
     if n_jobs <= 1:
-        return _fallback(open_query, db, "jobs=1")
-    if db.size() < _min_facts(min_facts):
-        return _fallback(open_query, db, "below-min-facts")
+        return _fallback(open_query, db, "jobs=1", t)
+    if db.size() < _min_facts(min_facts, config):
+        return _fallback(open_query, db, "below-min-facts", t)
     if fork_context() is None:
-        return _fallback(open_query, db, "no-fork")
+        return _fallback(open_query, db, "no-fork", t)
     spec = shard_spec(open_query, db)
     if spec is None:
-        return _fallback(open_query, db, "no-shard-variable")
+        return _fallback(open_query, db, "no-shard-variable", t)
     formula = _guarded_open_rewriting(open_query)
     compiled = plan_cache.get_or_compile(formula, db, open_query.free)
     if plan_has_adom(compiled.plan):
-        return _fallback(open_query, db, "plan-touches-adom")
+        return _fallback(open_query, db, "plan-touches-adom", t)
 
     n_shards = max(2, n_jobs * max(1, shard_factor))
     filter_pos = compiled.free.index(spec.var)
@@ -204,12 +239,14 @@ def parallel_certain_answers(
     cache_key = (db.clock, n_jobs, n_shards, spec)
     got = worker_pool(db, cache_key, n_jobs, n_shards, factory)
     if got is None:
-        return _fallback(open_query, db, "no-fork")
+        return _fallback(open_query, db, "no-fork", t)
     shards, pools = got
+    partition_seconds = time.perf_counter() - t0
     if partitioned["fresh"]:
-        _STATS["partition_ms"] += (time.perf_counter() - t0) * 1e3  # type: ignore[operator]
+        _STATS["partition_ms"] += partition_seconds * 1e3  # type: ignore[operator]
+        t.record("partition", partition_seconds, shards=n_shards)
 
-    merged, merge_seconds, exec_seconds = run_sharded(
+    merged, merge_seconds, exec_seconds, worker_infos = run_sharded(
         pools, compiled.plan, compiled.constants, filter_pos, do_filter
     )
     _STATS["merge_ms"] += merge_seconds * 1e3  # type: ignore[operator]
@@ -218,4 +255,19 @@ def parallel_certain_answers(
     _STATS["shards"] = n_shards
     _STATS["workers"] = n_jobs
     _STATS["tasks"] += n_jobs  # type: ignore[operator]
+    cache_totals: Dict[str, int] = _STATS["worker_plan_cache"]  # type: ignore[assignment]
+    for info in worker_infos:
+        _STATS["worker_rows"] += int(info.get("rows", 0))  # type: ignore[operator]
+        delta = info.get("plan_cache") or {}
+        for key in cache_totals:
+            cache_totals[key] += int(delta.get(key, 0))  # type: ignore[arg-type, call-overload]
+        if t.enabled:
+            t.record(
+                "worker",
+                float(info["exec_seconds"]),  # type: ignore[arg-type]
+                worker=info["worker"],
+                shards=info.get("shards", 0),
+                rows=info.get("rows", 0),
+            )
+    t.record("merge", merge_seconds, rows=len(merged))
     return frozenset(merged)

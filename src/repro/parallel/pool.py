@@ -34,9 +34,11 @@ down.
 Fork safety of process-wide caches: each worker inherits a snapshot of
 the parent's ``repro.fo.compile.plan_cache`` (and every other module
 global) at fork time.  Worker-side hits and misses accumulate in the
-*worker's* copy and are never reflected in the parent's
-``plan_cache_stats()``; aggregated parallel counters live in
-``repro.parallel.parallel_stats()`` instead.
+*worker's* copy and never appear in the parent's own plan-cache
+counters; instead each pool call ships the worker-side counter
+*deltas* back with its result, and the executor folds them into
+``worker_plan_cache`` under ``repro.parallel.parallel_stats()`` (the
+``parallel`` section of ``engine.metrics()``).
 """
 
 from __future__ import annotations
@@ -97,6 +99,32 @@ _group_shards: List[Tuple[int, Database]] = []
 _group_n_shards: int = 0
 _group_admission = None
 
+# Plan-cache counters already reported to the parent: each call ships
+# only the delta since the previous report, so the parent can fold the
+# increments into its metrics without double counting across calls.
+_reported_cache_stats: Dict[str, int] = {}
+
+
+def _cache_stats_delta() -> Dict[str, int]:
+    """Worker-side plan-cache counter increments since the last report.
+
+    Forked workers inherit (and then mutate) their own copy of the
+    process-wide plan cache; these deltas are how that activity becomes
+    visible in the parent's ``EngineMetrics`` instead of silently
+    vanishing with the worker.
+    """
+    from ..fo.compile import plan_cache
+
+    now = plan_cache.stats()
+    delta = {
+        key: now[key] - _reported_cache_stats.get(key, 0)
+        for key in ("hits", "misses", "evictions")
+    }
+    _reported_cache_stats.update(
+        {key: now[key] for key in ("hits", "misses", "evictions")}
+    )
+    return delta
+
 
 def _init_group(shards: List[Database], indices: Sequence[int],
                 n_shards: int, admission) -> None:
@@ -110,7 +138,7 @@ def _init_group(shards: List[Database], indices: Sequence[int],
     gc.freeze()
 
 
-def _run_group(task: Tuple) -> Tuple[bytes, float]:
+def _run_group(task: Tuple) -> Tuple[bytes, float, Dict[str, object]]:
     """Execute one compiled plan on every shard this worker owns.
 
     Each per-shard execution holds one slot of the admission semaphore
@@ -145,7 +173,12 @@ def _run_group(task: Tuple) -> Tuple[bytes, float]:
         else:
             kept = list(rows)
         out.append(kept)
-    return _encode_rows(out), exec_seconds
+    counters: Dict[str, object] = {
+        "shards": len(_group_shards),
+        "rows": sum(len(kept) for kept in out),
+        "plan_cache": _cache_stats_delta(),
+    }
+    return _encode_rows(out), exec_seconds, counters
 
 
 def _encode_rows(groups: List[List[Tuple]]) -> bytes:
@@ -228,7 +261,7 @@ def run_sharded(
     constants: Sequence,
     filter_pos: int,
     do_filter: bool,
-) -> Tuple[Set[Tuple], float, float]:
+) -> Tuple[Set[Tuple], float, float, List[Dict[str, object]]]:
     """Fan one plan out to every pinned worker and union the answers.
 
     All groups are submitted before any result is awaited, so workers
@@ -236,20 +269,31 @@ def run_sharded(
     within a worker), which makes the merge deterministic — though the
     shard answer sets are disjoint, so the union is order-insensitive
     anyway.
+
+    Returns ``(merged, merge_seconds, exec_seconds, worker_infos)``;
+    each worker info carries the worker index, its cumulative in-shard
+    execution time, its answer-row and shard counts, and the worker's
+    plan-cache counter delta — the raw material for per-shard spans
+    and for merging worker-side counters into the parent's metrics.
     """
     task = (plan, tuple(constants), filter_pos, do_filter)
     futures = [pool.submit(_run_group, task) for pool in pools]
     merged: Set[Tuple] = set()
     merge_seconds = 0.0
     exec_seconds = 0.0
-    for future in futures:
-        blob, group_exec = future.result()
+    worker_infos: List[Dict[str, object]] = []
+    for worker, future in enumerate(futures):
+        blob, group_exec, counters = future.result()
         exec_seconds += group_exec
+        info = dict(counters)
+        info["worker"] = worker
+        info["exec_seconds"] = group_exec
+        worker_infos.append(info)
         t0 = time.perf_counter()
         for rows in _decode_rows(blob):
             merged.update(rows)
         merge_seconds += time.perf_counter() - t0
-    return merged, merge_seconds, exec_seconds
+    return merged, merge_seconds, exec_seconds, worker_infos
 
 
 def shutdown_pools() -> None:

@@ -140,7 +140,8 @@ class TestStatsFlag:
         assert main(["certain", QA, "--db", poll_file,
                      "--method", "compiled", "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
-        assert set(payload) == {"plan_cache", "views", "parallel"}
+        assert set(payload) == {"schema_version", "plan_cache", "views",
+                                "parallel"}
         assert {"hits", "misses", "size"} <= set(payload["plan_cache"])
         assert set(payload["views"]) == VIEW_STAT_KEYS
         assert all(isinstance(v, int) for v in payload["views"].values())
@@ -153,7 +154,8 @@ class TestStatsFlag:
         out = capsys.readouterr().out
         assert "certain answers (p)" in out
         payload = _stats_payload(out)
-        assert set(payload) == {"plan_cache", "views", "parallel"}
+        assert set(payload) == {"schema_version", "plan_cache", "views",
+                                "parallel"}
 
     def test_without_flag_no_json(self, capsys, poll_file):
         assert main(["certain", QA, "--db", poll_file]) == 0
@@ -206,7 +208,8 @@ class TestWatch:
         assert main(["watch", Q3, "--db", q3_file, "--stream", str(stream),
                      "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
-        assert set(payload) == {"plan_cache", "views", "parallel"}
+        assert set(payload) == {"schema_version", "plan_cache", "views",
+                                "parallel"}
         assert payload["views"]["commits_seen"] >= 1
 
     def test_bad_op_exits_nonzero(self, capsys, q3_file, tmp_path):

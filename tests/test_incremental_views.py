@@ -205,7 +205,7 @@ class TestEngineAPI:
             CertaintyEngine(cyclic_query()).register_view(db)
 
     def test_engine_view_stats_shape(self):
-        stats = CertaintyEngine.view_stats()
+        stats = CertaintyEngine(q3()).metrics().views
         assert set(stats) == {"views_registered", "commits_seen",
                               "deltas_applied", "rows_touched",
                               "fallback_recomputes"}

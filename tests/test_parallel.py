@@ -229,7 +229,7 @@ class TestStatsAndForkSafety:
         db = random_poll_database(30, 4, rng=rng)
         reset_parallel_stats()
         parallel_certain_answers(qa_open(), db, jobs=2, min_facts=0)
-        stats = CertaintyEngine.parallel_stats()
+        stats = CertaintyEngine(qa_open().query).metrics().parallel
         assert stats["runs"] == 1
         assert stats["parallel_runs"] == 1
         assert stats["workers"] == 2

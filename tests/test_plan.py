@@ -331,10 +331,10 @@ class TestPlanCache:
     def test_engine_stats_hook_observes_hits(self):
         engine = CertaintyEngine(q3())
         db = db_from({"P/2/1": [(1, "a")], "N/2/1": []})
-        before = CertaintyEngine.plan_cache_stats()["hits"]
+        before = engine.metrics().plan_cache["hits"]
         engine.certain(db, "compiled")
         engine.certain(db, "compiled")
-        after = CertaintyEngine.plan_cache_stats()["hits"]
+        after = engine.metrics().plan_cache["hits"]
         assert after >= before + 1
 
 
