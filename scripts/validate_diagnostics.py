@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Validate `repro lint --json` / `repro analyze --json` documents
+against the pinned diagnostics schema (``docs/diagnostics.schema.json``).
+
+    python scripts/validate_diagnostics.py report.json [more.json ...]
+    repro analyze "..." --format json | python scripts/validate_diagnostics.py -
+
+Uses the dependency-free validator in :mod:`repro.obs.schema` (the
+container has no ``jsonschema`` package).  Exits 1 listing every
+violation; the ``plan-verify`` CI job runs this against fresh CLI
+output so the document shape cannot drift from the schema silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.schema import validate  # noqa: E402
+
+SCHEMA_PATH = (Path(__file__).resolve().parent.parent
+               / "docs" / "diagnostics.schema.json")
+
+
+def main(argv: list) -> int:
+    targets = argv or ["-"]
+    schema = json.loads(SCHEMA_PATH.read_text())
+    failures = 0
+    for target in targets:
+        if target == "-":
+            name, text = "<stdin>", sys.stdin.read()
+        else:
+            name, text = target, Path(target).read_text()
+        try:
+            instance = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"{name}: not JSON: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        errors = validate(instance, schema)
+        if errors:
+            failures += 1
+            print(f"{name}: {len(errors)} schema violation(s)",
+                  file=sys.stderr)
+            for error in errors:
+                print(f"  {error}", file=sys.stderr)
+        else:
+            codes = sorted({d["code"] for d in instance["diagnostics"]})
+            print(f"{name}: ok ({len(instance['diagnostics'])} "
+                  f"diagnostic(s){': ' + ', '.join(codes) if codes else ''})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

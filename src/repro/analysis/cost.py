@@ -1,0 +1,376 @@
+"""A static cost estimator over the plan IR.
+
+The model is deliberately coarse — it ranks plans and flags
+pathologies, it does not predict wall clock.  Inputs are per-relation
+cardinalities (taken from a :class:`repro.db.database.Database` when
+one is supplied, textbook defaults otherwise) pushed bottom-up
+through the operator tree with classic System-R-style selectivities:
+
+* ``Scan``          relation cardinality, divided by the per-position
+                    distinct count for every pinned constant;
+* ``Join``          ``|L|·|R| / max(|L|, |R|)`` on shared columns —
+                    the containment-of-value-sets estimate — and the
+                    full ``|L|·|R|`` product for cartesian joins;
+* ``Semi/AntiJoin`` half the left input survives;
+* ``Select``        equality 0.1, disequality 0.9 per condition;
+* ``Adom*``         powers of the active-domain size (the expensive
+                    total fallback the QP rules warn about).
+
+Cost of a node is its children's cost plus the rows it inspects; the
+root's inclusive cost orders join alternatives in
+:func:`join_order_ratio`, which replays the generator leaves of a join
+tree in the best order the same model can find (exhaustively up to 6
+leaves, greedily above) and reports how far the compiled order is from
+it.  QP106 fires on that ratio.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..db.database import Database
+from ..fo.plan import (
+    AdomEq,
+    AdomGuard,
+    AdomProduct,
+    AntiJoin,
+    Difference,
+    Join,
+    Literal,
+    Plan,
+    Project,
+    Scan,
+    Select,
+    SemiJoin,
+    Union,
+)
+
+__all__ = [
+    "CostModel",
+    "CostReport",
+    "NodeEstimate",
+    "TableStats",
+    "join_order_ratio",
+    "table_stats",
+]
+
+#: Cardinality assumed for a relation with no statistics (analysis
+#: without a database).
+DEFAULT_ROWS = 1000
+#: Active-domain size assumed without a database.
+DEFAULT_ADOM = 1000
+#: Selectivity of one equality condition.
+EQ_SELECTIVITY = 0.1
+#: Selectivity of one disequality condition.
+NEQ_SELECTIVITY = 0.9
+#: Fraction of left rows surviving a semi/anti-join.
+SEMI_SELECTIVITY = 0.5
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Relation cardinalities and distinct counts for one database."""
+
+    rows: Dict[str, int]
+    distinct: Dict[Tuple[str, int], int]
+    adom_size: int
+
+    def relation_rows(self, name: str) -> int:
+        return self.rows.get(name, DEFAULT_ROWS)
+
+    def position_distinct(self, name: str, position: int) -> int:
+        got = self.distinct.get((name, position))
+        if got is not None:
+            return max(1, got)
+        return max(1, self.relation_rows(name) // 10)
+
+
+def table_stats(db: Optional[Database]) -> TableStats:
+    """Statistics for ``db`` (defaults when ``db`` is None)."""
+    if db is None:
+        return TableStats({}, {}, DEFAULT_ADOM)
+    rows: Dict[str, int] = {}
+    distinct: Dict[Tuple[str, int], int] = {}
+    for name in db.relations():
+        facts = db.facts(name)
+        rows[name] = len(facts)
+        arity = db.schemas[name].arity
+        for position in range(arity):
+            distinct[(name, position)] = len({r[position] for r in facts})
+    return TableStats(rows, distinct, max(1, len(db.active_domain())))
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """Estimated output cardinality and inclusive cost of one node."""
+
+    rows: float
+    cost: float
+
+
+@dataclass
+class CostReport:
+    """Per-node estimates for one plan, plus rendering helpers."""
+
+    plan: Plan
+    estimates: Dict[int, NodeEstimate] = field(default_factory=dict)
+    cartesian_nodes: List[Join] = field(default_factory=list)
+    join_order_ratio: float = 1.0
+
+    @property
+    def root(self) -> NodeEstimate:
+        return self.estimates[id(self.plan)]
+
+    @property
+    def total_cost(self) -> float:
+        return self.root.cost
+
+    @property
+    def estimated_rows(self) -> float:
+        return self.root.rows
+
+    def for_node(self, node: Plan) -> NodeEstimate:
+        return self.estimates[id(node)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable tree (see docs/diagnostics.schema.json)."""
+
+        def walk(node: Plan) -> Dict[str, Any]:
+            estimate = self.estimates[id(node)]
+            out: Dict[str, Any] = {
+                "op": node.label(),
+                "cols": [v.name for v in node.cols],
+                "est_rows": round(estimate.rows, 3),
+                "est_cost": round(estimate.cost, 3),
+            }
+            children = [walk(child) for child in node.children()]
+            if children:
+                out["children"] = children
+            return out
+
+        return {
+            "total_cost": round(self.total_cost, 3),
+            "estimated_rows": round(self.estimated_rows, 3),
+            "cartesian_products": len(self.cartesian_nodes),
+            "join_order_ratio": round(self.join_order_ratio, 3),
+            "tree": walk(self.plan),
+        }
+
+    def render(self) -> str:
+        """Readable indented rendering, mirroring ``explain()``."""
+        lines: List[str] = [
+            f"estimated cost: {self.total_cost:,.0f}   "
+            f"estimated rows: {self.estimated_rows:,.0f}   "
+            f"join-order ratio: {self.join_order_ratio:.2f}"
+        ]
+
+        def walk(node: Plan, depth: int) -> None:
+            estimate = self.estimates[id(node)]
+            lines.append(
+                "  " * depth
+                + f"{node.label()}  ~{estimate.rows:,.0f} rows "
+                  f"(cost {estimate.cost:,.0f})"
+            )
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.plan, 1)
+        return "\n".join(lines)
+
+
+class CostModel:
+    """Bottom-up cardinality/cost estimation for plan trees."""
+
+    def __init__(self, stats: Optional[TableStats] = None):
+        self.stats = stats if stats is not None else table_stats(None)
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, plan: Plan) -> CostReport:
+        """Estimate every node of ``plan`` (DAG nodes estimated once)."""
+        report = CostReport(plan)
+        self._node(plan, report)
+        report.join_order_ratio = join_order_ratio(plan, self)
+        return report
+
+    def _node(self, node: Plan, report: CostReport) -> NodeEstimate:
+        cached = report.estimates.get(id(node))
+        if cached is not None:
+            return cached
+        children = [self._node(child, report) for child in node.children()]
+        estimate = self._estimate_one(node, children, report)
+        report.estimates[id(node)] = estimate
+        return estimate
+
+    # ------------------------------------------------------------------
+
+    def scan_rows(self, node: Scan) -> float:
+        """Estimated output cardinality of one scan."""
+        rows = float(self.stats.relation_rows(node.atom.relation))
+        for position in node.consts:
+            rows /= self.stats.position_distinct(node.atom.relation, position)
+        rows *= EQ_SELECTIVITY ** len(node.eq_checks)
+        return max(rows, 0.0)
+
+    def _estimate_one(
+        self, node: Plan, children: Sequence[NodeEstimate],
+        report: CostReport,
+    ) -> NodeEstimate:
+        child_cost = sum(c.cost for c in children)
+        if isinstance(node, Scan):
+            base = float(self.stats.relation_rows(node.atom.relation))
+            rows = self.scan_rows(node)
+            return NodeEstimate(rows, base)
+        if isinstance(node, Literal):
+            return NodeEstimate(float(len(node.rows)), float(len(node.rows)))
+        if isinstance(node, AdomProduct):
+            rows = float(self.stats.adom_size) ** len(node.cols)
+            return NodeEstimate(rows, rows)
+        if isinstance(node, AdomGuard):
+            return NodeEstimate(1.0, 1.0)
+        if isinstance(node, AdomEq):
+            rows = float(self.stats.adom_size)
+            return NodeEstimate(rows, rows)
+        if isinstance(node, Select):
+            rows = children[0].rows
+            for _lhs, _rhs, equal in node.conds:
+                rows *= EQ_SELECTIVITY if equal else NEQ_SELECTIVITY
+            return NodeEstimate(rows, child_cost + children[0].rows)
+        if isinstance(node, Project):
+            # Deduplication can only shrink; without column-level
+            # statistics the child cardinality is the estimate.
+            return NodeEstimate(children[0].rows, child_cost + children[0].rows)
+        if isinstance(node, Join):
+            left, right = children
+            rows, cost = self.join_estimate(
+                left.rows, right.rows, bool(node.shared)
+            )
+            if not node.shared and left.rows > 1 and right.rows > 1:
+                report.cartesian_nodes.append(node)
+            return NodeEstimate(rows, child_cost + cost)
+        if isinstance(node, (SemiJoin, AntiJoin)):
+            left, right = children
+            rows = left.rows * SEMI_SELECTIVITY
+            return NodeEstimate(rows, child_cost + left.rows + right.rows)
+        if isinstance(node, Union):
+            rows = sum(c.rows for c in children)
+            return NodeEstimate(rows, child_cost + rows)
+        if isinstance(node, Difference):
+            left, right = children
+            return NodeEstimate(
+                left.rows, child_cost + left.rows + right.rows
+            )
+        # Unknown operator: neutral passthrough, so estimation stays
+        # total even while the verifier separately reports PV012.
+        rows = children[0].rows if children else 1.0
+        return NodeEstimate(rows, child_cost + rows)
+
+    def join_estimate(
+        self, left_rows: float, right_rows: float, shared: bool
+    ) -> Tuple[float, float]:
+        """(output rows, processing cost) of one hash join."""
+        if not shared:
+            product = left_rows * right_rows
+            return product, left_rows + right_rows + product
+        rows = (left_rows * right_rows) / max(left_rows, right_rows, 1.0)
+        return rows, left_rows + right_rows + rows
+
+
+# ----------------------------------------------------------------------
+# join-order ranking
+# ----------------------------------------------------------------------
+
+
+def _join_leaves(node: Plan) -> List[Plan]:
+    """The generator leaves of a contiguous Join subtree."""
+    if isinstance(node, Join):
+        return _join_leaves(node.left) + _join_leaves(node.right)
+    return [node]
+
+
+def _order_cost(
+    leaves: Sequence[Tuple[frozenset, float]], order: Sequence[int]
+) -> float:
+    """Cost of left-deep joining ``leaves`` in ``order`` (model above)."""
+    cols, rows = leaves[order[0]]
+    cost = 0.0
+    for index in order[1:]:
+        next_cols, next_rows = leaves[index]
+        shared = bool(cols & next_cols)
+        if shared:
+            out = (rows * next_rows) / max(rows, next_rows, 1.0)
+        else:
+            out = rows * next_rows
+        cost += rows + next_rows + out
+        rows, cols = out, cols | next_cols
+    return cost
+
+
+def join_order_ratio(plan: Plan, model: CostModel,
+                     max_exhaustive: int = 6) -> float:
+    """How far the worst join tree in ``plan`` is from the model's best.
+
+    For every maximal Join subtree with at least three generator
+    leaves, the compiled (in-order) left-deep cost is compared with the
+    cheapest left-deep order — exhaustive up to ``max_exhaustive``
+    leaves, greedy (cheapest-next) above.  Returns the maximum
+    ``compiled / best`` ratio over those subtrees (1.0 when none).
+    """
+    worst = 1.0
+    seen: Dict[int, bool] = {}
+
+    def leaf_stats(leaves: Sequence[Plan]) -> List[Tuple[frozenset, float]]:
+        report = CostReport(plan)
+        out = []
+        for leaf in leaves:
+            estimate = model._node(leaf, report)
+            out.append((frozenset(leaf.cols), estimate.rows))
+        return out
+
+    def visit(node: Plan) -> None:
+        nonlocal worst
+        if id(node) in seen:
+            return
+        seen[id(node)] = True
+        if isinstance(node, Join):
+            leaves = _join_leaves(node)
+            if len(leaves) >= 3:
+                stats = leaf_stats(leaves)
+                indexes = list(range(len(stats)))
+                compiled = _order_cost(stats, indexes)
+                if len(stats) <= max_exhaustive:
+                    best = min(
+                        _order_cost(stats, order)
+                        for order in itertools.permutations(indexes)
+                    )
+                else:
+                    best = _greedy_cost(stats)
+                if best > 0:
+                    worst = max(worst, compiled / best)
+            for leaf in leaves:
+                visit(leaf)
+            return
+        for child in node.children():
+            visit(child)
+
+    visit(plan)
+    return worst
+
+
+def _greedy_cost(leaves: Sequence[Tuple[frozenset, float]]) -> float:
+    """Greedy cheapest-next left-deep order (fallback above 6 leaves)."""
+    remaining = list(range(len(leaves)))
+    start = min(remaining, key=lambda i: leaves[i][1])
+    remaining.remove(start)
+    order = [start]
+    cols = set(leaves[start][0])
+    while remaining:
+        connected = [i for i in remaining if cols & leaves[i][0]]
+        pool = connected or remaining
+        best = min(pool, key=lambda i: leaves[i][1])
+        remaining.remove(best)
+        order.append(best)
+        cols |= leaves[best][0]
+    return _order_cost(leaves, order)

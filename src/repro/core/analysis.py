@@ -78,9 +78,16 @@ class QueryAnalysis:
         lines.append(f"reason: {self.classification.reason}")
         if self.rewriting_stats is not None:
             s = self.rewriting_stats
+            extra = ""
+            if "negations" in s:
+                extra = (
+                    f", {s['negations']} negation(s), "
+                    f"widest OR {s['max_or_width']}"
+                )
             lines.append(
                 f"rewriting: {s['nodes']} nodes, {s['atoms']} atoms, "
                 f"{s['quantifiers']} quantifiers, depth {s['depth']}"
+                f"{extra}"
             )
         return "\n".join(lines)
 
@@ -132,5 +139,7 @@ def analyze(query: Query, include_rewriting: bool = True) -> QueryAnalysis:
             "atoms": s.atoms,
             "quantifiers": s.quantifiers,
             "depth": s.quantifier_depth,
+            "negations": s.negations,
+            "max_or_width": s.max_or_width,
         }
     return analysis

@@ -27,6 +27,7 @@ signature) lets repeated queries skip compilation entirely.
 from __future__ import annotations
 
 import itertools
+import os
 from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -475,7 +476,24 @@ def compile_formula(
             )
     plan = _pad(_lower(standardize_apart(nnf(formula))), out)
     constants = tuple(sorted({c.value for c in constants_of(formula)}, key=repr))
+    if verify_plans_enabled():
+        from ..analysis.verifier import verify_plan
+
+        verify_plan(plan, expected_cols=out)
     return CompiledQuery(formula, out, plan, constants)
+
+
+def verify_plans_enabled() -> bool:
+    """Should every compiled plan run the IR verifier?
+
+    Controlled by ``REPRO_VERIFY_PLANS`` — on for any value other than
+    ``""``/``0``/``false``/``no``/``off``.  Off by default in
+    production (compilation stays allocation-only); tests and CI turn
+    it on so every plan the suites compile is checked against the
+    PV001–PV013 invariants of :mod:`repro.analysis.verifier`.
+    """
+    raw = os.environ.get("REPRO_VERIFY_PLANS", "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
 
 
 # ----------------------------------------------------------------------

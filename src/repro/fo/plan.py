@@ -75,7 +75,14 @@ def _tuple_getter(positions: Sequence[int]):
 
 
 class Plan:
-    """Base class: a node computing a set of rows over ``cols``."""
+    """Base class: a node computing a set of rows over ``cols``.
+
+    Nodes are plain slotted objects — constructors do not validate.
+    The structural contract every consumer (the :class:`Executor`, the
+    incremental deltas, the parallel workers) relies on is pinned as
+    invariants PV001–PV013 in :mod:`repro.analysis.verifier`; set
+    ``REPRO_VERIFY_PLANS=1`` to check it after every compile.
+    """
 
     __slots__ = ("cols",)
 

@@ -14,13 +14,21 @@ from .formula import And, AtomF, Eq, Exists, Falsum, Forall, Formula, Not, Or, V
 
 @dataclass(frozen=True)
 class FormulaStats:
-    """Counts describing one formula."""
+    """Counts describing one formula.
+
+    ``negations`` and ``max_or_width`` feed the static cost model of
+    :mod:`repro.analysis.cost`: each negation lowers to an anti-join or
+    difference, and the widest disjunction bounds the fan-out of the
+    plan's Union nodes.
+    """
 
     nodes: int
     atoms: int
     quantifiers: int
     quantifier_depth: int
     connectives: int
+    negations: int = 0
+    max_or_width: int = 0
 
     @property
     def size(self) -> int:
@@ -37,20 +45,30 @@ def stats(f: Formula) -> FormulaStats:
     if isinstance(f, Not):
         s = stats(f.sub)
         return FormulaStats(s.nodes + 1, s.atoms, s.quantifiers,
-                            s.quantifier_depth, s.connectives + 1)
+                            s.quantifier_depth, s.connectives + 1,
+                            s.negations + 1, s.max_or_width)
     if isinstance(f, (And, Or)):
         subs = [stats(s) for s in f.subs]
+        width = max(
+            (s.max_or_width for s in subs),
+            default=0,
+        )
+        if isinstance(f, Or):
+            width = max(width, len(f.subs))
         return FormulaStats(
             1 + sum(s.nodes for s in subs),
             sum(s.atoms for s in subs),
             sum(s.quantifiers for s in subs),
             max((s.quantifier_depth for s in subs), default=0),
             1 + sum(s.connectives for s in subs),
+            sum(s.negations for s in subs),
+            width,
         )
     if isinstance(f, (Exists, Forall)):
         s = stats(f.sub)
         return FormulaStats(s.nodes + 1, s.atoms, s.quantifiers + len(f.vars),
-                            s.quantifier_depth + len(f.vars), s.connectives)
+                            s.quantifier_depth + len(f.vars), s.connectives,
+                            s.negations, s.max_or_width)
     raise TypeError(f"not a formula: {f!r}")
 
 

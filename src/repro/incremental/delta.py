@@ -43,12 +43,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from ..analysis.verifier import ADOM_NODES
 from ..db.changelog import Changelog
 from ..db.database import Database
 from ..fo.plan import (
-    AdomEq,
-    AdomGuard,
-    AdomProduct,
     AntiJoin,
     Difference,
     Executor,
@@ -210,7 +208,7 @@ class IncrementalPlan:
             relations = frozenset((node.atom.relation,))
         elif kind is Literal:
             pass
-        elif kind in (AdomProduct, AdomGuard, AdomEq):
+        elif kind in ADOM_NODES:
             uses_adom = True
         elif kind in _COMPOSITE:
             for child in node.children():

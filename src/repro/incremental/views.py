@@ -13,7 +13,9 @@ domain, because deletions can *shrink* it: a view whose plan contains
 active-domain operators is recomputed through the escape hatch whenever
 domain membership moves (net of the view's constant pool).  Guarded
 rewritings — the common case — compile without Adom* operators and
-never take that path.
+never take that path.  ``repro analyze`` flags queries that *will*
+take it before any view is built (rule QP104 in
+:mod:`repro.analysis.rules`).
 
 Stats mirror the plan cache: per-manager :meth:`ViewManager.stats` and
 a process-wide :func:`view_stats`, surfaced as the ``views`` section

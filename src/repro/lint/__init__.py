@@ -16,6 +16,7 @@ from .diagnostics import Diagnostic, RuleInfo, Severity
 from .linter import (
     LintError,
     LintResult,
+    dedupe_diagnostics,
     lint_query,
     lint_text,
     require_clean,
@@ -32,6 +33,7 @@ __all__ = [
     "RULES",
     "RuleInfo",
     "Severity",
+    "dedupe_diagnostics",
     "lint_query",
     "lint_text",
     "require_clean",

@@ -104,12 +104,31 @@ def _sort_key(diagnostic: Diagnostic) -> tuple:
     return (start, diagnostic.severity.rank, diagnostic.code)
 
 
+def dedupe_diagnostics(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    """Drop findings identical in ``(code, span, message)``.
+
+    Overlapping rules (and merged QL+QP reports, see
+    :mod:`repro.analysis.report`) can surface the same finding twice;
+    the first occurrence wins, and the result is re-sorted into the
+    stable report order: span start, then severity, then rule code.
+    """
+    seen = set()
+    unique: List[Diagnostic] = []
+    for d in diagnostics:
+        key = (d.code, d.span, d.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(d)
+    return sorted(unique, key=_sort_key)
+
+
 def _finish(
     diagnostics: List[Diagnostic],
     source: Optional[SourceText],
     query: Optional[Query],
 ) -> LintResult:
-    return LintResult(sorted(diagnostics, key=_sort_key), source, query)
+    return LintResult(dedupe_diagnostics(diagnostics), source, query)
 
 
 def lint_text(text: str) -> LintResult:

@@ -35,7 +35,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..db.database import Database
 from ..fo.compile import plan_cache
-from ..fo.plan import AdomEq, AdomGuard, AdomProduct, Plan, _Binary, Project, Select, Union as PlanUnion
+from ..fo.plan import Plan
 from ..obs.config import RunConfig
 from ..obs.trace import NULL_TRACER
 from .partition import shard_database, shard_spec
@@ -106,16 +106,15 @@ def parallel_stats() -> Dict[str, object]:
 
 
 def plan_has_adom(plan: Plan) -> bool:
-    """Does the plan contain any active-domain node?"""
-    if isinstance(plan, (AdomProduct, AdomGuard, AdomEq)):
-        return True
-    if isinstance(plan, _Binary):
-        return plan_has_adom(plan.left) or plan_has_adom(plan.right)
-    if isinstance(plan, (Select, Project)):
-        return plan_has_adom(plan.child)
-    if isinstance(plan, PlanUnion):
-        return any(plan_has_adom(p) for p in plan.parts)
-    return False
+    """Does the plan contain any active-domain node?
+
+    Delegates to the generic ``children()``-based walk of the analysis
+    package, so new operator types are covered automatically (the old
+    per-type recursion here silently missed unknown nodes).
+    """
+    from ..analysis.verifier import plan_uses_adom
+
+    return plan_uses_adom(plan)
 
 
 def resolve_jobs(jobs: Optional[int],

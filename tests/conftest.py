@@ -5,6 +5,12 @@ from __future__ import annotations
 import os
 import random
 
+# Every plan the suites compile runs the PV001-PV013 verifier
+# (repro.analysis.verifier); set before any repro import so the gate
+# is decided once.  Export REPRO_VERIFY_PLANS=0 to measure the
+# unverified baseline.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
+
 import pytest
 from hypothesis import HealthCheck, settings
 

@@ -362,3 +362,40 @@ class TestDiagnosticRendering:
         result = lint_text("P(x | y), not N(z | y)")
         line = diag(result, "QL002").one_line(result.source)
         assert line.startswith("error[QL002] at line 1, column 15:")
+
+
+class TestDedupeAndOrder:
+    def test_identical_diagnostics_collapse(self):
+        from repro.lint import dedupe_diagnostics
+
+        d = Diagnostic("QL001", Severity.ERROR, "boom", span=Span(0, 3))
+        other = Diagnostic("QL001", Severity.ERROR, "boom", span=Span(0, 3))
+        kept = dedupe_diagnostics([d, other, d])
+        assert kept == [d]
+
+    def test_same_code_different_span_or_message_survive(self):
+        from repro.lint import dedupe_diagnostics
+
+        a = Diagnostic("QL007", Severity.WARNING, "unused x", span=Span(0, 1))
+        b = Diagnostic("QL007", Severity.WARNING, "unused x", span=Span(4, 5))
+        c = Diagnostic("QL007", Severity.WARNING, "unused y", span=Span(4, 5))
+        assert dedupe_diagnostics([a, b, c, a, b]) == [a, b, c]
+
+    def test_sorted_by_span_then_severity_then_code(self):
+        from repro.lint import dedupe_diagnostics
+
+        late = Diagnostic("QL001", Severity.ERROR, "late", span=Span(9, 10))
+        early_warn = Diagnostic(
+            "QL007", Severity.WARNING, "warn", span=Span(0, 1)
+        )
+        early_err = Diagnostic(
+            "QL002", Severity.ERROR, "err", span=Span(0, 1)
+        )
+        spanless = Diagnostic("QP101", Severity.INFO, "info")
+        kept = dedupe_diagnostics([spanless, late, early_warn, early_err])
+        assert kept == [early_err, early_warn, late, spanless]
+
+    def test_lint_results_arrive_deduped(self):
+        result = lint_text("P(x | y), not N(z | y)")
+        keys = [(d.code, d.span, d.message) for d in result.diagnostics]
+        assert len(keys) == len(set(keys))
