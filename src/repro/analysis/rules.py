@@ -1,4 +1,4 @@
-"""The performance rules, QP100–QP108.
+"""The performance rules, QP100–QP109.
 
 Where the QL-rules of :mod:`repro.lint.rules` check *admissibility*
 (will the paper's machinery accept this query at all), the QP-rules
@@ -19,6 +19,7 @@ QP105     warning   cartesian product in the compiled plan
 QP106     warning   join order ≥ X times the estimated best order
 QP107     warning   not in FO: certainty runs the brute-force path
 QP108     hint      constants in the query defeat plan-cache reuse
+QP109     warning   plan touches Adom*: columnar decodes to tuples
 ========  ========  =====================================================
 
 Rules are registered with the :func:`qp_rule` decorator into
@@ -386,4 +387,31 @@ def check_plan_cache(
         f"constant value compiles and caches a separate plan",
         fix="for parameter sweeps over many constants, prefer a free "
             "variable plus a post-filter to reuse one compiled plan",
+    )
+
+
+@qp_rule(
+    "QP109",
+    "columnar-decode-fallback",
+    Severity.WARNING,
+    "compiled plan touches the active domain: the columnar backend "
+    "decodes those nodes to tuples",
+    "repro.columnar.executor: Adom* nodes enumerate the active domain, "
+    "which no encoded column carries, so the vectorized executor runs "
+    "them row-at-a-time and re-encodes the result",
+)
+def check_columnar_decode(
+    info: RuleInfo, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    if ctx.plan is None:
+        return
+    if not plan_uses_adom(ctx.plan):
+        return
+    yield info.diagnostic(
+        "compiled plan contains Adom* operators: method=columnar "
+        "evaluates them through the row executor and re-encodes the "
+        "result (decode_fallbacks in the profile), and method=auto "
+        "never routes such plans to the columnar backend",
+        fix="guard every negated atom's variables by positive atoms so "
+            "the compiler never reaches for the active domain",
     )

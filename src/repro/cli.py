@@ -121,6 +121,27 @@ def _not_in_fo_diagnostics(query_text: str, exc: NotInFO) -> str:
     return (f"error[QL004]: no consistent first-order rewriting: {exc}")
 
 
+def _columnar_explain(plan) -> str:
+    """The static vectorized view: one line per operator, annotated with
+    how the columnar backend executes it (batch vs decode fallback)."""
+    from .fo.plan import AdomEq, AdomGuard, AdomProduct
+
+    lines: List[str] = []
+
+    def walk(node, depth: int) -> None:
+        cols = ", ".join(v.name for v in node.cols)
+        if isinstance(node, (AdomProduct, AdomGuard, AdomEq)):
+            mode = "decode-to-tuples fallback (QP109)"
+        else:
+            mode = "batch"
+        lines.append("  " * depth + f"{node.label()}  -> [{cols}]  [{mode}]")
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)
+
+
 def cmd_plan(args: argparse.Namespace) -> int:
     from .fo.compile import compile_formula
     from .fo.plan import plan_nodes
@@ -164,7 +185,10 @@ def cmd_plan(args: argparse.Namespace) -> int:
             return 1
     if not args.analyze:
         print(f"plan: {n_nodes} operators, output columns: {cols}")
-        print(compiled.explain())
+        if args.columnar:
+            print(_columnar_explain(compiled.plan))
+        else:
+            print(compiled.explain())
         return 0
     import json
 
@@ -176,13 +200,41 @@ def cmd_plan(args: argparse.Namespace) -> int:
     else:
         result = compiled.holds(db, profile=profile)
         outcome = f"CERTAINTY = {result}"
+    if not args.columnar:
+        if args.json:
+            print(json.dumps(profile_tree(compiled.plan, profile),
+                             indent=2, sort_keys=True))
+        else:
+            print(f"plan: {n_nodes} operators, output columns: {cols}")
+            print(f"executed on {args.db} ({db.size()} facts): {outcome}")
+            print(render_profile(compiled.plan, profile))
+        return 0
+    # --columnar --analyze: run the vectorized backend alongside the
+    # row-at-a-time one and show both operator profiles (the columnar
+    # side carries the batches / decode_fallbacks counters).
+    from .columnar import columnar_holds, columnar_rows
+
+    col_profile = PlanProfile()
+    if compiled.free:
+        col_result = len(columnar_rows(compiled, db, profile=col_profile))
+    else:
+        col_result = columnar_holds(compiled, db, profile=col_profile)
+    if col_result != result:
+        print(f"error: columnar backend disagrees with the tuple "
+              f"executor: {col_result!r} != {result!r}", file=sys.stderr)
+        return 1
     if args.json:
-        print(json.dumps(profile_tree(compiled.plan, profile),
-                         indent=2, sort_keys=True))
+        print(json.dumps(
+            {"row": profile_tree(compiled.plan, profile),
+             "columnar": profile_tree(compiled.plan, col_profile)},
+            indent=2, sort_keys=True))
     else:
         print(f"plan: {n_nodes} operators, output columns: {cols}")
         print(f"executed on {args.db} ({db.size()} facts): {outcome}")
+        print("row executor:")
         print(render_profile(compiled.plan, profile))
+        print("columnar executor:")
+        print(render_profile(compiled.plan, col_profile))
     return 0
 
 
@@ -529,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--check", action="store_true",
                    help="run the plan-IR verifier (codes PV001-PV013, "
                         "see docs/ANALYSIS.md) on the compiled plan")
+    p.add_argument("--columnar", action="store_true",
+                   help="show the vectorized (batch) operator view; with "
+                        "--analyze, run both executors and print the "
+                        "row-at-a-time and columnar profiles side by side")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("certain", help="answer CERTAINTY(q) on a database")
@@ -563,9 +619,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", required=True, help="database JSON file")
     p.add_argument("--method", default="auto",
                    choices=("auto", "brute", "interpreted", "rewriting",
-                            "compiled", "sql", "parallel"),
+                            "compiled", "sql", "parallel", "columnar"),
                    help="solving strategy (auto: compiled when in FO, "
-                        "else brute)")
+                        "else brute; columnar runs the vectorized batch "
+                        "executor)")
     p.add_argument("--jobs", type=int, default=None, metavar="N",
                    help="worker count for --method parallel (implies it "
                         "when --method is auto)")

@@ -27,6 +27,12 @@ This module implements exactly that reduction, with four strategies:
     (:mod:`repro.parallel`); falls back to ``compiled`` in-process
     whenever sharding cannot help (Boolean query, tiny database,
     ``jobs=1``, ...).
+``columnar``
+    Execute the same compiled plan with the vectorized batch executor
+    (:mod:`repro.columnar`): dictionary-encoded int columns and batch
+    hash joins over fused int keys.  ``auto`` upgrades ``compiled`` to
+    ``columnar`` when :func:`repro.columnar.prefer_columnar` — database
+    size plus the cost model's plan estimate — says batching pays.
 
 The candidate space is enumerated from rows of the positive atoms
 (complete, because a repair is a subset of the database): free
@@ -303,7 +309,17 @@ def certain_answers(
 
     t = tracer if tracer is not None else NULL_TRACER
     if method == "auto":
-        method = "compiled" if open_query.in_fo else "brute"
+        if open_query.in_fo:
+            method = "compiled"
+            from ..columnar import prefer_columnar
+
+            compiled = plan_cache.get_or_compile(
+                _guarded_open_rewriting(open_query), db, open_query.free
+            )
+            if prefer_columnar(compiled, db):
+                method = "columnar"
+        else:
+            method = "brute"
     if jobs is None and config is not None and method == "parallel":
         jobs = config.jobs
     if jobs is not None and method != "parallel":
@@ -365,6 +381,28 @@ def certain_answers(
             t.add_profile(compiled.plan, profile, method=method,
                           phase="execute")
             return rows
+    if method == "columnar":
+        from ..columnar import columnar_rows
+
+        if not t.enabled:
+            formula = _guarded_open_rewriting(open_query)
+            compiled = plan_cache.get_or_compile(formula, db, open_query.free)
+            return columnar_rows(compiled, db)
+        from ..obs.profile import PlanProfile
+
+        with t.span("certain-answers", method=method):
+            with t.span("rewrite-and-compile"):
+                formula = _guarded_open_rewriting(open_query)
+                compiled = plan_cache.get_or_compile(
+                    formula, db, open_query.free
+                )
+            profile = PlanProfile()
+            with t.span("execute") as span:
+                rows = columnar_rows(compiled, db, profile=profile)
+                span.count("rows_out", len(rows))
+            t.add_profile(compiled.plan, profile, method=method,
+                          phase="execute")
+            return rows
     if method == "sql":
         with t.span("certain-answers", method=method):
             return _certain_answers_sql(open_query, db)
@@ -418,8 +456,9 @@ def cross_validate_answers(
     """Answers from every applicable strategy (tests assert agreement).
 
     ``parallel_jobs > 0`` additionally runs the sharded parallel path
-    with that worker count and no size threshold, so even tiny test
-    databases exercise real partitioning and merging.
+    (both backends: tuple and columnar) with that worker count and no
+    size threshold, so even tiny test databases exercise real
+    partitioning and merging.
     """
     out = {"brute": certain_answers(open_query, db, "brute")}
     if open_query.in_fo:
@@ -427,11 +466,16 @@ def cross_validate_answers(
         out["rewriting"] = certain_answers(open_query, db, "rewriting")
         out["compiled"] = certain_answers(open_query, db, "compiled")
         out["sql"] = certain_answers(open_query, db, "sql")
+        out["columnar"] = certain_answers(open_query, db, "columnar")
         if parallel_jobs > 0:
             from ..parallel import parallel_certain_answers
 
             out["parallel"] = parallel_certain_answers(
                 open_query, db, jobs=parallel_jobs, min_facts=0,
                 shard_factor=1,
+            )
+            out["parallel-columnar"] = parallel_certain_answers(
+                open_query, db, jobs=parallel_jobs, min_facts=0,
+                shard_factor=1, backend="columnar",
             )
     return out

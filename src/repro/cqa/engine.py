@@ -23,6 +23,12 @@ Strategies
     (free-variable) form decomposes over shards, so for Boolean
     certainty this method is a documented serial fallback to
     ``compiled`` — counted in :meth:`CertaintyEngine.parallel_stats`.
+``columnar``
+    Run the same compiled plan through the vectorized batch executor
+    (:mod:`repro.columnar`): dictionary-encoded int columns, batch
+    hash joins, selection vectors.  Boolean certainty keeps the row
+    executor's probe-mode short-circuit (a documented delegation,
+    counted in the columnar stats).
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from .is_certain import is_certain
 from .rewriting import NotInFO, consistent_rewriting
 
 METHODS = ("brute", "interpreted", "rewriting", "compiled", "sql",
-           "parallel")
+           "parallel", "columnar")
 
 
 @dataclass
@@ -162,6 +168,25 @@ class CertaintyEngine:
             self._require_fo(method)
             with t.span("certain", method=method):
                 return run_sentence_sql(self.rewriting, db)
+        if method == "columnar":
+            self._require_fo(method)
+            from ..columnar import columnar_holds
+
+            if not t.enabled:
+                return columnar_holds(
+                    plan_cache.get_or_compile(self.rewriting, db), db)
+            from ..obs.profile import PlanProfile
+
+            with t.span("certain", method=method):
+                with t.span("rewrite-and-compile"):
+                    compiled = plan_cache.get_or_compile(self.rewriting, db)
+                profile = PlanProfile()
+                with t.span("probe") as span:
+                    result = columnar_holds(compiled, db, profile=profile)
+                    span.count("holds", int(result))
+                t.add_profile(compiled.plan, profile, method=method,
+                              phase="probe")
+                return result
         if method == "parallel":
             self._require_fo(method)
             return bool(self.certain_answers(db, (), method="parallel",

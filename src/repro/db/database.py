@@ -184,6 +184,16 @@ class Database:
         """A monotone counter bumped on every genuine mutation."""
         return self._clock
 
+    def relation_version(self, relation: str) -> int:
+        """The mutation counter of one relation (0 if never touched).
+
+        Bumped once per genuine mutation batch, like the lazy hash
+        indexes use internally; external caches (the columnar store's
+        encoded columns, for one) tag entries with it to invalidate on
+        updates and ``discard_all`` without polling the fact sets.
+        """
+        return self._versions.get(relation, 0)
+
     @property
     def in_batch(self) -> bool:
         """Is a begin_batch/commit batch currently open?"""

@@ -135,11 +135,18 @@ def _views_source() -> Dict[str, Any]:
     return view_stats()
 
 
+def _columnar_source() -> Dict[str, Any]:
+    from ..columnar import columnar_stats
+
+    return columnar_stats()
+
+
 def _make_default_registry() -> MetricsRegistry:
     registry = MetricsRegistry()
     registry.register("plan_cache", _plan_cache_source)
     registry.register("parallel", _parallel_source)
     registry.register("views", _views_source)
+    registry.register("columnar", _columnar_source)
     return registry
 
 

@@ -38,16 +38,21 @@ __all__ = [
     "trace_payload",
 ]
 
-#: Counter names carried per operator, in rendering order.
+#: Counter names carried per operator, in rendering order.  The last
+#: two are written only by the columnar backend: ``batches`` counts
+#: materializing batch executions, ``decode_fallbacks`` counts Adom*
+#: nodes that had to round-trip through the row executor (QP109).
 COUNTER_NAMES = ("memo_hits", "index_hits", "rows_scanned",
-                 "probe_calls", "probe_memo_hits")
+                 "probe_calls", "probe_memo_hits", "batches",
+                 "decode_fallbacks")
 
 
 class OperatorStats:
     """Accumulated execution facts for one plan node."""
 
     __slots__ = ("calls", "seconds", "rows_out", "memo_hits", "index_hits",
-                 "rows_scanned", "probe_calls", "probe_memo_hits")
+                 "rows_scanned", "probe_calls", "probe_memo_hits",
+                 "batches", "decode_fallbacks")
 
     def __init__(self) -> None:
         self.calls = 0
@@ -58,6 +63,8 @@ class OperatorStats:
         self.rows_scanned = 0
         self.probe_calls = 0
         self.probe_memo_hits = 0
+        self.batches = 0
+        self.decode_fallbacks = 0
 
     def as_dict(self) -> Dict[str, Union[int, float]]:
         return {
@@ -69,6 +76,8 @@ class OperatorStats:
             "rows_scanned": self.rows_scanned,
             "probe_calls": self.probe_calls,
             "probe_memo_hits": self.probe_memo_hits,
+            "batches": self.batches,
+            "decode_fallbacks": self.decode_fallbacks,
         }
 
 
@@ -173,6 +182,8 @@ def profile_tree(plan: Plan, profile: PlanProfile) -> Dict[str, Any]:
         "rows_scanned": stats.rows_scanned,
         "probe_calls": stats.probe_calls,
         "probe_memo_hits": stats.probe_memo_hits,
+        "batches": stats.batches,
+        "decode_fallbacks": stats.decode_fallbacks,
         "children": [profile_tree(child, profile) for child in plan.children()],
     }
 

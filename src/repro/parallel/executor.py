@@ -70,6 +70,7 @@ def reset_parallel_stats() -> None:
     _STATS.update(
         runs=0,
         parallel_runs=0,
+        columnar_runs=0,
         serial_fallbacks=0,
         fallback_reasons={},
         shards=0,
@@ -148,14 +149,15 @@ def _min_facts(min_facts: Optional[int],
 
 
 def _fallback(open_query, db: Database, reason: str,
-              tracer=NULL_TRACER) -> FrozenSet[Tuple]:
+              tracer=NULL_TRACER, backend: str = "tuple") -> FrozenSet[Tuple]:
     from ..cqa.certain_answers import certain_answers
 
     _STATS["serial_fallbacks"] += 1  # type: ignore[operator]
     reasons: Dict[str, int] = _STATS["fallback_reasons"]  # type: ignore[assignment]
     reasons[reason] = reasons.get(reason, 0) + 1
     tracer.event("parallel-fallback", reason=reason)
-    return certain_answers(open_query, db, method="compiled",
+    method = "columnar" if backend == "columnar" else "compiled"
+    return certain_answers(open_query, db, method=method,
                            tracer=tracer if tracer.enabled else None)
 
 
@@ -167,6 +169,7 @@ def parallel_certain_answers(
     shard_factor: Optional[int] = None,
     config: Optional[RunConfig] = None,
     tracer=None,
+    backend: Optional[str] = None,
 ) -> FrozenSet[Tuple]:
     """All certain answers of q(x⃗) on db, computed shard-parallel.
 
@@ -183,10 +186,21 @@ def parallel_certain_answers(
     worker cap; explicit arguments win.  ``tracer`` records partition/
     merge spans, one span per worker group (shards owned, rows
     produced, in-shard execution time), and fallback events.
+
+    ``backend`` selects the per-shard executor: ``"tuple"`` (default;
+    also via ``REPRO_PARALLEL_BACKEND``) runs the row executor,
+    ``"columnar"`` the vectorized one — the parent then primes every
+    shard's columnar store with its own shared value dictionary
+    *before* forking, so workers ship compact int columns instead of
+    pickled tuple sets (see :mod:`repro.parallel.pool`).  Serial
+    fallbacks preserve the backend choice.
     """
     from ..cqa.certain_answers import _guarded_open_rewriting
 
     t = tracer if tracer is not None else NULL_TRACER
+    if backend is None:
+        raw = os.environ.get("REPRO_PARALLEL_BACKEND", "").strip().lower()
+        backend = raw if raw in ("tuple", "columnar") else "tuple"
     if shard_factor is None:
         shard_factor = (config.shard_factor if config is not None
                         and config.shard_factor is not None
@@ -194,20 +208,20 @@ def parallel_certain_answers(
     _STATS["runs"] += 1  # type: ignore[operator]
     n_jobs = resolve_jobs(jobs, config)
     if not open_query.free:
-        return _fallback(open_query, db, "boolean", t)
+        return _fallback(open_query, db, "boolean", t, backend)
     if n_jobs <= 1:
-        return _fallback(open_query, db, "jobs=1", t)
+        return _fallback(open_query, db, "jobs=1", t, backend)
     if db.size() < _min_facts(min_facts, config):
-        return _fallback(open_query, db, "below-min-facts", t)
+        return _fallback(open_query, db, "below-min-facts", t, backend)
     if fork_context() is None:
-        return _fallback(open_query, db, "no-fork", t)
+        return _fallback(open_query, db, "no-fork", t, backend)
     spec = shard_spec(open_query, db)
     if spec is None:
-        return _fallback(open_query, db, "no-shard-variable", t)
+        return _fallback(open_query, db, "no-shard-variable", t, backend)
     formula = _guarded_open_rewriting(open_query)
     compiled = plan_cache.get_or_compile(formula, db, open_query.free)
     if plan_has_adom(compiled.plan):
-        return _fallback(open_query, db, "plan-touches-adom", t)
+        return _fallback(open_query, db, "plan-touches-adom", t, backend)
 
     n_shards = max(2, n_jobs * max(1, shard_factor))
     filter_pos = compiled.free.index(spec.var)
@@ -223,19 +237,35 @@ def parallel_certain_answers(
 
     def factory():
         shards = _shards_cache.get(layout_key)
-        if shards is not None:
-            return shards
-        stale = [k for k in _shards_cache
-                 if k[0] == id(db) and k[1] != db.clock]
-        while stale or len(_shards_cache) >= _SHARDS_CACHE_LIMIT:
-            victim = stale.pop() if stale else next(iter(_shards_cache))
-            del _shards_cache[victim]
-        partitioned["fresh"] = True
-        shards = shard_database(db, spec, n_shards)
-        _shards_cache[layout_key] = shards
+        if shards is None:
+            stale = [k for k in _shards_cache
+                     if k[0] == id(db) and k[1] != db.clock]
+            while stale or len(_shards_cache) >= _SHARDS_CACHE_LIMIT:
+                victim = stale.pop() if stale else next(iter(_shards_cache))
+                del _shards_cache[victim]
+            partitioned["fresh"] = True
+            shards = shard_database(db, spec, n_shards)
+            _shards_cache[layout_key] = shards
+        if backend == "columnar":
+            # Prime every shard's store with the PARENT's dictionary
+            # before the fork (the factory runs inside ``worker_pool``,
+            # pre-fork on every pool miss): workers then inherit codes
+            # for every fact and plan value and never need to assign
+            # their own on the hot path.
+            from ..columnar import columnar_store, prime_plan_values
+
+            parent_store = columnar_store(db)
+            parent_store.prime(db)
+            prime_plan_values(parent_store, compiled.plan,
+                              compiled.constants)
+            for shard in shards:
+                columnar_store(shard, parent_store.dictionary).prime(shard)
         return shards
 
-    cache_key = (db.clock, n_jobs, n_shards, spec)
+    # The backend is part of the pool identity: columnar pools must be
+    # forked after their shards were primed, so a warm tuple pool can
+    # never serve columnar tasks (and vice versa).
+    cache_key = (db.clock, n_jobs, n_shards, spec, backend)
     got = worker_pool(db, cache_key, n_jobs, n_shards, factory)
     if got is None:
         return _fallback(open_query, db, "no-fork", t)
@@ -245,12 +275,20 @@ def parallel_certain_answers(
         _STATS["partition_ms"] += partition_seconds * 1e3  # type: ignore[operator]
         t.record("partition", partition_seconds, shards=n_shards)
 
+    dictionary = None
+    if backend == "columnar":
+        from ..columnar import columnar_store
+
+        dictionary = columnar_store(db).dictionary
     merged, merge_seconds, exec_seconds, worker_infos = run_sharded(
-        pools, compiled.plan, compiled.constants, filter_pos, do_filter
+        pools, compiled.plan, compiled.constants, filter_pos, do_filter,
+        backend=backend, dictionary=dictionary,
     )
     _STATS["merge_ms"] += merge_seconds * 1e3  # type: ignore[operator]
     _STATS["worker_exec_ms"] += exec_seconds * 1e3  # type: ignore[operator]
     _STATS["parallel_runs"] += 1  # type: ignore[operator]
+    if backend == "columnar":
+        _STATS["columnar_runs"] += 1  # type: ignore[operator]
     _STATS["shards"] = n_shards
     _STATS["workers"] = n_jobs
     _STATS["tasks"] += n_jobs  # type: ignore[operator]

@@ -157,7 +157,7 @@ def fake_compiled(plan, free=()):
 
 class TestQPRules:
     def test_catalogue_is_complete(self):
-        assert sorted(QP_RULES) == [f"QP10{i}" for i in range(9)]
+        assert sorted(QP_RULES) == [f"QP10{i}" for i in range(10)]
         for info in QP_RULES.values():
             assert info.summary and info.code.startswith("QP1")
 

@@ -141,12 +141,14 @@ class TestStatsFlag:
                      "--method", "compiled", "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
         assert set(payload) == {"schema_version", "plan_cache", "views",
-                                "parallel"}
+                                "parallel", "columnar"}
         assert {"hits", "misses", "size"} <= set(payload["plan_cache"])
         assert set(payload["views"]) == VIEW_STAT_KEYS
         assert all(isinstance(v, int) for v in payload["views"].values())
         assert {"runs", "serial_fallbacks", "shards",
                 "workers"} <= set(payload["parallel"])
+        assert {"runs", "boolean_probe_delegations", "decode_fallbacks",
+                "auto_routed"} <= set(payload["columnar"])
 
     def test_answers_stats_json_shape(self, capsys, poll_file):
         assert main(["answers", QA, "--free", "p", "--db", poll_file,
@@ -155,7 +157,7 @@ class TestStatsFlag:
         assert "certain answers (p)" in out
         payload = _stats_payload(out)
         assert set(payload) == {"schema_version", "plan_cache", "views",
-                                "parallel"}
+                                "parallel", "columnar"}
 
     def test_without_flag_no_json(self, capsys, poll_file):
         assert main(["certain", QA, "--db", poll_file]) == 0
@@ -209,7 +211,7 @@ class TestWatch:
                      "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
         assert set(payload) == {"schema_version", "plan_cache", "views",
-                                "parallel"}
+                                "parallel", "columnar"}
         assert payload["views"]["commits_seen"] >= 1
 
     def test_bad_op_exits_nonzero(self, capsys, q3_file, tmp_path):
