@@ -1,4 +1,4 @@
-"""The performance rules, QP100–QP109.
+"""The performance rules, QP100–QP111.
 
 Where the QL-rules of :mod:`repro.lint.rules` check *admissibility*
 (will the paper's machinery accept this query at all), the QP-rules
@@ -20,6 +20,8 @@ QP106     warning   join order ≥ X times the estimated best order
 QP107     warning   not in FO: certainty runs the brute-force path
 QP108     hint      constants in the query defeat plan-cache reuse
 QP109     warning   plan touches Adom*: columnar decodes to tuples
+QP110     warning   plan touches Adom*: SQL pushdown refuses the plan
+QP111     warning   WAL grew past the checkpoint threshold uncompacted
 ========  ========  =====================================================
 
 Rules are registered with the :func:`qp_rule` decorator into
@@ -414,4 +416,73 @@ def check_columnar_decode(
         "never routes such plans to the columnar backend",
         fix="guard every negated atom's variables by positive atoms so "
             "the compiler never reaches for the active domain",
+    )
+
+
+# ----------------------------------------------------------------------
+# durable-store findings (only fire with a persistent --db-path)
+# ----------------------------------------------------------------------
+
+
+@qp_rule(
+    "QP110",
+    "sql-pushdown-adom-fallback",
+    Severity.WARNING,
+    "mirror-backed store would route this query to SQL pushdown, but "
+    "Adom* operators in the plan force the in-memory path",
+    "repro.storage.pushdown: the SQL form re-derives the active domain "
+    "per query, so prefer_sql refuses Adom* plans",
+)
+def check_sql_pushdown_adom(
+    info: RuleInfo, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    from ..storage.pushdown import mirror_capable, sql_min_facts
+
+    if ctx.plan is None or ctx.db is None or not mirror_capable(ctx.db):
+        return
+    if not plan_uses_adom(ctx.plan):
+        return
+    if ctx.db.size() < sql_min_facts():
+        return
+    yield info.diagnostic(
+        f"store holds {ctx.db.size():,} facts (>= REPRO_SQL_MIN_FACTS "
+        f"= {sql_min_facts():,}) but the compiled plan contains Adom* "
+        f"operators: method=auto falls back to the in-memory executors "
+        f"instead of the sqlite mirror (fallback_adom in the storage "
+        f"metrics)",
+        fix="guard every negated atom's variables by positive atoms so "
+            "the compiler never reaches for the active domain",
+    )
+
+
+@qp_rule(
+    "QP111",
+    "wal-compaction-overdue",
+    Severity.WARNING,
+    "the store's WAL grew past the checkpoint threshold without a "
+    "compacting checkpoint",
+    "repro.storage.store: recovery replays the whole WAL tail, so "
+    "replay time grows linearly until a checkpoint prunes it",
+)
+def check_wal_compaction(
+    info: RuleInfo, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    from ..storage.pushdown import mirror_capable
+    from ..storage.store import checkpoint_threshold_bytes
+
+    if ctx.db is None or not mirror_capable(ctx.db):
+        return
+    status = ctx.db.storage_status()  # type: ignore[attr-defined]
+    threshold = checkpoint_threshold_bytes()
+    wal_bytes = int(status["wal_bytes"])
+    if wal_bytes < threshold:
+        return
+    yield info.diagnostic(
+        f"WAL holds {wal_bytes:,} bytes across "
+        f"{status['wal_segments']} segment(s), past the "
+        f"REPRO_WAL_CHECKPOINT_BYTES threshold ({threshold:,}): every "
+        f"recovery replays this tail in full",
+        fix="run `repro db checkpoint <path>` to compact, or set "
+            "REPRO_WAL_AUTOCHECKPOINT_BYTES to checkpoint automatically "
+            "on commit",
     )

@@ -56,6 +56,38 @@ def _parse_query_arg(text: str):
         raise SystemExit(f"error: cannot parse query: {exc}")
 
 
+def _load_db(args: argparse.Namespace, required: bool = True):
+    """The database a query command runs on.
+
+    ``--db`` loads a JSON snapshot into memory (the historical path);
+    ``--db-path`` opens a durable store (:mod:`repro.storage`) whose
+    facts, registered views, and sqlite mirror survive between
+    invocations.  The caller must pass the result to :func:`_close_db`.
+    """
+    db_path = getattr(args, "db_path", None)
+    db_file = getattr(args, "db", None)
+    if db_path and db_file:
+        raise SystemExit("error: --db and --db-path are mutually exclusive")
+    if db_path:
+        from .storage import StorageError, open_database
+
+        try:
+            return open_database(db_path)
+        except StorageError as exc:
+            raise SystemExit(f"error: {exc}")
+    if db_file:
+        return load_database_file(db_file)
+    if required:
+        raise SystemExit("error: one of --db or --db-path is required")
+    return None
+
+
+def _close_db(db) -> None:
+    close = getattr(db, "close", None)
+    if close is not None:
+        close()
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     query = _parse_query_arg(args.query)
     result = classify(query)
@@ -299,20 +331,23 @@ def cmd_certain(args: argparse.Namespace) -> int:
     method = _method_with_jobs(args)
     config = _run_tracing(args)
     tracer = config.make_tracer()
-    db = load_database_file(args.db)
-    engine = CertaintyEngine(query)
-    answer = engine.certain(
-        db, method, jobs=args.jobs if method == "parallel" else None,
-        tracer=tracer, config=config,
-    )
-    if args.json:
-        payload = trace_payload(args.query, method, tracer, answer=answer)
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        print(f"CERTAINTY = {answer}   (method: {method}, "
-              f"{db.size()} facts, {db.repair_count()} repairs)")
-        if tracer is not None:
-            _print_trace(tracer)
+    db = _load_db(args)
+    try:
+        engine = CertaintyEngine(query)
+        answer = engine.certain(
+            db, method, jobs=args.jobs if method == "parallel" else None,
+            tracer=tracer, config=config,
+        )
+        if args.json:
+            payload = trace_payload(args.query, method, tracer, answer=answer)
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"CERTAINTY = {answer}   (method: {method}, "
+                  f"{db.size()} facts, {db.repair_count()} repairs)")
+            if tracer is not None:
+                _print_trace(tracer)
+    finally:
+        _close_db(db)
     _flush_trace(tracer, config)
     if args.stats:
         _print_stats()
@@ -328,28 +363,31 @@ def cmd_answers(args: argparse.Namespace) -> int:
     tracer = config.make_tracer()
     free = [Variable(name.strip()) for name in args.free.split(",") if name.strip()]
     open_query = OpenQuery(query, free)
-    db = load_database_file(args.db)
-    if args.show_sql and not args.json:
-        print(certain_answers_sql_query(open_query, db))
-        print()
-    answers = certain_answers(
-        open_query, db, method,
-        jobs=args.jobs if method == "parallel" else None,
-        tracer=tracer, config=config,
-    )
-    if args.json:
-        payload = trace_payload(
-            args.query, method, tracer,
-            free=[v.name for v in free], answers=len(answers),
+    db = _load_db(args)
+    try:
+        if args.show_sql and not args.json:
+            print(certain_answers_sql_query(open_query, db))
+            print()
+        answers = certain_answers(
+            open_query, db, method,
+            jobs=args.jobs if method == "parallel" else None,
+            tracer=tracer, config=config,
         )
-        print(json.dumps(payload, indent=2, sort_keys=True))
-    else:
-        names = ", ".join(v.name for v in free)
-        print(f"certain answers ({names}): {len(answers)}")
-        for row in sorted(answers, key=repr):
-            print("  " + ", ".join(repr(v) for v in row))
-        if tracer is not None:
-            _print_trace(tracer)
+        if args.json:
+            payload = trace_payload(
+                args.query, method, tracer,
+                free=[v.name for v in free], answers=len(answers),
+            )
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            names = ", ".join(v.name for v in free)
+            print(f"certain answers ({names}): {len(answers)}")
+            for row in sorted(answers, key=repr):
+                print("  " + ", ".join(repr(v) for v in row))
+            if tracer is not None:
+                _print_trace(tracer)
+    finally:
+        _close_db(db)
     _flush_trace(tracer, config)
     if args.stats:
         _print_stats()
@@ -387,7 +425,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     query = _parse_query_arg(args.query)
     config = RunConfig.from_env(trace_file=args.trace_out)
     tracer = config.make_tracer()
-    db = load_database_file(args.db)
+    db = _load_db(args)
     free = [Variable(n.strip()) for n in args.free.split(",") if n.strip()]
     manager = view_manager(db, tracer=tracer)
     view = manager.register_view(query, free)
@@ -447,6 +485,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
             stream.close()
         if db.in_batch:
             db.commit()
+        # A --db-path store is closed here; committed batches are
+        # already durable, and the final summary only reads memory.
+        _close_db(db)
     if free:
         print(f"final: {len(view.answers)} certain answers at v{db.clock} "
               f"({commits} update batches)")
@@ -474,14 +515,17 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     free = tuple(
         Variable(n.strip()) for n in args.free.split(",") if n.strip()
     )
-    db = load_database_file(args.db) if args.db else None
-    report = analyze_text(args.query, free=free, db=db, tracer=tracer)
-    if args.format == "json":
-        print(report.to_json())
-    elif args.format == "github":
-        print(report.render_github())
-    else:
-        print(report.render_text())
+    db = _load_db(args, required=False)
+    try:
+        report = analyze_text(args.query, free=free, db=db, tracer=tracer)
+        if args.format == "json":
+            print(report.to_json())
+        elif args.format == "github":
+            print(report.render_github())
+        else:
+            print(report.render_text())
+    finally:
+        _close_db(db) if db is not None else None
     _flush_trace(tracer, config)
     return 1 if report.errors else 0
 
@@ -532,6 +576,110 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text)
     return 0
+
+
+def cmd_db_init(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .storage import PersistentDatabase, StorageError
+
+    directory = pathlib.Path(args.path)
+    if directory.is_dir() and (list(directory.glob("snapshot-*.snap"))
+                               or list(directory.glob("wal-*.log"))):
+        raise SystemExit(f"error: {directory} is already a store")
+    try:
+        store = PersistentDatabase(directory)
+    except StorageError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        if args.from_json:
+            seed = load_database_file(args.from_json)
+            for schema in seed.schemas.values():
+                store.add_relation(schema)
+            with store.batch():
+                for name in seed.relations():
+                    store.add_all(name, seed.facts(name))
+            store.checkpoint()
+            print(f"seeded {store.size()} facts from {args.from_json}")
+        status = store.storage_status()
+    finally:
+        store.close()
+    print(f"initialized store at {status['path']} "
+          f"(clock {status['clock']}, {status['facts']} facts)")
+    return 0
+
+
+def cmd_db_open(args: argparse.Namespace) -> int:
+    from .storage import StorageError, open_database
+
+    try:
+        store = open_database(args.path)
+    except StorageError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        recovery = dict(store.last_recovery)
+        status = store.storage_status()
+    finally:
+        store.close()
+    print(f"store:          {status['path']}")
+    print(f"clock:          {status['clock']}")
+    print(f"snapshot clock: {status['snapshot_clock']}")
+    print(f"wal:            {status['wal_records']} records, "
+          f"{status['wal_bytes']} bytes, {status['wal_segments']} segment(s)")
+    print(f"facts:          {status['facts']} in {status['relations']} "
+          f"relation(s), {status['views']} view(s)")
+    print(f"recovery:       replayed {recovery['replayed_records']} "
+          f"record(s) over snapshot clock {recovery['snapshot_clock']} "
+          f"in {recovery['replay_ms']:.2f} ms")
+    return 0
+
+
+def cmd_db_checkpoint(args: argparse.Namespace) -> int:
+    from .storage import StorageError, open_database
+
+    try:
+        store = open_database(args.path)
+    except StorageError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        size = store.checkpoint()
+        status = store.storage_status()
+    finally:
+        store.close()
+    print(f"checkpoint: snapshot-{status['snapshot_clock']:016d}.snap "
+          f"({size} bytes), WAL pruned to {status['wal_bytes']} bytes")
+    return 0
+
+
+def cmd_db_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .storage import verify_store
+
+    report = verify_store(args.path, integrity=args.integrity_check)
+    if args.json:
+        print(_json.dumps(report, indent=2, default=str))
+        return 0 if report["ok"] else 1
+    print(f"store: {report['path']}")
+    for snap in report["snapshots"]:
+        state = (f"ok, clock {snap['clock']}, {snap['facts']} facts"
+                 if snap["ok"] else f"CORRUPT: {snap['error']}")
+        print(f"  snapshot {snap['file']}: {state}")
+    for seg in report["segments"]:
+        damage = f", damage: {seg['damage']}" if seg["damage"] else ""
+        print(f"  segment  {seg['file']}: {seg['records']} record(s)"
+              f"{damage}")
+    if "integrity" in report:
+        audit = report["integrity"]
+        print(f"  integrity: clock {audit['recovered_clock']}, "
+              f"{audit['facts']} facts, "
+              f"{audit['key_violating_blocks']} key-violating block(s)"
+              + (f", {audit['repairs']} repair(s)"
+                 if audit["repairs"] is not None else ""))
+    for error in report["errors"]:
+        print(f"  error: {error}")
+    print("verdict: " + ("ok" if report["ok"] else "CORRUPT"))
+    return 0 if report["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -589,7 +737,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("certain", help="answer CERTAINTY(q) on a database")
     p.add_argument("query")
-    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--db", default=None, help="database JSON file")
+    p.add_argument("--db-path", default=None, metavar="DIR",
+                   help="durable store directory (repro db init); "
+                        "mutually exclusive with --db")
     p.add_argument("--method", default="auto",
                    choices=("auto",) + METHODS,
                    help="solving strategy (auto: compiled when in FO, "
@@ -616,7 +767,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query")
     p.add_argument("--free", required=True,
                    help="comma-separated free variable names")
-    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--db", default=None, help="database JSON file")
+    p.add_argument("--db-path", default=None, metavar="DIR",
+                   help="durable store directory (repro db init); "
+                        "mutually exclusive with --db")
     p.add_argument("--method", default="auto",
                    choices=("auto", "brute", "interpreted", "rewriting",
                             "compiled", "sql", "parallel", "columnar"),
@@ -645,8 +799,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="maintain a query's certain answers under a "
                             "fact stream and print answer-set diffs")
     p.add_argument("query")
-    p.add_argument("--db", required=True,
+    p.add_argument("--db", default=None,
                    help="database JSON file with the initial facts")
+    p.add_argument("--db-path", default=None, metavar="DIR",
+                   help="durable store directory: the stream's committed "
+                        "batches are WAL-logged and survive the process; "
+                        "mutually exclusive with --db")
     p.add_argument("--free", default="",
                    help="comma-separated free variable names "
                         "(empty: watch Boolean certainty)")
@@ -678,6 +836,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", default=None,
                    help="database JSON file: use its real cardinalities "
                         "in the cost model (default: textbook estimates)")
+    p.add_argument("--db-path", default=None, metavar="DIR",
+                   help="durable store directory to analyze against "
+                        "(enables the storage rules QP110/QP111); "
+                        "mutually exclusive with --db")
     p.add_argument("--format", default="text",
                    choices=("text", "json", "github"),
                    help="report format; json is pinned by "
@@ -709,6 +871,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="run all experiments (E1-E14)")
     p.add_argument("-o", "--output", help="write to file instead of stdout")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("db",
+                       help="manage durable stores (WAL + snapshots, "
+                            "see docs/STORAGE.md)")
+    dbsub = p.add_subparsers(dest="db_command", required=True)
+
+    q = dbsub.add_parser("init", help="create a new store directory")
+    q.add_argument("path")
+    q.add_argument("--from", dest="from_json", default=None, metavar="JSON",
+                   help="seed the store from a database JSON file and "
+                        "checkpoint immediately")
+    q.set_defaults(func=cmd_db_init)
+
+    q = dbsub.add_parser("open",
+                         help="recover a store and print its vitals")
+    q.add_argument("path")
+    q.set_defaults(func=cmd_db_open)
+
+    q = dbsub.add_parser("checkpoint",
+                         help="compact the WAL into a fresh snapshot")
+    q.add_argument("path")
+    q.set_defaults(func=cmd_db_checkpoint)
+
+    q = dbsub.add_parser("verify",
+                         help="offline CRC sweep of snapshots and WAL "
+                              "segments; exit 1 on unrecoverable damage")
+    q.add_argument("path")
+    q.add_argument("--integrity-check", action="store_true",
+                   help="also replay the consistent prefix in memory and "
+                        "audit schemas and primary keys")
+    q.add_argument("--json", action="store_true",
+                   help="emit the verification report as JSON")
+    q.set_defaults(func=cmd_db_verify)
 
     return parser
 

@@ -32,7 +32,11 @@ This module implements exactly that reduction, with four strategies:
     (:mod:`repro.columnar`): dictionary-encoded int columns and batch
     hash joins over fused int keys.  ``auto`` upgrades ``compiled`` to
     ``columnar`` when :func:`repro.columnar.prefer_columnar` — database
-    size plus the cost model's plan estimate — says batching pays.
+    size plus the cost model's plan estimate — says batching pays, and
+    to ``sql`` first when :func:`repro.storage.pushdown.prefer_sql`
+    says a persistent store's sqlite mirror should take the query
+    (mirror-backed database, Adom*-free plan, ``REPRO_SQL_MIN_FACTS``
+    reached).
 
 The candidate space is enumerated from rows of the positive atoms
 (complete, because a repair is a subset of the database): free
@@ -312,11 +316,14 @@ def certain_answers(
         if open_query.in_fo:
             method = "compiled"
             from ..columnar import prefer_columnar
+            from ..storage.pushdown import prefer_sql
 
             compiled = plan_cache.get_or_compile(
                 _guarded_open_rewriting(open_query), db, open_query.free
             )
-            if prefer_columnar(compiled, db):
+            if prefer_sql(compiled, db):
+                method = "sql"
+            elif prefer_columnar(compiled, db):
                 method = "columnar"
         else:
             method = "brute"
@@ -404,8 +411,11 @@ def certain_answers(
                           phase="execute")
             return rows
     if method == "sql":
+        from ..storage.pushdown import mirror_connection
+
         with t.span("certain-answers", method=method):
-            return _certain_answers_sql(open_query, db)
+            return _certain_answers_sql(open_query, db,
+                                        conn=mirror_connection(db))
     raise ValueError(f"unknown method {method!r}")
 
 
@@ -435,8 +445,14 @@ def certain_answers_sql_query(open_query: OpenQuery, db: Database) -> str:
     )
 
 
-def _certain_answers_sql(open_query: OpenQuery, db: Database) -> FrozenSet[Tuple]:
-    conn = load_database(db)
+def _certain_answers_sql(
+    open_query: OpenQuery, db: Database, conn=None
+) -> FrozenSet[Tuple]:
+    """Run the single-SELECT form, on ``conn`` when a persistent
+    store's mirror supplies one (kept open), else on a freshly loaded
+    in-memory connection (closed afterwards)."""
+    own_conn = conn is None
+    conn = load_database(db) if conn is None else conn
     try:
         formula = open_rewriting(open_query)
         needed = schemas_of(formula)
@@ -447,7 +463,8 @@ def _certain_answers_sql(open_query: OpenQuery, db: Database) -> FrozenSet[Tuple
         rows = conn.execute(sql).fetchall()
         return frozenset(tuple(decode_value(v) for v in row) for row in rows)
     finally:
-        conn.close()
+        if own_conn:
+            conn.close()
 
 
 def cross_validate_answers(

@@ -16,7 +16,10 @@ Strategies
     (:mod:`repro.fo.compile`), cached in the process-wide plan cache;
     the default fast path for queries in FO.
 ``sql``
-    Compile the rewriting to a single SQL query, run it on sqlite.
+    Compile the rewriting to a single SQL query, run it on sqlite —
+    against the delta-maintained mirror of a persistent store
+    (:mod:`repro.storage.pushdown`), or by loading a plain in-memory
+    database into a fresh connection.
 ``parallel``
     Shard the database block-by-block and run the compiled plan in a
     forked worker pool (:mod:`repro.parallel`).  Only the open
@@ -116,7 +119,10 @@ class CertaintyEngine:
         """Is q true in every repair of db?
 
         ``method="auto"`` uses the compiled plan when the query is in FO
-        and falls back to brute force otherwise.  ``method="parallel"``
+        and falls back to brute force otherwise; on a mirror-backed
+        persistent store holding at least ``REPRO_SQL_MIN_FACTS`` facts
+        (and an Adom*-free plan) it pushes down to SQL instead
+        (:func:`repro.storage.pushdown.prefer_sql`).  ``method="parallel"``
         accepts a ``jobs`` knob for symmetry with
         :meth:`certain_answers`, but Boolean certainty does not
         decompose over shards (see ``docs/PERFORMANCE.md``), so it runs
@@ -136,7 +142,15 @@ class CertaintyEngine:
                 f"jobs= only applies to method='parallel', not {method!r}"
             )
         if method == "auto":
-            method = "compiled" if self.in_fo else "brute"
+            if self.in_fo:
+                method = "compiled"
+                from ..storage.pushdown import prefer_sql
+
+                compiled = plan_cache.get_or_compile(self.rewriting, db)
+                if prefer_sql(compiled, db):
+                    method = "sql"
+            else:
+                method = "brute"
         if method == "brute":
             with t.span("certain", method=method):
                 return is_certain_brute_force(self.query, db)
@@ -166,8 +180,14 @@ class CertaintyEngine:
                 return result
         if method == "sql":
             self._require_fo(method)
+            from ..storage.pushdown import mirror_connection
+
             with t.span("certain", method=method):
-                return run_sentence_sql(self.rewriting, db)
+                # A persistent store supplies its delta-maintained
+                # sqlite mirror (no per-query load); a plain in-memory
+                # database keeps the legacy load-and-run path.
+                return run_sentence_sql(self.rewriting, db,
+                                        conn=mirror_connection(db))
         if method == "columnar":
             self._require_fo(method)
             from ..columnar import columnar_holds

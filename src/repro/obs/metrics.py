@@ -141,12 +141,19 @@ def _columnar_source() -> Dict[str, Any]:
     return columnar_stats()
 
 
+def _storage_source() -> Dict[str, Any]:
+    from ..storage import storage_stats
+
+    return storage_stats()
+
+
 def _make_default_registry() -> MetricsRegistry:
     registry = MetricsRegistry()
     registry.register("plan_cache", _plan_cache_source)
     registry.register("parallel", _parallel_source)
     registry.register("views", _views_source)
     registry.register("columnar", _columnar_source)
+    registry.register("storage", _storage_source)
     return registry
 
 

@@ -1,0 +1,297 @@
+"""Crash-injection chaos harness for the durable store.
+
+The durability claim under test (ISSUE 8): **kill -9 during a committed
+batch never loses it and never exposes a partial one.**  The harness
+makes that claim falsifiable the way the lab-transactions ledger
+scripts do — by actually killing processes — but deterministically:
+
+1. The *worker* (``python -m repro.storage.chaos worker <dir> <seed>
+   <ops>``) opens a :class:`~repro.storage.store.PersistentDatabase`
+   and runs a pseudo-random update stream derived from ``seed`` (adds,
+   discards, batches, ``discard_all`` sweeps, checkpoints).  After
+   every committed changelog it prints ``ACK <lsn>`` — *after*
+   :meth:`WalWriter.append` returned, i.e. after the fsync — so every
+   acknowledged LSN is a durability promise.
+2. The parent arms ``REPRO_WAL_CRASH_AT=<n>`` (the write that would
+   exceed an *n*-byte budget is cut at the byte boundary, flushed, and
+   the process ``os._exit``\\ s) or ``REPRO_SNAPSHOT_CRASH_AT`` (die
+   mid-snapshot, before or after the atomic rename), so each trial
+   tears the store at one precise, randomized byte.
+3. Recovery is then checked against an *oracle*: the same seeded
+   stream applied to a plain in-memory :class:`Database` whose
+   changelog listener records a sha256 state digest at every clock
+   value.  The recovered store must sit at some clock of that history
+   — at least the highest acknowledged LSN — with a byte-identical
+   digest.  Any lost committed batch, partially applied batch, or
+   replayed garbage changes the digest and fails the trial.
+
+``run_chaos`` drives N trials (fresh store directory each) and returns
+a summary dict; ``tests/test_storage_chaos.py`` runs a quick slice,
+the CI ``storage-durability`` job runs the full 200+.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import random
+import subprocess
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.atoms import RelationSchema
+from ..db.database import Database
+
+__all__ = ["build_ops", "apply_ops", "state_digest", "expected_digests",
+           "run_trial", "run_chaos", "ChaosFailure"]
+
+#: The worker's schema: small key domains force key conflicts, so the
+#: stream exercises genuinely inconsistent (multi-repair) states.
+RELATIONS: Tuple[Tuple[str, int, int], ...] = (
+    ("R", 2, 1), ("S", 2, 1), ("T", 1, 1),
+)
+
+
+class ChaosFailure(AssertionError):
+    """A durability violation found by the harness."""
+
+
+def build_ops(seed: int, n: int) -> List[Tuple]:
+    """The deterministic update stream for ``seed`` (shared by the
+    worker and the oracle)."""
+    rng = random.Random(seed)
+    names = [name for name, _, _ in RELATIONS]
+
+    def row(arity: int) -> Tuple:
+        return tuple(
+            rng.randrange(8) if i == 0 else rng.randrange(20)
+            for i in range(arity)
+        )
+
+    def pick() -> Tuple[str, int]:
+        name, arity, _ = RELATIONS[rng.randrange(len(names))]
+        return name, arity
+
+    ops: List[Tuple] = []
+    for _ in range(n):
+        r = rng.random()
+        name, arity = pick()
+        if r < 0.50:
+            ops.append(("add", name, row(arity)))
+        elif r < 0.68:
+            ops.append(("discard", name, row(arity)))
+        elif r < 0.86:
+            steps = [
+                (("add" if rng.random() < 0.7 else "discard"),
+                 *((lambda nm, ar: (nm, row(ar)))(*pick())))
+                for _ in range(rng.randrange(2, 7))
+            ]
+            ops.append(("batch", steps))
+        elif r < 0.96:
+            ops.append(("discard_all", name,
+                        [row(arity) for _ in range(rng.randrange(1, 5))]))
+        else:
+            ops.append(("checkpoint",))
+    return ops
+
+
+def apply_ops(db: Database, ops: List[Tuple],
+              ack: Optional[Callable[[int], None]] = None) -> None:
+    """Run the stream on any Database; checkpoints only where supported.
+
+    ``ack`` fires once per *published changelog* (a batch whose
+    mutations cancel out bumps the clock but emits none — there is
+    nothing durable to acknowledge for it).  On a persistent store the
+    ack listener sits after the WAL listener in subscription order, so
+    by the time it fires the batch's record is already fsynced.
+    """
+    for name, arity, key in RELATIONS:
+        if name not in db.schemas:
+            db.add_relation(RelationSchema(name, arity, key))
+    listener: Optional[Callable] = None
+    if ack is not None:
+        def listener(log):  # noqa: F811 - deliberate rebind
+            ack(log.version)
+        db.subscribe(listener)
+    try:
+        for op in ops:
+            if op[0] == "add":
+                db.add(op[1], op[2])
+            elif op[0] == "discard":
+                db.discard(op[1], op[2])
+            elif op[0] == "discard_all":
+                db.discard_all(op[1], op[2])
+            elif op[0] == "batch":
+                with db.batch():
+                    for kind, name, row in op[1]:
+                        (db.add if kind == "add" else db.discard)(name, row)
+            elif op[0] == "checkpoint":
+                checkpoint = getattr(db, "checkpoint", None)
+                if checkpoint is not None:
+                    checkpoint()
+    finally:
+        if listener is not None:
+            db.unsubscribe(listener)
+
+
+def state_digest(db: Database) -> str:
+    """sha256 over the sorted facts of every non-empty relation.
+
+    Relations without facts are excluded so the digest depends only on
+    *data*, not on which schema registrations a crash let through.
+    """
+    h = hashlib.sha256()
+    for name in sorted(db.schemas):
+        rows = db.facts(name)
+        if not rows:
+            continue
+        h.update(name.encode())
+        for row in sorted(rows, key=repr):
+            h.update(repr(row).encode())
+    return h.hexdigest()
+
+
+def expected_digests(seed: int, n: int) -> Dict[int, str]:
+    """The oracle: clock -> state digest over the whole seeded history.
+
+    Digests are recorded at every published changelog *and* after every
+    op: a cancelled batch advances the clock without a changelog, and a
+    checkpoint taken right after one persists that clock — recovery
+    must still land on a digest-identical state.
+    """
+    db = Database()
+    digests: Dict[int, str] = {}
+    db.subscribe(lambda log: digests.__setitem__(log.version,
+                                                 state_digest(db)))
+    digests[0] = state_digest(db)
+    for op in build_ops(seed, n):
+        apply_ops(db, [op])
+        digests[db.clock] = state_digest(db)
+    return digests
+
+
+# ----------------------------------------------------------------------
+# driving
+# ----------------------------------------------------------------------
+
+
+def _worker_main(argv: List[str]) -> None:
+    from .store import PersistentDatabase
+
+    directory, seed, n = argv[0], int(argv[1]), int(argv[2])
+    db = PersistentDatabase(directory)
+    print(f"CLOCK {db.clock}", flush=True)
+    apply_ops(db, build_ops(seed, n),
+              ack=lambda lsn: print(f"ACK {lsn}", flush=True))
+    print(f"DONE {db.clock} {state_digest(db)}", flush=True)
+    db.close()
+
+
+def _worker_env(crash_env: Dict[str, str]) -> Dict[str, str]:
+    env = dict(os.environ)
+    env.pop("REPRO_WAL_CRASH_AT", None)
+    env.pop("REPRO_SNAPSHOT_CRASH_AT", None)
+    src = str(pathlib.Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    env.update(crash_env)
+    return env
+
+
+def run_trial(store: pathlib.Path, seed: int, ops: int,
+              crash_env: Dict[str, str],
+              oracle: Optional[Dict[int, str]] = None) -> Dict[str, object]:
+    """One kill-and-recover round on a fresh store directory.
+
+    Returns trial facts (crashed?, acked LSNs, recovered clock);
+    raises :class:`ChaosFailure` on any durability violation.
+    """
+    from .store import PersistentDatabase
+    from .wal import CRASH_EXIT_CODE
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.storage.chaos", "worker",
+         str(store), str(seed), str(ops)],
+        capture_output=True, text=True, env=_worker_env(crash_env),
+        timeout=120,
+    )
+    if proc.returncode not in (0, CRASH_EXIT_CODE):
+        raise ChaosFailure(
+            f"worker died unexpectedly (rc={proc.returncode}):\n"
+            f"{proc.stderr[-2000:]}")
+    acked = [int(line.split()[1]) for line in proc.stdout.splitlines()
+             if line.startswith("ACK ")]
+    crashed = proc.returncode == CRASH_EXIT_CODE
+    if oracle is None:
+        oracle = expected_digests(seed, ops)
+    db = PersistentDatabase(store)
+    try:
+        recovered = db.clock
+        digest = state_digest(db)
+    finally:
+        db.close()
+    max_ack = max(acked, default=0)
+    if recovered < max_ack:
+        raise ChaosFailure(
+            f"lost a committed batch: acked LSN {max_ack}, recovered "
+            f"clock {recovered} (crash_env={crash_env})")
+    if recovered not in oracle:
+        raise ChaosFailure(
+            f"recovered clock {recovered} is not a state of the seeded "
+            f"history (crash_env={crash_env})")
+    if digest != oracle[recovered]:
+        raise ChaosFailure(
+            f"state at recovered clock {recovered} diverges from the "
+            f"oracle digest (partial batch visible? crash_env="
+            f"{crash_env})")
+    return {"crashed": crashed, "acked": len(acked),
+            "max_ack": max_ack, "recovered_clock": recovered}
+
+
+def run_chaos(base_dir: pathlib.Path, trials: int = 200, seed: int = 0,
+              ops: int = 120,
+              progress: Optional[Callable[[int, Dict], None]] = None
+              ) -> Dict[str, object]:
+    """``trials`` randomized kill-9 rounds; returns a summary dict.
+
+    Roughly 75% of trials tear the WAL at a random byte budget
+    (mid-commit), the rest crash inside a checkpoint (mid-``.tmp``,
+    before or after the atomic rename).  Each trial seeds its own
+    stream, so crash points land everywhere in the history.
+    """
+    rng = random.Random(seed)
+    base_dir = pathlib.Path(base_dir)
+    summary = {"trials": 0, "crashes": 0, "clean_exits": 0,
+               "wal_trials": 0, "snapshot_trials": 0, "acked_total": 0}
+    oracles: Dict[int, Dict[int, str]] = {}
+    for i in range(trials):
+        stream_seed = rng.randrange(64)
+        if stream_seed not in oracles:
+            oracles[stream_seed] = expected_digests(stream_seed, ops)
+        if rng.random() < 0.75:
+            crash_env = {"REPRO_WAL_CRASH_AT": str(rng.randrange(16, 6000))}
+            summary["wal_trials"] += 1
+        else:
+            mode = rng.choice(["before-rename", "after-rename",
+                               str(rng.randrange(8, 2000))])
+            crash_env = {"REPRO_SNAPSHOT_CRASH_AT": mode}
+            summary["snapshot_trials"] += 1
+        result = run_trial(base_dir / f"trial-{i:04d}", stream_seed, ops,
+                           crash_env, oracle=oracles[stream_seed])
+        summary["trials"] += 1
+        summary["crashes" if result["crashed"] else "clean_exits"] += 1
+        summary["acked_total"] += result["acked"]
+        if progress is not None:
+            progress(i, result)
+    return summary
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    if len(sys.argv) >= 2 and sys.argv[1] == "worker":
+        _worker_main(sys.argv[2:])
+    else:
+        print("usage: python -m repro.storage.chaos worker <dir> <seed> <n>",
+              file=sys.stderr)
+        sys.exit(2)

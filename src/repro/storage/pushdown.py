@@ -1,0 +1,221 @@
+"""SQL pushdown: certain answers as one query over a persistent mirror.
+
+The paper's practicality claim — a consistent first-order rewriting is
+a single SQL query over the *inconsistent* database — already runs via
+``method="sql"`` (:mod:`repro.db.sqlite_backend`), but that path loads
+the whole fact store into a fresh in-memory sqlite connection per call,
+which is exactly the copy a disk-resident store exists to avoid.  This
+module keeps a **sqlite mirror** (``mirror.sqlite`` inside the store
+directory) consistent with a :class:`~repro.storage.store.
+PersistentDatabase` by subscribing to the same changelog the WAL rides:
+each committed batch is applied as row deltas inside one sqlite
+transaction together with the observed clock, so the mirror is always
+at a well-defined changelog version.  On attach, a clock mismatch
+(stale mirror, crash between WAL fsync and mirror commit, first use)
+triggers one full rebuild — after which queries push down with zero
+per-call loading.
+
+Routing: :func:`prefer_sql` is the cost gate ``method="auto"`` consults
+*before* :func:`repro.columnar.prefer_columnar`.  SQL wins only when
+the database is mirror-backed (plain in-memory databases are never
+rerouted), holds at least ``REPRO_SQL_MIN_FACTS`` facts, and the
+compiled plan is free of Adom* operators — sqlite's active-domain CTE
+re-derives the domain per query, so Adom-heavy rewritings stay on the
+in-memory executors (the QP110 analysis rule reports this statically).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sqlite3
+from typing import Optional
+
+from ..db.changelog import Changelog
+from ..db.database import Database
+from ..db.sqlite_backend import create_tables
+from ..fo.sql import encode_value, table_name
+from .stats import STATS
+
+__all__ = ["SQLiteMirror", "sql_mirror", "mirror_connection", "mirror_capable",
+           "prefer_sql", "sql_min_facts", "DEFAULT_SQL_MIN_FACTS"]
+
+MIRROR_FILE = "mirror.sqlite"
+_MIRROR_ATTR = "_sql_mirror"
+_META_TABLE = "repro_meta"
+
+#: Below this many facts the per-query overhead of sqlite (statement
+#: compilation, the adom CTE) beats the in-memory executors.
+DEFAULT_SQL_MIN_FACTS = 4096
+
+
+def sql_min_facts() -> int:
+    """The ``REPRO_SQL_MIN_FACTS`` routing threshold."""
+    raw = os.environ.get("REPRO_SQL_MIN_FACTS", "").strip()
+    return int(raw) if raw.isdigit() else DEFAULT_SQL_MIN_FACTS
+
+
+class SQLiteMirror:
+    """A sqlite file kept delta-consistent with one database.
+
+    The mirror stores every relation in the sqlite backend's encoding
+    (TEXT columns, :func:`repro.fo.sql.encode_value`) plus one metadata
+    table carrying the changelog clock its contents reflect.  Delta
+    application and the clock update share a transaction, so the file
+    is never at an in-between version: a crash rolls back to the
+    previous clock and the next attach rebuilds.
+    """
+
+    def __init__(self, db: Database, path: pathlib.Path):
+        self.db = db
+        self.path = path
+        self.conn = sqlite3.connect(str(path))
+        self._known = set()
+        self._ensure_meta()
+        if self._meta_clock() != db.clock:
+            self.rebuild()
+        else:
+            self._known = set(db.schemas)
+        db.subscribe(self._apply)
+
+    # -- metadata ------------------------------------------------------
+
+    def _ensure_meta(self) -> None:
+        self.conn.execute(
+            f"CREATE TABLE IF NOT EXISTS {_META_TABLE} "
+            "(key TEXT PRIMARY KEY, value TEXT)")
+        self.conn.commit()
+
+    def _meta_clock(self) -> Optional[int]:
+        row = self.conn.execute(
+            f"SELECT value FROM {_META_TABLE} WHERE key = 'clock'"
+        ).fetchone()
+        return int(row[0]) if row is not None else None
+
+    def _set_clock(self, clock: int) -> None:
+        self.conn.execute(
+            f"INSERT OR REPLACE INTO {_META_TABLE} VALUES ('clock', ?)",
+            (str(clock),))
+
+    @property
+    def clock(self) -> Optional[int]:
+        return self._meta_clock()
+
+    # -- synchronization -----------------------------------------------
+
+    def rebuild(self) -> None:
+        """Drop and reload every relation at the database's clock."""
+        cur = self.conn.cursor()
+        tables = [
+            row[0] for row in cur.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'")
+            if row[0] != _META_TABLE
+        ]
+        for table in tables:
+            cur.execute(f'DROP TABLE IF EXISTS "{table}"')
+        create_tables(self.conn, self.db.schemas.values())
+        for name in self.db.relations():
+            schema = self.db.schemas[name]
+            placeholders = ", ".join("?" for _ in range(schema.arity))
+            cur.executemany(
+                f"INSERT OR IGNORE INTO {table_name(name)} "
+                f"VALUES ({placeholders})",
+                [tuple(encode_value(v) for v in row)
+                 for row in self.db.facts(name)],
+            )
+        self._set_clock(self.db.clock)
+        self.conn.commit()
+        self._known = set(self.db.schemas)
+        STATS["pushdown"]["mirror_rebuilds"] += 1
+
+    def _ensure_table(self, name: str) -> None:
+        if name not in self._known:
+            create_tables(self.conn, [self.db.schemas[name]])
+            self._known.add(name)
+
+    def _apply(self, log: Changelog) -> None:
+        """Changelog listener: one batch, one sqlite transaction."""
+        cur = self.conn.cursor()
+        rows = 0
+        for name, delta in log.deltas.items():
+            self._ensure_table(name)
+            arity = self.db.schemas[name].arity
+            table = table_name(name)
+            if delta.deleted:
+                where = " AND ".join(f"c{i} = ?" for i in range(arity))
+                cur.executemany(
+                    f"DELETE FROM {table} WHERE {where}",
+                    [tuple(encode_value(v) for v in row)
+                     for row in delta.deleted],
+                )
+                rows += len(delta.deleted)
+            if delta.inserted:
+                placeholders = ", ".join("?" for _ in range(arity))
+                cur.executemany(
+                    f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})",
+                    [tuple(encode_value(v) for v in row)
+                     for row in delta.inserted],
+                )
+                rows += len(delta.inserted)
+        self._set_clock(log.version)
+        self.conn.commit()
+        STATS["pushdown"]["mirror_delta_rows"] += rows
+
+    def close(self) -> None:
+        try:
+            self.db.unsubscribe(self._apply)
+        except Exception:  # pragma: no cover - already unsubscribed
+            pass
+        self.conn.close()
+
+
+def mirror_capable(db: Database) -> bool:
+    """Only an *open* persistent store carries a mirror."""
+    return bool(getattr(db, "is_open", False)) and hasattr(db, "storage_status")
+
+
+def sql_mirror(db: Database) -> Optional[SQLiteMirror]:
+    """The database's mirror, attached lazily; ``None`` off-store."""
+    if not mirror_capable(db):
+        return None
+    mirror = getattr(db, _MIRROR_ATTR, None)
+    if mirror is None:
+        mirror = SQLiteMirror(db, pathlib.Path(db.path) / MIRROR_FILE)
+        setattr(db, _MIRROR_ATTR, mirror)
+    return mirror
+
+
+def mirror_connection(db: Database) -> Optional[sqlite3.Connection]:
+    """The connection ``method="sql"`` should run on, with routing
+    accounting: the mirror when the database is store-backed (no
+    per-query load), else ``None`` (the legacy load-into-memory path).
+    """
+    mirror = sql_mirror(db)
+    if mirror is None:
+        STATS["pushdown"]["legacy_sql"] += 1
+        return None
+    STATS["pushdown"]["routed_sql"] += 1
+    return mirror.conn
+
+
+def prefer_sql(compiled, db: Database) -> bool:
+    """Should ``method="auto"`` push this run down to the mirror?
+
+    Checked before :func:`repro.columnar.prefer_columnar`.  Three
+    gates: the database must be mirror-backed (plain in-memory
+    databases keep their current routing untouched), the compiled plan
+    must be Adom*-free (the SQL form re-derives the active domain per
+    query; QP110 reports the forced fallback), and the store must hold
+    at least :func:`sql_min_facts` facts.
+    """
+    if not mirror_capable(db):
+        return False
+    from ..analysis.verifier import plan_uses_adom
+
+    if plan_uses_adom(compiled.plan):
+        STATS["pushdown"]["fallback_adom"] += 1
+        return False
+    if db.size() < sql_min_facts():
+        STATS["pushdown"]["fallback_small"] += 1
+        return False
+    return True

@@ -157,7 +157,7 @@ def fake_compiled(plan, free=()):
 
 class TestQPRules:
     def test_catalogue_is_complete(self):
-        assert sorted(QP_RULES) == [f"QP10{i}" for i in range(10)]
+        assert sorted(QP_RULES) == [f"QP1{i:02d}" for i in range(12)]
         for info in QP_RULES.values():
             assert info.summary and info.code.startswith("QP1")
 
@@ -190,6 +190,65 @@ class TestQPRules:
         ctx = AnalysisContext(cost=CostModel().estimate(plan))
         codes = {d.code for d in run_qp_rules(ctx)}
         assert {"QP105", "QP106"} <= codes
+
+    def test_qp110_adom_plan_on_large_store(self, tmp_path, monkeypatch):
+        from repro.storage import PersistentDatabase
+
+        monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "0")
+        db = PersistentDatabase(tmp_path / "store")
+        plan = Project(AdomProduct((x,)), (x,))
+        ctx = AnalysisContext(compiled=fake_compiled(plan, (x,)),
+                              free=(x,), db=db)
+        codes = {d.code for d in run_qp_rules(ctx)}
+        assert "QP110" in codes
+        db.close()
+
+    def test_qp110_silent_off_store_or_below_threshold(self, tmp_path,
+                                                       monkeypatch):
+        from repro.storage import PersistentDatabase
+
+        plan = Project(AdomProduct((x,)), (x,))
+        # Plain in-memory database: never routed, never diagnosed.
+        ctx = AnalysisContext(compiled=fake_compiled(plan, (x,)), free=(x,),
+                              db=db_from({}))
+        assert "QP110" not in {d.code for d in run_qp_rules(ctx)}
+        # Store below the routing threshold: the fallback never bites.
+        monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "1000")
+        db = PersistentDatabase(tmp_path / "store")
+        ctx = AnalysisContext(compiled=fake_compiled(plan, (x,)),
+                              free=(x,), db=db)
+        assert "QP110" not in {d.code for d in run_qp_rules(ctx)}
+        db.close()
+
+    def test_qp111_wal_past_threshold(self, tmp_path, monkeypatch):
+        from repro.core.atoms import RelationSchema
+        from repro.storage import PersistentDatabase
+
+        db = PersistentDatabase(tmp_path / "store")
+        db.add_relation(RelationSchema("R", 2, 1))
+        db.add("R", ("a", "1"))
+        monkeypatch.setenv("REPRO_WAL_CHECKPOINT_BYTES", "1")
+        codes = {d.code for d in run_qp_rules(AnalysisContext(db=db))}
+        assert "QP111" in codes
+        # A checkpoint prunes the WAL; the diagnostic clears.
+        db.checkpoint()
+        codes = {d.code for d in run_qp_rules(AnalysisContext(db=db))}
+        assert "QP111" not in codes
+        db.close()
+
+    def test_qp111_end_to_end_via_cli(self, tmp_path, monkeypatch, capsys):
+        from repro.core.atoms import RelationSchema
+        from repro.storage import PersistentDatabase
+
+        db = PersistentDatabase(tmp_path / "store")
+        db.add_relation(RelationSchema("P", 2, 1))
+        db.add_relation(RelationSchema("N", 2, 1))
+        db.add("P", ("a", "1"))
+        db.close()
+        monkeypatch.setenv("REPRO_WAL_CHECKPOINT_BYTES", "1")
+        assert main(["analyze", "P(x | y), not N('c' | y)",
+                     "--db-path", str(tmp_path / "store")]) == 0
+        assert "QP111" in capsys.readouterr().out
 
 
 # ----------------------------------------------------------------------

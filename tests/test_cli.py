@@ -141,7 +141,7 @@ class TestStatsFlag:
                      "--method", "compiled", "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
         assert set(payload) == {"schema_version", "plan_cache", "views",
-                                "parallel", "columnar"}
+                                "parallel", "columnar", "storage"}
         assert {"hits", "misses", "size"} <= set(payload["plan_cache"])
         assert set(payload["views"]) == VIEW_STAT_KEYS
         assert all(isinstance(v, int) for v in payload["views"].values())
@@ -157,7 +157,7 @@ class TestStatsFlag:
         assert "certain answers (p)" in out
         payload = _stats_payload(out)
         assert set(payload) == {"schema_version", "plan_cache", "views",
-                                "parallel", "columnar"}
+                                "parallel", "columnar", "storage"}
 
     def test_without_flag_no_json(self, capsys, poll_file):
         assert main(["certain", QA, "--db", poll_file]) == 0
@@ -211,7 +211,7 @@ class TestWatch:
                      "--stats"]) == 0
         payload = _stats_payload(capsys.readouterr().out)
         assert set(payload) == {"schema_version", "plan_cache", "views",
-                                "parallel", "columnar"}
+                                "parallel", "columnar", "storage"}
         assert payload["views"]["commits_seen"] >= 1
 
     def test_bad_op_exits_nonzero(self, capsys, q3_file, tmp_path):
@@ -243,3 +243,106 @@ class TestGraph:
         assert out.startswith("digraph")
         assert '"N" -> "P"' in out
         assert "shape=box" in out  # negated atom rendered as box
+
+
+class TestDbCommands:
+    def test_init_open_checkpoint_verify(self, capsys, poll_file, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["db", "init", store, "--from", poll_file]) == 0
+        out = capsys.readouterr().out
+        assert "seeded" in out and "initialized store" in out
+
+        assert main(["db", "open", store]) == 0
+        out = capsys.readouterr().out
+        assert "clock:" in out and "recovery:" in out
+
+        assert main(["db", "checkpoint", store]) == 0
+        assert "checkpoint: snapshot-" in capsys.readouterr().out
+
+        assert main(["db", "verify", store, "--integrity-check"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: ok" in out and "integrity:" in out
+
+    def test_init_refuses_existing_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["db", "init", store]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="already a store"):
+            main(["db", "init", store])
+
+    def test_open_refuses_non_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a repro store"):
+            main(["db", "open", str(tmp_path / "nowhere")])
+
+    def test_verify_json_and_corruption_exit(self, capsys, tmp_path):
+        import pathlib
+
+        store = tmp_path / "store"
+        assert main(["db", "init", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["db", "verify", str(store), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+
+        # Corrupt the newest snapshot: verify must exit non-zero.
+        from repro.core.atoms import RelationSchema
+        from repro.storage import open_database
+
+        db = open_database(store)
+
+        db.add_relation(RelationSchema("R", 2, 1))
+        db.add("R", ("a", "1"))
+        db.checkpoint()
+        db.add("R", ("b", "2"))
+        db.close()
+        snap = next(iter(pathlib.Path(store).glob("snapshot-*.snap")))
+        snap.write_bytes(snap.read_bytes()[:-3])
+        assert main(["db", "verify", str(store)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+
+    def test_certain_on_db_path(self, capsys, poll_file, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["db", "init", store, "--from", poll_file]) == 0
+        capsys.readouterr()
+        assert main(["certain", QA, "--db", poll_file]) == 0
+        expected = capsys.readouterr().out.splitlines()[0]
+        assert main(["certain", QA, "--db-path", store]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == expected
+
+    def test_answers_on_db_path_matches_json(self, capsys, poll_file,
+                                             tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["db", "init", store, "--from", poll_file]) == 0
+        capsys.readouterr()
+        assert main(["answers", QA, "--free", "p", "--db", poll_file]) == 0
+        expected = capsys.readouterr().out
+        assert main(["answers", QA, "--free", "p", "--db-path", store]) == 0
+        assert capsys.readouterr().out == expected
+
+    def test_db_and_db_path_mutually_exclusive(self, poll_file, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["certain", QA, "--db", poll_file,
+                  "--db-path", str(tmp_path / "store")])
+
+    def test_one_of_db_or_db_path_required(self):
+        with pytest.raises(SystemExit, match="one of --db or --db-path"):
+            main(["certain", QA])
+
+    def test_watch_commits_are_durable(self, capsys, poll_file, tmp_path,
+                                       monkeypatch):
+        store = str(tmp_path / "store")
+        assert main(["db", "init", store, "--from", poll_file]) == 0
+        capsys.readouterr()
+        stream = tmp_path / "ops.txt"
+        stream.write_text("begin\n+ Lives 'zoe' 'ghent'\ncommit\n")
+        assert main(["watch", QA, "--db-path", store, "--free", "p",
+                     "--stream", str(stream)]) == 0
+        capsys.readouterr()
+        assert main(["db", "open", store]) == 0
+        out = capsys.readouterr().out
+        assert "wal:" in out  # reopened cleanly after the stream
+        from repro.storage import open_database
+
+        db = open_database(store)
+        assert ("zoe", "ghent") in db.facts("Lives")
+        db.close()

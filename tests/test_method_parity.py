@@ -140,3 +140,30 @@ def test_two_free_variables_parity():
     db = random_poll_database(6, 3, conflict_rate=0.5,
                               rng=random.Random(99))
     assert_parity(OpenQuery(poll_qa(), [p, t]), db)
+
+
+@needs_fork
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=5, deadline=None)
+def test_store_backed_parity(seed, tmp_path_factory):
+    # The same matrix on a WAL-backed store: method="sql" runs through
+    # the delta-maintained sqlite mirror instead of a per-call load,
+    # and every answer set must still match the brute-force oracle.
+    from repro.storage import PersistentDatabase, storage_stats
+
+    db = random_poll_database(
+        n_people=6, n_towns=3, conflict_rate=0.5, rng=random.Random(seed)
+    )
+    directory = tmp_path_factory.mktemp("store")
+    store = PersistentDatabase(directory / "db")
+    for schema in db.schemas.values():
+        store.add_relation(schema)
+    with store.batch():
+        for name in db.relations():
+            store.add_all(name, db.facts(name))
+    try:
+        routed_before = storage_stats()["pushdown"]["routed_sql"]
+        assert_parity(OpenQuery(poll_qa(), [p]), store)
+        assert storage_stats()["pushdown"]["routed_sql"] > routed_before
+    finally:
+        store.close()

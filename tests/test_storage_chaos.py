@@ -1,0 +1,71 @@
+"""A quick slice of the crash-injection chaos harness.
+
+The CI ``storage-durability`` job runs the full 200+ randomized
+trials (``scripts/run_chaos.py``); here we pin the harness's building
+blocks (deterministic streams, the digest oracle) and run a dozen
+kill-9 rounds so the suite exercises genuine subprocess crashes on
+every run without dominating its wall-clock.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.storage import PersistentDatabase
+from repro.storage.chaos import (
+    build_ops,
+    expected_digests,
+    run_chaos,
+    run_trial,
+    state_digest,
+)
+
+
+class TestOracle:
+    def test_streams_are_deterministic(self):
+        assert build_ops(7, 50) == build_ops(7, 50)
+        assert build_ops(7, 50) != build_ops(8, 50)
+
+    def test_stream_mixes_op_kinds(self):
+        kinds = {op[0] for op in build_ops(3, 300)}
+        assert {"add", "discard", "batch", "discard_all",
+                "checkpoint"} <= kinds
+
+    def test_digest_ignores_empty_relations(self):
+        from repro.core.atoms import RelationSchema
+
+        a, b = Database(), Database()
+        a.add_relation(RelationSchema("R", 2, 1))
+        a.add_relation(RelationSchema("S", 2, 1))
+        b.add_relation(RelationSchema("R", 2, 1))
+        a.add("R", ("x", "y"))
+        b.add("R", ("x", "y"))
+        assert state_digest(a) == state_digest(b)
+
+    def test_oracle_covers_every_clock_stop(self, tmp_path):
+        # A store that runs the stream with no crash must end on a
+        # clock the oracle knows, with the matching digest.
+        oracle = expected_digests(5, 60)
+        db = PersistentDatabase(tmp_path / "store")
+        from repro.storage.chaos import apply_ops
+
+        apply_ops(db, build_ops(5, 60))
+        assert oracle[db.clock] == state_digest(db)
+        db.close()
+        db2 = PersistentDatabase(tmp_path / "store")
+        assert oracle[db2.clock] == state_digest(db2)
+        db2.close()
+
+
+class TestTrials:
+    def test_chaos_slice(self, tmp_path):
+        summary = run_chaos(tmp_path, trials=12, seed=1234, ops=80)
+        assert summary["trials"] == 12
+        # The byte budgets are drawn to land mid-stream: most trials
+        # must actually crash, or the harness is testing nothing.
+        assert summary["crashes"] >= 4
+        assert summary["wal_trials"] + summary["snapshot_trials"] == 12
+
+    def test_survivor_without_crash_env(self, tmp_path):
+        result = run_trial(tmp_path / "t", seed=2, ops=40, crash_env={})
+        assert not result["crashed"]
+        assert result["recovered_clock"] >= result["max_ack"]

@@ -1,0 +1,181 @@
+"""Unit tests for the WAL segment format (repro.storage.wal).
+
+Frame-level behavior: append/scan round trips, torn-tail detection at
+every damage class scan_wal distinguishes, writer recovery (truncate
+and append after the last intact record), header rebuild, and the
+sync-mode / segment-naming helpers.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.storage.wal import (
+    HEADER_SIZE,
+    MAGIC,
+    WalError,
+    WalWriter,
+    list_segments,
+    scan_wal,
+    segment_base,
+    segment_path,
+    wal_sync_mode,
+)
+
+B1 = ("B", 1, {"R": ([("a", "b")], [])})
+B2 = ("B", 2, {"R": ([], [("a", "b")]), "S": ([(1, 2)], [])})
+S1 = ("S", 2, "T", 2, 1)
+
+
+def write_segment(directory, records, base=0):
+    writer, existing = WalWriter.open(directory, base)
+    assert existing == []
+    for record in records:
+        writer.append(record)
+    writer.close()
+    return segment_path(directory, base)
+
+
+class TestRoundTrip:
+    def test_append_scan(self, tmp_path):
+        path = write_segment(tmp_path, [B1, B2, S1])
+        base, records, good, damage = scan_wal(path)
+        assert (base, damage) == (0, None)
+        assert records == [B1, B2, S1]
+        assert good == path.stat().st_size
+
+    def test_empty_segment(self, tmp_path):
+        path = write_segment(tmp_path, [])
+        base, records, good, damage = scan_wal(path)
+        assert (base, records, damage) == (0, [], None)
+        assert good == HEADER_SIZE
+
+    def test_append_returns_bytes_on_disk(self, tmp_path):
+        writer, _ = WalWriter.open(tmp_path, 0)
+        n = writer.append(B1)
+        writer.close()
+        path = segment_path(tmp_path, 0)
+        assert path.stat().st_size == HEADER_SIZE + n
+
+    def test_reopen_appends_after_existing(self, tmp_path):
+        write_segment(tmp_path, [B1])
+        writer, records = WalWriter.open(tmp_path, 0)
+        assert records == [B1]
+        writer.append(B2)
+        writer.close()
+        _, records, _, damage = scan_wal(segment_path(tmp_path, 0))
+        assert records == [B1, B2] and damage is None
+
+
+class TestDamage:
+    def test_torn_frame_header(self, tmp_path):
+        path = write_segment(tmp_path, [B1, B2])
+        # Leave the first record intact plus 3 bytes of the next frame.
+        data = path.read_bytes()
+        first_good = HEADER_SIZE + scan_one_size(path)
+        path.write_bytes(data[:first_good + 3])
+        base, records, good, damage = scan_wal(path)
+        assert records == [B1]
+        assert good == first_good
+        assert damage == "torn frame header"
+
+    def test_torn_payload(self, tmp_path):
+        path = write_segment(tmp_path, [B1, B2])
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        base, records, good, damage = scan_wal(path)
+        assert records == [B1]
+        assert damage == "torn payload"
+
+    def test_crc_mismatch(self, tmp_path):
+        path = write_segment(tmp_path, [B1, B2])
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        _, records, _, damage = scan_wal(path)
+        assert records == [B1]
+        assert damage == "crc mismatch"
+
+    def test_non_monotone_lsn(self, tmp_path):
+        writer, _ = WalWriter.open(tmp_path, 0)
+        writer.append(("B", 5, {}))
+        writer.append(("B", 3, {}))
+        writer.close()
+        _, records, _, damage = scan_wal(segment_path(tmp_path, 0))
+        assert records == [("B", 5, {})]
+        assert damage is not None and "non-monotone" in damage
+
+    def test_truncated_header_scans_empty(self, tmp_path):
+        path = segment_path(tmp_path, 0)
+        path.write_bytes(b"RPW")
+        base, records, good, damage = scan_wal(path)
+        assert (records, good) == ([], 0)
+        assert damage == "truncated header"
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = segment_path(tmp_path, 0)
+        path.write_bytes(b"X" * HEADER_SIZE)
+        with pytest.raises(WalError):
+            scan_wal(path)
+
+    def test_implausible_length(self, tmp_path):
+        path = write_segment(tmp_path, [B1])
+        with open(path, "ab") as fp:
+            fp.write(struct.pack("<II", 2**31, 0))
+        _, records, _, damage = scan_wal(path)
+        assert records == [B1]
+        assert "implausible length" in damage
+
+    def test_open_truncates_torn_tail(self, tmp_path):
+        path = write_segment(tmp_path, [B1, B2])
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        writer, records = WalWriter.open(tmp_path, 0)
+        assert records == [B1]
+        writer.append(S1)
+        writer.close()
+        _, records, _, damage = scan_wal(path)
+        assert records == [B1, S1] and damage is None
+
+    def test_open_rebuilds_destroyed_header(self, tmp_path):
+        path = segment_path(tmp_path, 0)
+        path.write_bytes(b"RP")  # crash during segment creation
+        writer, records = WalWriter.open(tmp_path, 0)
+        assert records == []
+        writer.append(B1)
+        writer.close()
+        base, records, _, damage = scan_wal(path)
+        assert (base, records, damage) == (0, [B1], None)
+
+
+def scan_one_size(path):
+    """Bytes on disk of the first record of a segment."""
+    data = path.read_bytes()
+    length, _ = struct.unpack_from("<II", data, HEADER_SIZE)
+    return struct.calcsize("<II") + length
+
+
+class TestHelpers:
+    def test_segment_naming(self, tmp_path):
+        path = segment_path(tmp_path, 42)
+        assert path.name == "wal-0000000000000042.log"
+        assert segment_base(path) == 42
+
+    def test_list_segments_sorted(self, tmp_path):
+        for base in (7, 0, 100):
+            write_segment(tmp_path, [], base=base)
+        assert [segment_base(p) for p in list_segments(tmp_path)] == [0, 7, 100]
+
+    def test_wal_sync_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WAL_SYNC", raising=False)
+        assert wal_sync_mode() == "always"
+        assert wal_sync_mode("off") == "off"
+        monkeypatch.setenv("REPRO_WAL_SYNC", "off")
+        assert wal_sync_mode() == "off"
+
+    def test_header_base_matches_filename(self, tmp_path):
+        path = write_segment(tmp_path, [], base=9)
+        magic, base = struct.unpack_from("<8sQ", path.read_bytes(), 0)
+        assert magic == MAGIC and base == 9
