@@ -1,4 +1,4 @@
-"""The performance rules, QP100–QP111.
+"""The performance rules, QP100–QP112.
 
 Where the QL-rules of :mod:`repro.lint.rules` check *admissibility*
 (will the paper's machinery accept this query at all), the QP-rules
@@ -20,8 +20,9 @@ QP106     warning   join order ≥ X times the estimated best order
 QP107     warning   not in FO: certainty runs the brute-force path
 QP108     hint      constants in the query defeat plan-cache reuse
 QP109     warning   plan touches Adom*: columnar decodes to tuples
-QP110     warning   plan touches Adom*: SQL pushdown refuses the plan
+QP110     warning   plan has no native SQL translation: pushdown refused
 QP111     warning   WAL grew past the checkpoint threshold uncompacted
+QP112     hint      constants/DDL defeat the SQL statement cache
 ========  ========  =====================================================
 
 Rules are registered with the :func:`qp_rule` decorator into
@@ -426,32 +427,37 @@ def check_columnar_decode(
 
 @qp_rule(
     "QP110",
-    "sql-pushdown-adom-fallback",
+    "sql-pushdown-unsupported-plan",
     Severity.WARNING,
     "mirror-backed store would route this query to SQL pushdown, but "
-    "Adom* operators in the plan force the in-memory path",
-    "repro.storage.pushdown: the SQL form re-derives the active domain "
-    "per query, so prefer_sql refuses Adom* plans",
+    "the plan contains operators with no native SQL translation",
+    "repro.storage.sqlgen: supports_plan admits only the twelve known "
+    "plan-IR node types; Adom* plans push down natively since the "
+    "maintained repro_adom table, so only genuinely unknown operator "
+    "shapes force the in-memory path",
 )
-def check_sql_pushdown_adom(
+def check_sql_pushdown_unsupported(
     info: RuleInfo, ctx: AnalysisContext
 ) -> Iterator[Diagnostic]:
     from ..storage.pushdown import mirror_capable, sql_min_facts
+    from ..storage.sqlgen import supports_plan
 
     if ctx.plan is None or ctx.db is None or not mirror_capable(ctx.db):
         return
-    if not plan_uses_adom(ctx.plan):
+    if supports_plan(ctx.plan):
         return
     if ctx.db.size() < sql_min_facts():
         return
     yield info.diagnostic(
         f"store holds {ctx.db.size():,} facts (>= REPRO_SQL_MIN_FACTS "
-        f"= {sql_min_facts():,}) but the compiled plan contains Adom* "
-        f"operators: method=auto falls back to the in-memory executors "
-        f"instead of the sqlite mirror (fallback_adom in the storage "
+        f"= {sql_min_facts():,}) but the compiled plan contains "
+        f"operators the native SQL compiler cannot translate: "
+        f"method=auto falls back to the in-memory executors instead of "
+        f"the sqlite mirror (fallback_unsupported in the storage "
         f"metrics)",
-        fix="guard every negated atom's variables by positive atoms so "
-            "the compiler never reaches for the active domain",
+        fix="recompile through the stock plan lowering (custom plan "
+            "nodes have no SQL translation), or run method=compiled/"
+            "columnar explicitly",
     )
 
 
@@ -486,3 +492,52 @@ def check_wal_compaction(
             "REPRO_WAL_AUTOCHECKPOINT_BYTES to checkpoint automatically "
             "on commit",
     )
+
+
+@qp_rule(
+    "QP112",
+    "sql-statement-cache-hostile",
+    Severity.HINT,
+    "the query's shape defeats the SQL pushdown's prepared-statement "
+    "cache (constants baked into the plan, or per-call DDL)",
+    "repro.storage.pushdown: the statement cache is keyed on the "
+    "compiled plan object, which embeds the query's constants — the "
+    "SQL-tier sibling of QP108's plan-cache rule",
+)
+def check_sql_stmt_cache(
+    info: RuleInfo, ctx: AnalysisContext
+) -> Iterator[Diagnostic]:
+    if ctx.query is None or not ctx.in_fo:
+        return
+    constants = sorted(
+        {
+            repr(term.value)
+            for atom in ctx.query.atoms
+            for term in atom.terms
+            if isinstance(term, Constant)
+        }
+    )
+    if constants:
+        yield info.diagnostic(
+            f"query mentions constant(s) {', '.join(constants)}: they "
+            f"are baked into the compiled plan, so each distinct value "
+            f"compiles (and caches) a separate SQL statement — only "
+            f"runtime parameters bind per call",
+            fix="for parameter sweeps over many constants, prefer a "
+                "free variable plus a post-filter so one cached "
+                "statement serves every value",
+        )
+    if ctx.db is not None:
+        missing = sorted(
+            atom.relation for atom in ctx.query.atoms
+            if atom.relation not in ctx.db.schemas
+        )
+        if missing:
+            yield info.diagnostic(
+                f"relation(s) {', '.join(missing)} are absent from the "
+                f"database: every SQL-tier call creates the empty "
+                f"table(s) before querying (per-call DDL on the legacy "
+                f"path; a statement-cache epoch bump on the mirror)",
+                fix="declare the relation once with add_relation so "
+                    "the schema is stable before querying",
+            )

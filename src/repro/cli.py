@@ -682,6 +682,59 @@ def cmd_db_verify(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def cmd_db_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .storage import StorageError, open_database, sql_mirror
+    from .storage.stats import storage_stats
+
+    try:
+        store = open_database(args.path)
+    except StorageError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        status = store.storage_status()
+        mirror = sql_mirror(store)
+        assert mirror is not None  # an open store is always mirror-capable
+        report = {
+            "store": {"path": status["path"], "clock": status["clock"],
+                      "facts": status["facts"],
+                      "relations": status["relations"]},
+            "mirror": mirror.stats(),
+            "pushdown": storage_stats()["pushdown"],
+        }
+    finally:
+        store.close()
+    if args.json:
+        print(_json.dumps(report, indent=2, default=str))
+        return 0
+    mirror_stats = report["mirror"]
+    print(f"store:  {report['store']['path']} "
+          f"(clock {report['store']['clock']}, "
+          f"{report['store']['facts']} facts)")
+    print(f"mirror: format {mirror_stats['format']}, "
+          f"clock {mirror_stats['clock']} "
+          f"({'in sync' if mirror_stats['clock'] == report['store']['clock'] else 'STALE'}), "
+          f"{mirror_stats['dictionary_codes']} dictionary code(s), "
+          f"{mirror_stats['adom_values']} active-domain value(s)")
+    for name, info in mirror_stats["tables"].items():
+        print(f"  table {name}: {info['rows']} row(s), "
+              f"{info['indexes']} index(es)")
+    cache = mirror_stats["stmt_cache"]
+    rate = ("n/a" if cache["hit_rate"] is None
+            else f"{cache['hit_rate']:.2%}")
+    print(f"statement cache: {cache['entries']}/{cache['capacity']} "
+          f"entries, {cache['hits']} hit(s), {cache['misses']} miss(es), "
+          f"hit rate {rate}")
+    pd = report["pushdown"]
+    print(f"pushdown: {pd['native_sql']} native, {pd['legacy_sql']} legacy, "
+          f"{pd['fallback_unsupported']} unsupported-plan fallback(s), "
+          f"{pd['fallback_small']} below-threshold fallback(s), "
+          f"{pd['mirror_rebuilds']} rebuild(s), "
+          f"{pd['mirror_delta_rows']} delta row(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -904,6 +957,15 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--json", action="store_true",
                    help="emit the verification report as JSON")
     q.set_defaults(func=cmd_db_verify)
+
+    q = dbsub.add_parser("stats",
+                         help="attach the SQL-pushdown mirror and print "
+                              "its vitals: clock sync, per-table row and "
+                              "index counts, statement-cache hit rate")
+    q.add_argument("path")
+    q.add_argument("--json", action="store_true",
+                   help="emit the stats report as JSON")
+    q.set_defaults(func=cmd_db_stats)
 
     return parser
 

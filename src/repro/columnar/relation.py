@@ -18,6 +18,7 @@ keys.
 from __future__ import annotations
 
 from array import array
+from itertools import islice
 from operator import add, itemgetter
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -219,6 +220,29 @@ class ColumnarRelation:
             for j in range(len(cols))
         )
         return cls(cols, columns, len(rows))
+
+    @classmethod
+    def from_code_rows(cls, cols: Cols,
+                       rows: Iterable[Sequence[int]],
+                       batch_size: int = 4096) -> "ColumnarRelation":
+        """Ingest (already distinct) rows of dictionary *codes* in bulk.
+
+        The zero-shuttle half of the SQL pushdown: a sqlite cursor over
+        an integer-encoded mirror yields code tuples, which land
+        directly in ``array('q')`` columns — answers never materialize
+        as Python value tuples on the way out of the database.
+        """
+        columns = tuple(array("q") for _ in cols)
+        length = 0
+        it = iter(rows)
+        while True:
+            batch = list(islice(it, batch_size))
+            if not batch:
+                break
+            length += len(batch)
+            for col, codes in zip(columns, zip(*batch)):
+                col.extend(codes)
+        return cls(cols, columns, length)
 
     @property
     def width(self) -> int:

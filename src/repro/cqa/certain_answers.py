@@ -411,11 +411,24 @@ def certain_answers(
                           phase="execute")
             return rows
     if method == "sql":
-        from ..storage.pushdown import mirror_connection
+        from ..storage.pushdown import count_legacy_sql, native_sql_answers
 
         with t.span("certain-answers", method=method):
-            return _certain_answers_sql(open_query, db,
-                                        conn=mirror_connection(db))
+            # A persistent store runs the same guarded compiled plan the
+            # in-memory executor would, translated to one SELECT inside
+            # its integer-encoded mirror; answers come back as columnar
+            # code batches, never per-row decoded tuples.  Off-store (or
+            # for an untranslatable plan) the legacy formula-SQL path
+            # loads a fresh in-memory connection per call.
+            if open_query.in_fo:
+                formula = _guarded_open_rewriting(open_query)
+                compiled = plan_cache.get_or_compile(
+                    formula, db, open_query.free)
+                rows = native_sql_answers(compiled, db)
+                if rows is not None:
+                    return rows
+            count_legacy_sql()
+            return _certain_answers_sql(open_query, db)
     raise ValueError(f"unknown method {method!r}")
 
 

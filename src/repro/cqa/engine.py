@@ -180,14 +180,20 @@ class CertaintyEngine:
                 return result
         if method == "sql":
             self._require_fo(method)
-            from ..storage.pushdown import mirror_connection
+            from ..storage.pushdown import count_legacy_sql, native_sql_holds
 
             with t.span("certain", method=method):
-                # A persistent store supplies its delta-maintained
-                # sqlite mirror (no per-query load); a plain in-memory
-                # database keeps the legacy load-and-run path.
-                return run_sentence_sql(self.rewriting, db,
-                                        conn=mirror_connection(db))
+                # A persistent store runs the compiled plan natively
+                # inside its integer-encoded sqlite mirror (no per-query
+                # load, no row shuttling); a plain in-memory database —
+                # or a plan the SQL compiler cannot translate — keeps
+                # the legacy formula-SQL load-and-run path.
+                compiled = plan_cache.get_or_compile(self.rewriting, db)
+                result = native_sql_holds(compiled, db)
+                if result is not None:
+                    return result
+                count_legacy_sql()
+                return run_sentence_sql(self.rewriting, db)
         if method == "columnar":
             self._require_fo(method)
             from ..columnar import columnar_holds

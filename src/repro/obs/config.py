@@ -19,11 +19,19 @@ import os
 from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional
 
-__all__ = ["RunConfig", "DEFAULT_MIN_FACTS"]
+__all__ = ["RunConfig", "DEFAULT_MIN_FACTS", "DEFAULT_SQL_MIN_FACTS",
+           "DEFAULT_SQL_STMT_CACHE"]
 
 #: Below this many facts the parallel path falls back to serial
 #: (fork + IPC overhead dwarfs the work).
 DEFAULT_MIN_FACTS = 2000
+
+#: Below this many facts the per-query overhead of sqlite (statement
+#: lookup, bulk decode) beats the in-memory executors.
+DEFAULT_SQL_MIN_FACTS = 4096
+
+#: Compiled-statement LRU entries per sqlite mirror (0 disables).
+DEFAULT_SQL_STMT_CACHE = 64
 
 
 def _positive_int(raw: Optional[str]) -> Optional[int]:
@@ -62,6 +70,12 @@ class RunConfig:
     ``parallel_smoke``
         Benchmark smoke mode: tiny sizes, jobs=2 grid (env:
         ``BENCH_PARALLEL_SMOKE``).
+    ``sql_min_facts``
+        Database size below which ``auto`` skips the sqlite-mirror
+        pushdown (env: ``REPRO_SQL_MIN_FACTS``; None: 4096).
+    ``sql_stmt_cache``
+        Compiled-statement LRU entries per sqlite mirror, 0 disables
+        (env: ``REPRO_SQL_STMT_CACHE``; None: 64).
     """
 
     jobs: Optional[int] = None
@@ -71,6 +85,8 @@ class RunConfig:
     trace: bool = False
     trace_file: Optional[str] = None
     parallel_smoke: bool = False
+    sql_min_facts: Optional[int] = None
+    sql_stmt_cache: Optional[int] = None
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None,
@@ -89,6 +105,8 @@ class RunConfig:
             ),
             trace_file=(env.get("REPRO_TRACE_FILE") or "").strip() or None,
             parallel_smoke=bool((env.get("BENCH_PARALLEL_SMOKE") or "").strip()),
+            sql_min_facts=_nonnegative_int(env.get("REPRO_SQL_MIN_FACTS")),
+            sql_stmt_cache=_nonnegative_int(env.get("REPRO_SQL_STMT_CACHE")),
         )
         effective = {k: v for k, v in overrides.items() if v is not None}
         return replace(config, **effective) if effective else config
@@ -123,3 +141,15 @@ class RunConfig:
         if self.parallel_min_facts is not None:
             return self.parallel_min_facts
         return DEFAULT_MIN_FACTS
+
+    def resolved_sql_min_facts(self) -> int:
+        """The effective SQL-pushdown size threshold."""
+        if self.sql_min_facts is not None:
+            return self.sql_min_facts
+        return DEFAULT_SQL_MIN_FACTS
+
+    def resolved_sql_stmt_cache(self) -> int:
+        """The effective statement-cache capacity (0 disables)."""
+        if self.sql_stmt_cache is not None:
+            return self.sql_stmt_cache
+        return DEFAULT_SQL_STMT_CACHE

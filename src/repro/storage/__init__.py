@@ -16,13 +16,17 @@ See ``docs/STORAGE.md`` for the file formats and recovery protocol.
 from .chaos import run_chaos
 from .pushdown import (
     DEFAULT_SQL_MIN_FACTS,
+    DEFAULT_SQL_STMT_CACHE,
     SQLiteMirror,
     mirror_capable,
-    mirror_connection,
+    native_sql_answers,
+    native_sql_holds,
     prefer_sql,
     sql_mirror,
     sql_min_facts,
+    sql_stmt_cache_size,
 )
+from .sqlgen import CompiledSQL, compile_plan, supports_plan
 from .snapshot import SnapshotError, list_snapshots, read_snapshot, write_snapshot
 from .stats import reset_storage_stats, storage_stats
 from .store import (
@@ -56,10 +60,16 @@ __all__ = [
     "SQLiteMirror",
     "sql_mirror",
     "mirror_capable",
-    "mirror_connection",
+    "native_sql_answers",
+    "native_sql_holds",
     "prefer_sql",
     "sql_min_facts",
+    "sql_stmt_cache_size",
     "DEFAULT_SQL_MIN_FACTS",
+    "DEFAULT_SQL_STMT_CACHE",
+    "CompiledSQL",
+    "compile_plan",
+    "supports_plan",
     "checkpoint_threshold_bytes",
     "DEFAULT_CHECKPOINT_BYTES",
     "storage_stats",

@@ -1,78 +1,135 @@
 """SQL pushdown: certain answers as one query over a persistent mirror.
 
 The paper's practicality claim — a consistent first-order rewriting is
-a single SQL query over the *inconsistent* database — already runs via
-``method="sql"`` (:mod:`repro.db.sqlite_backend`), but that path loads
-the whole fact store into a fresh in-memory sqlite connection per call,
-which is exactly the copy a disk-resident store exists to avoid.  This
-module keeps a **sqlite mirror** (``mirror.sqlite`` inside the store
-directory) consistent with a :class:`~repro.storage.store.
-PersistentDatabase` by subscribing to the same changelog the WAL rides:
-each committed batch is applied as row deltas inside one sqlite
-transaction together with the observed clock, so the mirror is always
-at a well-defined changelog version.  On attach, a clock mismatch
-(stale mirror, crash between WAL fsync and mirror commit, first use)
-triggers one full rebuild — after which queries push down with zero
-per-call loading.
+a single SQL query over the *inconsistent* database — runs natively
+here: a store keeps ``mirror.sqlite`` delta-consistent by subscribing
+to the same changelog the WAL rides, and :mod:`repro.storage.sqlgen`
+compiles the verified plan IR straight to one parameterized SELECT
+that sqlite executes end-to-end.  No per-call loading, no per-row
+Python decode: answer rows come back as dictionary codes and land in
+``array('q')`` columns (:meth:`ColumnarRelation.from_code_rows`).
+
+Mirror layout (format ``2``):
+
+* one INTEGER table per relation, columns ``c0..c{n-1}`` holding
+  :class:`~repro.columnar.dictionary.ValueDictionary` codes, with a
+  full-tuple ``WITHOUT ROWID`` primary key (key columns first, so the
+  clustered index covers key-prefix lookups) plus a non-key suffix
+  index;
+* ``repro_dict`` — the persisted dictionary, verified (and replayed
+  into the in-process dictionary) on attach so codes stay stable
+  across process restarts;
+* ``repro_adom`` — the refcounted active domain, maintained from the
+  same deltas, which is what lets ``Adom*`` plans push down instead of
+  re-deriving the domain per query;
+* ``repro_meta`` — changelog clock + format marker.
+
+Delta application, dictionary growth, adom refcounts and the clock
+update share one sqlite transaction, so the file is never at an
+in-between version: a crash rolls back to the previous clock and the
+next attach rebuilds.
 
 Routing: :func:`prefer_sql` is the cost gate ``method="auto"`` consults
-*before* :func:`repro.columnar.prefer_columnar`.  SQL wins only when
-the database is mirror-backed (plain in-memory databases are never
-rerouted), holds at least ``REPRO_SQL_MIN_FACTS`` facts, and the
-compiled plan is free of Adom* operators — sqlite's active-domain CTE
-re-derives the domain per query, so Adom-heavy rewritings stay on the
-in-memory executors (the QP110 analysis rule reports this statically).
+*before* :func:`repro.columnar.prefer_columnar`.  SQL wins when the
+database is mirror-backed (plain in-memory databases are never
+rerouted), the plan has a native translation (QP110 reports the rare
+unsupported shapes), and the store holds at least
+``REPRO_SQL_MIN_FACTS`` facts.
 """
 
 from __future__ import annotations
 
-import os
+import base64
 import pathlib
+import pickle
 import sqlite3
-from typing import Optional
+from collections import Counter, OrderedDict
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from ..columnar.dictionary import columnar_store
+from ..columnar.relation import ColumnarRelation
 from ..db.changelog import Changelog
 from ..db.database import Database
-from ..db.sqlite_backend import create_tables
-from ..fo.sql import encode_value, table_name
+from ..fo.sql import decode_value, encode_value, table_name
+from ..obs.config import (
+    DEFAULT_SQL_MIN_FACTS,
+    DEFAULT_SQL_STMT_CACHE,
+    RunConfig,
+)
+from .sqlgen import ADOM_TABLE, compile_plan, plan_relations, supports_plan
 from .stats import STATS
 
-__all__ = ["SQLiteMirror", "sql_mirror", "mirror_connection", "mirror_capable",
-           "prefer_sql", "sql_min_facts", "DEFAULT_SQL_MIN_FACTS"]
+__all__ = ["SQLiteMirror", "sql_mirror", "mirror_capable", "prefer_sql",
+           "native_sql_answers", "native_sql_holds", "count_legacy_sql",
+           "sql_min_facts", "sql_stmt_cache_size", "DEFAULT_SQL_MIN_FACTS",
+           "DEFAULT_SQL_STMT_CACHE", "MIRROR_FORMAT"]
 
 MIRROR_FILE = "mirror.sqlite"
 _MIRROR_ATTR = "_sql_mirror"
 _META_TABLE = "repro_meta"
+_DICT_TABLE = "repro_dict"
+_INTERNAL_TABLES = frozenset((_META_TABLE, _DICT_TABLE, ADOM_TABLE))
 
-#: Below this many facts the per-query overhead of sqlite (statement
-#: compilation, the adom CTE) beats the in-memory executors.
-DEFAULT_SQL_MIN_FACTS = 4096
+#: Bumped whenever the on-disk layout changes; a mismatch (including
+#: any pre-integer TEXT mirror) forces one full rebuild.
+MIRROR_FORMAT = "2"
 
 
 def sql_min_facts() -> int:
     """The ``REPRO_SQL_MIN_FACTS`` routing threshold."""
-    raw = os.environ.get("REPRO_SQL_MIN_FACTS", "").strip()
-    return int(raw) if raw.isdigit() else DEFAULT_SQL_MIN_FACTS
+    return RunConfig.from_env().resolved_sql_min_facts()
+
+
+def sql_stmt_cache_size() -> int:
+    """The ``REPRO_SQL_STMT_CACHE`` statement-cache capacity."""
+    return RunConfig.from_env().resolved_sql_stmt_cache()
+
+
+def _dict_text(value: object) -> str:
+    """Serialize one dictionary value for ``repro_dict``.
+
+    :func:`repro.fo.sql.encode_value` covers the workload types; query
+    constants of other types fall back to pickle under a ``p:`` sigil
+    (``encode_value`` never emits it).
+    """
+    try:
+        return encode_value(value)
+    except TypeError:
+        return "p:" + base64.b64encode(pickle.dumps(value)).decode("ascii")
+
+
+def _dict_value(text: str) -> object:
+    if text.startswith("p:"):
+        return pickle.loads(base64.b64decode(text[2:]))
+    return decode_value(text)
 
 
 class SQLiteMirror:
     """A sqlite file kept delta-consistent with one database.
 
-    The mirror stores every relation in the sqlite backend's encoding
-    (TEXT columns, :func:`repro.fo.sql.encode_value`) plus one metadata
-    table carrying the changelog clock its contents reflect.  Delta
-    application and the clock update share a transaction, so the file
-    is never at an in-between version: a crash rolls back to the
-    previous clock and the next attach rebuilds.
+    Attach verifies three things before trusting the file: the format
+    marker, the changelog clock, and that the persisted dictionary
+    replays into the in-process :class:`ValueDictionary` with identical
+    codes (a fresh process replays it verbatim; a process whose
+    dictionary diverged — e.g. columnar ran first with a different
+    first-seen order — fails the check).  Any mismatch triggers one
+    full rebuild, after which queries push down with zero per-call
+    loading.
     """
 
     def __init__(self, db: Database, path: pathlib.Path):
         self.db = db
         self.path = path
         self.conn = sqlite3.connect(str(path))
-        self._known = set()
+        self.dictionary = columnar_store(db).dictionary
+        self._known: set = set()
+        self._dict_rows = 0
+        self._stmt_cache: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._stmt_capacity = sql_stmt_cache_size()
         self._ensure_meta()
-        if self._meta_clock() != db.clock:
+        if (self._meta("format") != MIRROR_FORMAT
+                or self._meta_clock() != db.clock
+                or not self._load_dictionary()):
             self.rebuild()
         else:
             self._known = set(db.schemas)
@@ -81,25 +138,106 @@ class SQLiteMirror:
     # -- metadata ------------------------------------------------------
 
     def _ensure_meta(self) -> None:
-        self.conn.execute(
+        cur = self.conn.cursor()
+        cur.execute(
             f"CREATE TABLE IF NOT EXISTS {_META_TABLE} "
             "(key TEXT PRIMARY KEY, value TEXT)")
+        cur.execute(
+            f"CREATE TABLE IF NOT EXISTS {_DICT_TABLE} "
+            "(code INTEGER PRIMARY KEY, value TEXT NOT NULL)")
+        cur.execute(
+            f"CREATE TABLE IF NOT EXISTS {ADOM_TABLE} "
+            "(code INTEGER PRIMARY KEY, refs INTEGER NOT NULL)")
         self.conn.commit()
 
-    def _meta_clock(self) -> Optional[int]:
+    def _meta(self, key: str) -> Optional[str]:
         row = self.conn.execute(
-            f"SELECT value FROM {_META_TABLE} WHERE key = 'clock'"
+            f"SELECT value FROM {_META_TABLE} WHERE key = ?", (key,)
         ).fetchone()
-        return int(row[0]) if row is not None else None
+        return row[0] if row is not None else None
 
-    def _set_clock(self, clock: int) -> None:
+    def _set_meta(self, key: str, value: str) -> None:
         self.conn.execute(
-            f"INSERT OR REPLACE INTO {_META_TABLE} VALUES ('clock', ?)",
-            (str(clock),))
+            f"INSERT OR REPLACE INTO {_META_TABLE} VALUES (?, ?)",
+            (key, value))
+
+    def _meta_clock(self) -> Optional[int]:
+        raw = self._meta("clock")
+        return int(raw) if raw is not None else None
 
     @property
     def clock(self) -> Optional[int]:
         return self._meta_clock()
+
+    # -- dictionary persistence ----------------------------------------
+
+    def _load_dictionary(self) -> bool:
+        """Replay ``repro_dict`` into the in-process dictionary.
+
+        True iff every persisted ``(code, value)`` pair lands on the
+        same code — the condition under which the mirror's integer
+        columns are meaningful to this process.
+        """
+        rows = self.conn.execute(
+            f"SELECT code, value FROM {_DICT_TABLE} ORDER BY code"
+        ).fetchall()
+        encode = self.dictionary.encode
+        for code, text in rows:
+            try:
+                value = _dict_value(text)
+            except Exception:
+                return False
+            if encode(value) != code:
+                return False
+        self._dict_rows = len(rows)
+        return True
+
+    def _persist_dict(self, cur: sqlite3.Cursor) -> None:
+        """Append dictionary codes assigned since the last commit."""
+        values = self.dictionary.values
+        if self._dict_rows < len(values):
+            cur.executemany(
+                f"INSERT OR REPLACE INTO {_DICT_TABLE} VALUES (?, ?)",
+                [(code, _dict_text(values[code]))
+                 for code in range(self._dict_rows, len(values))])
+            self._dict_rows = len(values)
+
+    # -- schema --------------------------------------------------------
+
+    def _create_table(self, cur: sqlite3.Cursor, name: str) -> None:
+        schema = self.db.schemas[name]
+        cols = ", ".join(f"c{i} INTEGER NOT NULL"
+                         for i in range(schema.arity))
+        pk = ", ".join(f"c{i}" for i in range(schema.arity))
+        cur.execute(
+            f"CREATE TABLE IF NOT EXISTS {table_name(name)} "
+            f"({cols}, PRIMARY KEY ({pk})) WITHOUT ROWID")
+        if schema.key_size < schema.arity:
+            suffix = ", ".join(f"c{i}" for i in range(schema.key_size,
+                                                      schema.arity))
+            cur.execute(
+                f"CREATE INDEX IF NOT EXISTS {table_name(name + '__suffix')} "
+                f"ON {table_name(name)} ({suffix})")
+        self._known.add(name)
+
+    def _ensure_table(self, cur: sqlite3.Cursor, name: str) -> None:
+        if name not in self._known:
+            self._create_table(cur, name)
+
+    def ensure_tables(self, names: Iterable[str]) -> None:
+        """Create mirror tables for schema-only relations.
+
+        ``add_relation`` emits no changelog, so a relation declared
+        after attach has no table until its first delta; a native query
+        referencing it must find the (empty) table.
+        """
+        missing = [n for n in names
+                   if n not in self._known and n in self.db.schemas]
+        if missing:
+            cur = self.conn.cursor()
+            for name in missing:
+                self._create_table(cur, name)
+            self.conn.commit()
 
     # -- synchronization -----------------------------------------------
 
@@ -109,57 +247,181 @@ class SQLiteMirror:
         tables = [
             row[0] for row in cur.execute(
                 "SELECT name FROM sqlite_master WHERE type = 'table'")
-            if row[0] != _META_TABLE
+            if row[0] not in _INTERNAL_TABLES
         ]
         for table in tables:
             cur.execute(f'DROP TABLE IF EXISTS "{table}"')
-        create_tables(self.conn, self.db.schemas.values())
+        cur.execute(f"DELETE FROM {_DICT_TABLE}")
+        cur.execute(f"DELETE FROM {ADOM_TABLE}")
+        self._dict_rows = 0
+        self._known = set()
+        self._stmt_cache.clear()
+        encode = self.dictionary.encode
+        adom: Counter = Counter()
+        for name in self.db.schemas:
+            self._create_table(cur, name)
         for name in self.db.relations():
-            schema = self.db.schemas[name]
-            placeholders = ", ".join("?" for _ in range(schema.arity))
+            arity = self.db.schemas[name].arity
+            placeholders = ", ".join("?" for _ in range(arity))
+            coded = [tuple(encode(v) for v in row)
+                     for row in self.db.facts(name)]
+            for row in coded:
+                adom.update(row)
             cur.executemany(
                 f"INSERT OR IGNORE INTO {table_name(name)} "
-                f"VALUES ({placeholders})",
-                [tuple(encode_value(v) for v in row)
-                 for row in self.db.facts(name)],
-            )
-        self._set_clock(self.db.clock)
+                f"VALUES ({placeholders})", coded)
+        if adom:
+            cur.executemany(
+                f"INSERT INTO {ADOM_TABLE} VALUES (?, ?)",
+                sorted(adom.items()))
+        self._persist_dict(cur)
+        self._set_meta("clock", str(self.db.clock))
+        self._set_meta("format", MIRROR_FORMAT)
+        cur.execute("ANALYZE")
         self.conn.commit()
-        self._known = set(self.db.schemas)
         STATS["pushdown"]["mirror_rebuilds"] += 1
 
-    def _ensure_table(self, name: str) -> None:
-        if name not in self._known:
-            create_tables(self.conn, [self.db.schemas[name]])
-            self._known.add(name)
-
     def _apply(self, log: Changelog) -> None:
-        """Changelog listener: one batch, one sqlite transaction."""
+        """Changelog listener: one batch, one sqlite transaction.
+
+        ``Changelog`` deltas carry the *net* effect of a batch —
+        inserted rows were absent before it, deleted rows present — so
+        per-occurrence refcounting keeps ``repro_adom`` exact.
+        """
         cur = self.conn.cursor()
+        encode = self.dictionary.encode
         rows = 0
+        adom: Counter = Counter()
         for name, delta in log.deltas.items():
-            self._ensure_table(name)
+            self._ensure_table(cur, name)
             arity = self.db.schemas[name].arity
             table = table_name(name)
             if delta.deleted:
+                coded = [tuple(encode(v) for v in row)
+                         for row in delta.deleted]
+                for row in coded:
+                    adom.subtract(row)
                 where = " AND ".join(f"c{i} = ?" for i in range(arity))
-                cur.executemany(
-                    f"DELETE FROM {table} WHERE {where}",
-                    [tuple(encode_value(v) for v in row)
-                     for row in delta.deleted],
-                )
-                rows += len(delta.deleted)
+                cur.executemany(f"DELETE FROM {table} WHERE {where}", coded)
+                rows += len(coded)
             if delta.inserted:
+                coded = [tuple(encode(v) for v in row)
+                         for row in delta.inserted]
+                for row in coded:
+                    adom.update(row)
                 placeholders = ", ".join("?" for _ in range(arity))
                 cur.executemany(
-                    f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})",
-                    [tuple(encode_value(v) for v in row)
-                     for row in delta.inserted],
-                )
-                rows += len(delta.inserted)
-        self._set_clock(log.version)
+                    f"INSERT OR IGNORE INTO {table} "
+                    f"VALUES ({placeholders})", coded)
+                rows += len(coded)
+        changes = [(code, n) for code, n in adom.items() if n]
+        if changes:
+            cur.executemany(
+                f"INSERT INTO {ADOM_TABLE} VALUES (?, ?) "
+                "ON CONFLICT(code) DO UPDATE SET "
+                "refs = refs + excluded.refs", changes)
+            cur.execute(f"DELETE FROM {ADOM_TABLE} WHERE refs <= 0")
+            STATS["pushdown"]["adom_delta_rows"] += len(changes)
+        self._persist_dict(cur)
+        self._set_meta("clock", str(log.version))
         self.conn.commit()
         STATS["pushdown"]["mirror_delta_rows"] += rows
+
+    def refresh_stats(self) -> None:
+        """Re-run ``ANALYZE`` (the store calls this at checkpoint)."""
+        self.conn.execute("ANALYZE")
+        self.conn.commit()
+
+    # -- native execution ----------------------------------------------
+
+    def _statement(self, compiled, probe: bool):
+        # Keyed like the plan cache: the plan *object* (plans are
+        # interned per (formula, free, schema signature) by the LRU
+        # plan cache, and holding it as a key also pins it alive, so a
+        # recycled id() can never alias a different plan), plus the
+        # schema count so a post-attach ``add_relation`` recompiles
+        # scans that previously compiled to the empty relation.
+        key = (compiled.plan, probe, len(self.db.schemas))
+        if self._stmt_capacity:
+            hit = self._stmt_cache.get(key)
+            if hit is not None:
+                self._stmt_cache.move_to_end(key)
+                STATS["pushdown"]["stmt_cache_hits"] += 1
+                return hit
+            STATS["pushdown"]["stmt_cache_misses"] += 1
+        stmt = compile_plan(compiled.plan, self.db.schemas,
+                            compiled.constants, probe=probe)
+        if self._stmt_capacity:
+            self._stmt_cache[key] = stmt
+            while len(self._stmt_cache) > self._stmt_capacity:
+                self._stmt_cache.popitem(last=False)
+        return stmt
+
+    def _execute(self, compiled, probe: bool):
+        plan = compiled.plan
+        if not supports_plan(plan):
+            return None
+        self.ensure_tables(plan_relations(plan))
+        stmt = self._statement(compiled, probe)
+        encode = self.dictionary.encode
+        params = [encode(v) for v in stmt.params]
+        return stmt, self.conn.execute(stmt.sql, params)
+
+    def holds(self, compiled) -> Optional[bool]:
+        """Run the boolean probe form; None when unsupported."""
+        executed = self._execute(compiled, probe=True)
+        if executed is None:
+            return None
+        _, cur = executed
+        return bool(cur.fetchone()[0])
+
+    def answers(self, compiled) -> Optional[FrozenSet[Tuple]]:
+        """Run the answer form, decoding code columns in bulk."""
+        if not compiled.free:
+            held = self.holds(compiled)
+            return None if held is None else (
+                frozenset({()}) if held else frozenset())
+        executed = self._execute(compiled, probe=False)
+        if executed is None:
+            return None
+        _, cur = executed
+        batch = ColumnarRelation.from_code_rows(compiled.free, cur)
+        return frozenset(batch.to_rows(self.dictionary))
+
+    # -- introspection -------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Mirror-local facts for ``repro db stats``."""
+        tables: Dict[str, Dict[str, int]] = {}
+        for name in sorted(self._known):
+            rows = self.conn.execute(
+                f"SELECT COUNT(*) FROM {table_name(name)}").fetchone()[0]
+            indexes = self.conn.execute(
+                "SELECT COUNT(*) FROM sqlite_master "
+                "WHERE type = 'index' AND tbl_name = ?", (name,)
+            ).fetchone()[0]
+            tables[name] = {"rows": rows, "indexes": indexes}
+        adom_values = self.conn.execute(
+            f"SELECT COUNT(*) FROM {ADOM_TABLE}").fetchone()[0]
+        pushdown = STATS["pushdown"]
+        lookups = (pushdown["stmt_cache_hits"]
+                   + pushdown["stmt_cache_misses"])
+        return {
+            "path": str(self.path),
+            "format": self._meta("format"),
+            "clock": self._meta_clock(),
+            "tables": tables,
+            "adom_values": adom_values,
+            "dictionary_codes": self._dict_rows,
+            "stmt_cache": {
+                "entries": len(self._stmt_cache),
+                "capacity": self._stmt_capacity,
+                "hits": pushdown["stmt_cache_hits"],
+                "misses": pushdown["stmt_cache_misses"],
+                "hit_rate": (round(pushdown["stmt_cache_hits"] / lookups, 4)
+                             if lookups else None),
+            },
+        }
 
     def close(self) -> None:
         try:
@@ -185,17 +447,39 @@ def sql_mirror(db: Database) -> Optional[SQLiteMirror]:
     return mirror
 
 
-def mirror_connection(db: Database) -> Optional[sqlite3.Connection]:
-    """The connection ``method="sql"`` should run on, with routing
-    accounting: the mirror when the database is store-backed (no
-    per-query load), else ``None`` (the legacy load-into-memory path).
+def native_sql_answers(compiled, db: Database) -> Optional[FrozenSet[Tuple]]:
+    """Answer rows of a compiled query, entirely inside sqlite.
+
+    ``None`` when the database carries no mirror or the plan has no
+    native translation — callers fall back to the legacy formula-SQL
+    path (which always loads a fresh in-memory connection; the
+    integer-coded mirror cannot run TEXT-encoded formula SQL).
     """
     mirror = sql_mirror(db)
     if mirror is None:
-        STATS["pushdown"]["legacy_sql"] += 1
         return None
-    STATS["pushdown"]["routed_sql"] += 1
-    return mirror.conn
+    result = mirror.answers(compiled)
+    if result is not None:
+        STATS["pushdown"]["routed_sql"] += 1
+        STATS["pushdown"]["native_sql"] += 1
+    return result
+
+
+def native_sql_holds(compiled, db: Database) -> Optional[bool]:
+    """Boolean certainty probe inside sqlite; ``None`` when unsupported."""
+    mirror = sql_mirror(db)
+    if mirror is None:
+        return None
+    result = mirror.holds(compiled)
+    if result is not None:
+        STATS["pushdown"]["routed_sql"] += 1
+        STATS["pushdown"]["native_sql"] += 1
+    return result
+
+
+def count_legacy_sql() -> None:
+    """Account one formula-SQL fallback execution."""
+    STATS["pushdown"]["legacy_sql"] += 1
 
 
 def prefer_sql(compiled, db: Database) -> bool:
@@ -203,17 +487,16 @@ def prefer_sql(compiled, db: Database) -> bool:
 
     Checked before :func:`repro.columnar.prefer_columnar`.  Three
     gates: the database must be mirror-backed (plain in-memory
-    databases keep their current routing untouched), the compiled plan
-    must be Adom*-free (the SQL form re-derives the active domain per
-    query; QP110 reports the forced fallback), and the store must hold
-    at least :func:`sql_min_facts` facts.
+    databases keep their current routing untouched), every plan node
+    must have a native SQL translation (QP110 reports the unsupported
+    shapes — ``Adom*`` plans now qualify, served by the maintained
+    ``repro_adom`` table), and the store must hold at least
+    :func:`sql_min_facts` facts.
     """
     if not mirror_capable(db):
         return False
-    from ..analysis.verifier import plan_uses_adom
-
-    if plan_uses_adom(compiled.plan):
-        STATS["pushdown"]["fallback_adom"] += 1
+    if not supports_plan(compiled.plan):
+        STATS["pushdown"]["fallback_unsupported"] += 1
         return False
     if db.size() < sql_min_facts():
         STATS["pushdown"]["fallback_small"] += 1

@@ -32,14 +32,18 @@ def _fresh() -> Dict[str, Any]:
         "snapshot_bytes": 0,     # bytes of the most recent snapshot
         "snapshot_ms": 0.0,      # cumulative snapshot wall time
         "wal_pruned": 0,         # WAL segment files deleted
-        # SQL pushdown routing
+        # SQL pushdown routing + native execution
         "pushdown": {
-            "routed_sql": 0,         # auto/sql queries served by the mirror
-            "legacy_sql": 0,         # sql method on a non-mirrored database
-            "fallback_adom": 0,      # Adom* plan forced in-memory (QP110)
-            "fallback_small": 0,     # below REPRO_SQL_MIN_FACTS
-            "mirror_rebuilds": 0,    # full reloads of the sqlite mirror
-            "mirror_delta_rows": 0,  # rows applied incrementally
+            "routed_sql": 0,           # queries served by the mirror
+            "native_sql": 0,           # of those, plan-IR→SQL native runs
+            "legacy_sql": 0,           # formula-SQL fallback executions
+            "fallback_unsupported": 0,  # plan has no SQL translation (QP110)
+            "fallback_small": 0,       # below REPRO_SQL_MIN_FACTS
+            "mirror_rebuilds": 0,      # full reloads of the sqlite mirror
+            "mirror_delta_rows": 0,    # fact rows applied incrementally
+            "adom_delta_rows": 0,      # active-domain refcount upserts
+            "stmt_cache_hits": 0,      # compiled statements reused
+            "stmt_cache_misses": 0,    # compiled statements built
         },
     }
 

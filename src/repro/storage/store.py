@@ -428,6 +428,9 @@ class PersistentDatabase(Database):
             for snap in list_snapshots(self.path):
                 if snapshot_clock(snap) < self._clock:
                     snap.unlink()
+            mirror = getattr(self, "_sql_mirror", None)
+            if mirror is not None:
+                mirror.refresh_stats()
         STATS["checkpoints"] += 1
         STATS["snapshot_bytes"] = size
         STATS["snapshot_ms"] += (time.perf_counter() - t0) * 1000.0

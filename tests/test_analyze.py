@@ -157,7 +157,7 @@ def fake_compiled(plan, free=()):
 
 class TestQPRules:
     def test_catalogue_is_complete(self):
-        assert sorted(QP_RULES) == [f"QP1{i:02d}" for i in range(12)]
+        assert sorted(QP_RULES) == [f"QP1{i:02d}" for i in range(13)]
         for info in QP_RULES.values():
             assert info.summary and info.code.startswith("QP1")
 
@@ -191,7 +191,28 @@ class TestQPRules:
         codes = {d.code for d in run_qp_rules(ctx)}
         assert {"QP105", "QP106"} <= codes
 
-    def test_qp110_adom_plan_on_large_store(self, tmp_path, monkeypatch):
+    def test_qp110_unsupported_plan_on_large_store(self, tmp_path,
+                                                   monkeypatch):
+        from repro.fo.plan import Plan
+        from repro.storage import PersistentDatabase
+
+        class OpaquePlan(Plan):
+            __slots__ = ()
+
+            def __init__(self):
+                super().__init__((x,))
+
+        monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "0")
+        db = PersistentDatabase(tmp_path / "store")
+        ctx = AnalysisContext(compiled=fake_compiled(OpaquePlan(), (x,)),
+                              free=(x,), db=db)
+        codes = {d.code for d in run_qp_rules(ctx)}
+        assert "QP110" in codes
+        db.close()
+
+    def test_qp110_silent_for_adom_plans(self, tmp_path, monkeypatch):
+        # The maintained repro_adom table gave Adom* plans a native
+        # translation: the old forced-fallback diagnostic must not fire.
         from repro.storage import PersistentDatabase
 
         monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "0")
@@ -199,26 +220,52 @@ class TestQPRules:
         plan = Project(AdomProduct((x,)), (x,))
         ctx = AnalysisContext(compiled=fake_compiled(plan, (x,)),
                               free=(x,), db=db)
-        codes = {d.code for d in run_qp_rules(ctx)}
-        assert "QP110" in codes
+        assert "QP110" not in {d.code for d in run_qp_rules(ctx)}
         db.close()
 
     def test_qp110_silent_off_store_or_below_threshold(self, tmp_path,
                                                        monkeypatch):
+        from repro.fo.plan import Plan
         from repro.storage import PersistentDatabase
 
-        plan = Project(AdomProduct((x,)), (x,))
+        class OpaquePlan(Plan):
+            __slots__ = ()
+
+            def __init__(self):
+                super().__init__((x,))
+
         # Plain in-memory database: never routed, never diagnosed.
-        ctx = AnalysisContext(compiled=fake_compiled(plan, (x,)), free=(x,),
-                              db=db_from({}))
+        ctx = AnalysisContext(compiled=fake_compiled(OpaquePlan(), (x,)),
+                              free=(x,), db=db_from({}))
         assert "QP110" not in {d.code for d in run_qp_rules(ctx)}
         # Store below the routing threshold: the fallback never bites.
         monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "1000")
         db = PersistentDatabase(tmp_path / "store")
-        ctx = AnalysisContext(compiled=fake_compiled(plan, (x,)),
+        ctx = AnalysisContext(compiled=fake_compiled(OpaquePlan(), (x,)),
                               free=(x,), db=db)
         assert "QP110" not in {d.code for d in run_qp_rules(ctx)}
         db.close()
+
+    def test_qp112_constants_fire_with_qp108(self):
+        report = analyze_text("P(x | y), not N('c' | y)")
+        codes = [d.code for d in report.diagnostics]
+        assert "QP108" in codes and "QP112" in codes
+
+    def test_qp112_missing_relation_flags_ddl(self):
+        from repro.workloads.queries import poll_qa
+
+        db = db_from({})  # no schemas at all
+        ctx = AnalysisContext(query=poll_qa(),
+                              classification=classify(poll_qa()), db=db)
+        messages = [d.message for d in run_qp_rules(ctx)
+                    if d.code == "QP112"]
+        assert any("absent from the database" in m for m in messages)
+
+    def test_qp112_silent_without_constants_or_ddl(self):
+        from repro.workloads.queries import poll_qa
+
+        report = analyze_query(poll_qa(), free=(Variable("p"),))
+        assert "QP112" not in {d.code for d in report.diagnostics}
 
     def test_qp111_wal_past_threshold(self, tmp_path, monkeypatch):
         from repro.core.atoms import RelationSchema
@@ -389,13 +436,13 @@ GOLDEN = {
     "q1": ("not in FO", None, ("QP107",)),
     "q2": ("not in FO", None, ("QP107",)),
     "q2_ex41": ("not in FO", None, ("QP107",)),
-    "q3": ("in FO", True, ("QP101", "QP105", "QP108")),
+    "q3": ("in FO", True, ("QP101", "QP105", "QP108", "QP112")),
     "q4": ("undecided (negation not weakly guarded)", None, ("QP107",)),
-    "q_hall_2": ("in FO", True, ("QP101", "QP105", "QP108")),
-    "q_hall_3": ("in FO", True, ("QP101", "QP105", "QP108")),
+    "q_hall_2": ("in FO", True, ("QP101", "QP105", "QP108", "QP112")),
+    "q_hall_3": ("in FO", True, ("QP101", "QP105", "QP108", "QP112")),
     "q_ex32_wg": ("not in FO", None, ("QP107",)),
     "q_gnfo": ("not in FO", None, ("QP107",)),
-    "q_ex611": ("in FO", True, ("QP101", "QP105", "QP108")),
+    "q_ex611": ("in FO", True, ("QP101", "QP105", "QP108", "QP112")),
     "poll_q1": ("not in FO", None, ("QP107",)),
     "poll_q2": ("not in FO", None, ("QP107",)),
     "poll_qa": ("in FO", True, ("QP101",)),

@@ -263,6 +263,33 @@ class TestDbCommands:
         out = capsys.readouterr().out
         assert "verdict: ok" in out and "integrity:" in out
 
+    def test_stats_text_and_json(self, capsys, poll_file, tmp_path,
+                                 monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "0")
+        store = str(tmp_path / "store")
+        assert main(["db", "init", store, "--from", poll_file]) == 0
+        capsys.readouterr()
+        # Run a query through the store so the statement cache warms up.
+        assert main(["certain", QA, "--db-path", store,
+                     "--method", "sql"]) == 0
+        capsys.readouterr()
+
+        assert main(["db", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "in sync" in out
+        assert "statement cache:" in out
+        assert "pushdown:" in out
+
+        assert main(["db", "stats", store, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mirror"]["clock"] == report["store"]["clock"]
+        assert report["mirror"]["format"] == "2"
+        tables = report["mirror"]["tables"]
+        assert sum(info["rows"] for info in tables.values()) > 0
+        # Tables with non-key columns carry the suffix index.
+        assert any(info["indexes"] >= 1 for info in tables.values())
+        assert report["pushdown"]["native_sql"] >= 1
+
     def test_init_refuses_existing_store(self, capsys, tmp_path):
         store = str(tmp_path / "store")
         assert main(["db", "init", store]) == 0

@@ -440,6 +440,38 @@ class TestRunConfig:
         got = certain_answers(qa_open, poll_db, "parallel", config=config)
         assert got == certain_answers(qa_open, poll_db, "compiled")
 
+    def test_from_env_reads_sql_knobs(self):
+        env = {"REPRO_SQL_MIN_FACTS": "17", "REPRO_SQL_STMT_CACHE": "0"}
+        config = RunConfig.from_env(env)
+        assert config.sql_min_facts == 17
+        assert config.sql_stmt_cache == 0
+        assert config.resolved_sql_min_facts() == 17
+        assert config.resolved_sql_stmt_cache() == 0
+
+    @pytest.mark.parametrize("bad", ["-5", "0x10", "  ", "", "many", "4.5"])
+    def test_bad_sql_knobs_fall_back_to_defaults(self, bad):
+        from repro.obs.config import (
+            DEFAULT_SQL_MIN_FACTS,
+            DEFAULT_SQL_STMT_CACHE,
+        )
+
+        env = {"REPRO_SQL_MIN_FACTS": bad, "REPRO_SQL_STMT_CACHE": bad}
+        config = RunConfig.from_env(env)
+        assert config.sql_min_facts is None
+        assert config.sql_stmt_cache is None
+        assert config.resolved_sql_min_facts() == DEFAULT_SQL_MIN_FACTS
+        assert config.resolved_sql_stmt_cache() == DEFAULT_SQL_STMT_CACHE
+
+    def test_sql_knob_defaults_without_env(self):
+        from repro.obs.config import (
+            DEFAULT_SQL_MIN_FACTS,
+            DEFAULT_SQL_STMT_CACHE,
+        )
+
+        config = RunConfig.from_env({})
+        assert config.resolved_sql_min_facts() == DEFAULT_SQL_MIN_FACTS
+        assert config.resolved_sql_stmt_cache() == DEFAULT_SQL_STMT_CACHE
+
 
 # ----------------------------------------------------------------------
 # Schema validator + pinned trace schema

@@ -2,7 +2,7 @@
 query text."""
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 
 from repro.core.atoms import RelationSchema
 from repro.db.database import Database
@@ -13,8 +13,20 @@ from repro.fo.sql import decode_value, encode_value
 # values: strings, ints, bools, nested tuples
 # ----------------------------------------------------------------------
 
+#: Strings whose *content* mimics the codec's own wire format: tag
+#: sigils ("i:5" as a string, not an int), percent escapes, separators.
+#: The codec must keep them apart from the values they impersonate.
+sigil_colliders = st.sampled_from([
+    "i:5", "s:x", "b:1", "t:a,b", "t:a%2Cb", "%25", "%2C",
+    "i:", "t:", ",", "s:s:nested", "b:0",
+])
 scalar = st.one_of(
     st.text(max_size=8),
+    st.text(
+        alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x2FFF),
+        max_size=8,
+    ),
+    sigil_colliders,
     st.integers(min_value=-10**6, max_value=10**6),
     st.booleans(),
 )
@@ -26,13 +38,24 @@ values = st.recursive(
 
 
 @given(values)
-@settings(max_examples=200, deadline=None)
+@example("")
+@example("i:5")
+@example("%25")
+@example("t:a%2Cb")
+@example(-1)
+@example("naïve Łukasiewicz ∀x")
+@example(("i:5", ("%2C", ""), -7))
+@settings(max_examples=300, deadline=None)
 def test_encode_decode_roundtrip(value):
     assert decode_value(encode_value(value)) == value
 
 
 @given(values, values)
-@settings(max_examples=200, deadline=None)
+@example("i:5", 5)
+@example("b:1", True)
+@example(("a%2Cb",), ("a", "b"))
+@example("", ())
+@settings(max_examples=300, deadline=None)
 def test_encode_injective(a, b):
     if a != b:
         assert encode_value(a) != encode_value(b)

@@ -1,13 +1,17 @@
-"""SQL pushdown: the sqlite mirror and the method="auto" routing gate.
+"""SQL pushdown: the integer-encoded mirror and the routing gate.
 
 The mirror must stay delta-consistent with its store (one transaction
-per changelog batch, clock recorded alongside), rebuild exactly when
-its recorded clock diverges, and the ``prefer_sql`` gate must route to
-it only for mirror-backed databases above the size threshold whose
-compiled plan avoids Adom* operators.
+per changelog batch, clock + dictionary + active-domain refcounts
+recorded alongside), rebuild exactly when its recorded clock, format,
+or persisted dictionary diverges, and the ``prefer_sql`` gate must
+route to it only for mirror-backed databases above the size threshold
+whose compiled plan the native SQL compiler can translate — which,
+since the ``repro_adom`` table, includes every ``Adom*``-bearing plan.
 """
 
 from __future__ import annotations
+
+import types
 
 import pytest
 
@@ -17,24 +21,38 @@ from repro.core.terms import Variable
 from repro.cqa.certain_answers import OpenQuery, certain_answers
 from repro.cqa.engine import CertaintyEngine
 from repro.fo.compile import plan_cache
+from repro.fo.plan import (
+    AdomEq,
+    AdomGuard,
+    AdomProduct,
+    Join,
+    Plan,
+    Project,
+    Scan,
+    execute_plan,
+)
 from repro.db.database import Database
-from repro.fo.sql import encode_value, table_name
+from repro.fo.sql import table_name
 from repro.workloads.queries import poll_qa
 from repro.storage import (
     PersistentDatabase,
     mirror_capable,
-    mirror_connection,
+    native_sql_answers,
+    native_sql_holds,
     prefer_sql,
     reset_storage_stats,
     sql_mirror,
     storage_stats,
+    supports_plan,
 )
 
-QUERY = "R(x | y), not S(y | x)"  # data-plane tests only (not in FO)
+QUERY = "R(x | y), not S(y | x)"
 
 #: poll_qa's schemas, for the tests that need a compiled Boolean plan.
 POLL_SCHEMAS = (RelationSchema("Lives", 2, 1), RelationSchema("Born", 2, 1),
                 RelationSchema("Likes", 2, 2))
+
+x, y = Variable("x"), Variable("y")
 
 
 @pytest.fixture(autouse=True)
@@ -59,15 +77,33 @@ def make_poll_store(path):
 
 
 def mirror_rows(mirror, relation):
-    """The mirror's rows for one relation, decoded for comparison
-    against plain fact tuples (the mirror stores the sqlite backend's
-    TEXT encoding)."""
+    """The mirror's rows for one relation, decoded back to values
+    (the mirror stores dictionary codes in INTEGER columns)."""
     cur = mirror.conn.execute(f"SELECT * FROM {table_name(relation)}")
-    return set(cur.fetchall())
+    decode = mirror.dictionary.decode
+    return {tuple(decode(code) for code in row) for row in cur.fetchall()}
 
 
-def encoded(rows):
-    return {tuple(encode_value(v) for v in row) for row in rows}
+def adom_values(mirror):
+    """The decoded contents of the maintained active-domain table."""
+    cur = mirror.conn.execute("SELECT code FROM repro_adom")
+    return {mirror.dictionary.decode(code) for (code,) in cur.fetchall()}
+
+
+def fake_compiled(plan, constants=(), free=None):
+    """A CompiledQuery stand-in for synthetic plans."""
+    return types.SimpleNamespace(
+        plan=plan, constants=tuple(constants),
+        free=tuple(plan.cols if free is None else free))
+
+
+class _OpaquePlan(Plan):
+    """A plan node type the SQL compiler has never heard of."""
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__((x,))
 
 
 class TestMirror:
@@ -76,18 +112,32 @@ class TestMirror:
         db.add_all("R", [("a", "1"), ("b", "2")])
         mirror = sql_mirror(db)
         assert storage_stats()["pushdown"]["mirror_rebuilds"] == 1
-        assert mirror_rows(mirror, "R") == encoded({("a", "1"), ("b", "2")})
+        assert mirror_rows(mirror, "R") == {("a", "1"), ("b", "2")}
 
         db.add("R", ("c", "3"))
         db.discard("R", ("a", "1"))
         with db.batch():
             db.add("S", ("9", "z"))
             db.add("S", ("8", "y"))
-        assert mirror_rows(mirror, "R") == encoded({("b", "2"), ("c", "3")})
-        assert mirror_rows(mirror, "S") == encoded({("9", "z"), ("8", "y")})
+        assert mirror_rows(mirror, "R") == {("b", "2"), ("c", "3")}
+        assert mirror_rows(mirror, "S") == {("9", "z"), ("8", "y")}
         assert mirror.clock == db.clock
         # Deltas, not rebuilds, carried all of that.
         assert storage_stats()["pushdown"]["mirror_rebuilds"] == 1
+        db.close()
+
+    def test_adom_table_tracks_active_domain(self, tmp_path):
+        db = make_store(tmp_path / "store")
+        db.add_all("R", [("a", "1"), ("a", "2")])
+        mirror = sql_mirror(db)
+        assert adom_values(mirror) == {"a", "1", "2"}
+        # "a" occurs twice: deleting one occurrence must keep it.
+        db.discard("R", ("a", "1"))
+        assert adom_values(mirror) == {"a", "2"}
+        db.add("S", ("1", "z"))
+        assert adom_values(mirror) == {"a", "2", "1", "z"}
+        db.discard("R", ("a", "2"))
+        assert adom_values(mirror) == {"1", "z"}
         db.close()
 
     def test_reattach_at_matching_clock_skips_rebuild(self, tmp_path):
@@ -97,10 +147,31 @@ class TestMirror:
         db.close()
         reset_storage_stats()
 
+        # A fresh process has an empty in-process dictionary; the
+        # persisted repro_dict replays into it code-for-code, so the
+        # integer columns stay meaningful without a rebuild.
         db2 = PersistentDatabase(tmp_path / "store")
         mirror = sql_mirror(db2)
         assert storage_stats()["pushdown"]["mirror_rebuilds"] == 0
-        assert mirror_rows(mirror, "R") == encoded({("a", "1")})
+        assert mirror_rows(mirror, "R") == {("a", "1")}
+        db2.close()
+
+    def test_diverged_dictionary_rebuilds(self, tmp_path):
+        db = make_store(tmp_path / "store")
+        db.add_all("R", [("a", "1"), ("b", "2")])
+        sql_mirror(db)
+        db.close()
+        reset_storage_stats()
+
+        db2 = PersistentDatabase(tmp_path / "store")
+        # Prime the in-process dictionary in a different first-seen
+        # order than the persisted one before the mirror attaches.
+        from repro.columnar.dictionary import columnar_store
+
+        columnar_store(db2).dictionary.encode("something-new")
+        mirror = sql_mirror(db2)
+        assert storage_stats()["pushdown"]["mirror_rebuilds"] == 1
+        assert mirror_rows(mirror, "R") == {("a", "1"), ("b", "2")}
         db2.close()
 
     def test_stale_mirror_rebuilds(self, tmp_path):
@@ -117,15 +188,45 @@ class TestMirror:
         db3 = PersistentDatabase(tmp_path / "store")
         mirror = sql_mirror(db3)
         assert storage_stats()["pushdown"]["mirror_rebuilds"] == 1
-        assert mirror_rows(mirror, "R") == encoded({("a", "1"), ("b", "2")})
+        assert mirror_rows(mirror, "R") == {("a", "1"), ("b", "2")}
         db3.close()
+
+    def test_old_text_mirror_format_rebuilds(self, tmp_path):
+        db = make_store(tmp_path / "store")
+        db.add("R", ("a", "1"))
+        mirror = sql_mirror(db)
+        # Forge a pre-integer mirror: wrong format marker, same clock.
+        mirror.conn.execute(
+            "INSERT OR REPLACE INTO repro_meta VALUES ('format', '1')")
+        mirror.conn.commit()
+        db.close()
+        reset_storage_stats()
+
+        db2 = PersistentDatabase(tmp_path / "store")
+        mirror2 = sql_mirror(db2)
+        assert storage_stats()["pushdown"]["mirror_rebuilds"] == 1
+        assert mirror_rows(mirror2, "R") == {("a", "1")}
+        db2.close()
+
+    def test_tables_are_integer_with_indexes(self, tmp_path):
+        db = make_store(tmp_path / "store")
+        db.add("R", ("a", "1"))
+        mirror = sql_mirror(db)
+        cols = mirror.conn.execute('PRAGMA table_info("R")').fetchall()
+        assert [c[2] for c in cols] == ["INTEGER", "INTEGER"]
+        # key_size 1 < arity 2: a non-key suffix index exists.
+        indexes = mirror.conn.execute(
+            "SELECT name FROM sqlite_master "
+            "WHERE type = 'index' AND tbl_name = 'R'").fetchall()
+        assert any("suffix" in name for (name,) in indexes)
+        db.close()
 
     def test_new_relation_after_attach(self, tmp_path):
         db = make_store(tmp_path / "store")
         mirror = sql_mirror(db)
         db.add_relation(RelationSchema("T", 1, 1))
         db.add("T", ("t",))
-        assert mirror_rows(mirror, "T") == encoded({("t",)})
+        assert mirror_rows(mirror, "T") == {("t",)}
         db.close()
 
     def test_close_detaches_mirror(self, tmp_path):
@@ -145,10 +246,15 @@ class TestRouting:
         for schema in POLL_SCHEMAS:
             db.add_relation(schema)
         db.add("Lives", ("p", "t"))
+        compiled = self.compiled(db)
         assert not mirror_capable(db)
-        assert not prefer_sql(self.compiled(db), db)
-        assert mirror_connection(db) is None
+        assert not prefer_sql(compiled, db)
+        assert native_sql_holds(compiled, db) is None
+        # method="sql" still works, via the legacy load-per-call path.
+        engine = CertaintyEngine(poll_qa())
+        assert engine.certain(db, "sql") == engine.certain(db, "compiled")
         assert storage_stats()["pushdown"]["legacy_sql"] == 1
+        assert storage_stats()["pushdown"]["routed_sql"] == 0
 
     def test_small_store_falls_back(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_SQL_MIN_FACTS", raising=False)
@@ -162,35 +268,115 @@ class TestRouting:
         monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "2")
         db = make_poll_store(tmp_path / "store")
         db.add_all("Lives", [("p", "t"), ("q", "u")])
-        compiled = self.compiled(db)
-        from repro.analysis.verifier import plan_uses_adom
-
-        assert prefer_sql(compiled, db) == (not plan_uses_adom(compiled.plan))
+        assert prefer_sql(self.compiled(db), db)
         db.close()
 
-    def test_adom_plan_falls_back(self, tmp_path, monkeypatch):
+    def test_bad_threshold_env_uses_default(self, tmp_path, monkeypatch):
+        # Negatives, hex, whitespace junk: ignored, default 4096 holds,
+        # so a 2-fact store falls back small instead of crashing.
+        for bad in ("-5", "0x10", "  ", "many"):
+            monkeypatch.setenv("REPRO_SQL_MIN_FACTS", bad)
+            db = make_poll_store(tmp_path / f"store-{hash(bad) % 997}")
+            db.add_all("Lives", [("p", "t"), ("q", "u")])
+            assert not prefer_sql(self.compiled(db), db)
+            db.close()
+
+    def test_adom_plans_route(self, tmp_path, monkeypatch):
+        # The flip of the old gate: Adom*-bearing plans are served by
+        # the maintained repro_adom table instead of forcing the
+        # in-memory executors.
         monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "0")
         db = make_store(tmp_path / "store")
         db.add("R", ("a", "1"))
-        # A constant in a negated key position compiles through an
-        # active-domain operator, which the pushdown refuses (QP110).
-        engine = CertaintyEngine(parse_query("P(x | y), not N('c' | y)"))
-        db.add_relation(RelationSchema("P", 2, 1))
-        db.add_relation(RelationSchema("N", 2, 1))
-        compiled = plan_cache.get_or_compile(engine.rewriting, db)
-        from repro.analysis.verifier import plan_uses_adom
-
-        if plan_uses_adom(compiled.plan):
-            assert not prefer_sql(compiled, db)
-            assert storage_stats()["pushdown"]["fallback_adom"] == 1
-        else:  # pragma: no cover - plan shape changed; gate is moot
-            assert prefer_sql(compiled, db)
+        compiled = fake_compiled(Project(AdomProduct((x,)), (x,)))
+        assert supports_plan(compiled.plan)
+        assert prefer_sql(compiled, db)
+        assert storage_stats()["pushdown"]["fallback_unsupported"] == 0
         db.close()
 
-    def test_mirror_connection_counts_routed(self, tmp_path):
+    def test_unsupported_plan_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "0")
         db = make_store(tmp_path / "store")
-        assert mirror_connection(db) is not None
-        assert storage_stats()["pushdown"]["routed_sql"] == 1
+        db.add("R", ("a", "1"))
+        compiled = fake_compiled(_OpaquePlan())
+        assert not supports_plan(compiled.plan)
+        assert not prefer_sql(compiled, db)
+        assert storage_stats()["pushdown"]["fallback_unsupported"] == 1
+        # The native entry points refuse it too (callers fall back).
+        assert native_sql_answers(compiled, db) is None
+        assert storage_stats()["pushdown"]["native_sql"] == 0
+        db.close()
+
+
+class TestStatementCache:
+    def test_repeat_queries_hit_cache(self, tmp_path):
+        db = make_store(tmp_path / "store")
+        db.add_all("R", [("a", "1"), ("b", "2")])
+        db.add_all("S", [("1", "b")])
+        oq = OpenQuery(parse_query(QUERY), [Variable("x")])
+        certain_answers(oq, db, "sql")
+        misses = storage_stats()["pushdown"]["stmt_cache_misses"]
+        assert misses >= 1
+        certain_answers(oq, db, "sql")
+        certain_answers(oq, db, "sql")
+        stats = storage_stats()["pushdown"]
+        assert stats["stmt_cache_hits"] >= 2
+        assert stats["stmt_cache_misses"] == misses
+        db.close()
+
+    def test_cache_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_STMT_CACHE", "0")
+        db = make_store(tmp_path / "store")
+        db.add_all("R", [("a", "1")])
+        oq = OpenQuery(parse_query(QUERY), [Variable("x")])
+        certain_answers(oq, db, "sql")
+        certain_answers(oq, db, "sql")
+        stats = storage_stats()["pushdown"]
+        assert stats["stmt_cache_hits"] == 0
+        assert stats["stmt_cache_misses"] == 0
+        assert sql_mirror(db).stats()["stmt_cache"]["capacity"] == 0
+        db.close()
+
+
+class TestAdomNative:
+    """Adom* plans execute natively with executor parity on real stores."""
+
+    def seed(self, tmp_path):
+        db = make_store(tmp_path / "store")
+        db.add_all("R", [("a", "1"), ("a", "2"), ("d", "d")])
+        db.add_all("S", [("1", "b")])
+        return db
+
+    @pytest.mark.parametrize("make_plan,constants", [
+        (lambda: Project(AdomProduct((x,)), (x,)), ()),
+        (lambda: Project(AdomProduct((x,)), (x,)), ("zzz",)),
+        (lambda: AdomEq(x, y), ()),
+        (lambda: Join(Scan(parse_query("R(x | y)").atoms[0]),
+                      AdomGuard()), ()),
+    ])
+    def test_synthetic_adom_parity(self, tmp_path, make_plan, constants):
+        db = self.seed(tmp_path)
+        plan = make_plan()
+        compiled = fake_compiled(plan, constants)
+        got = native_sql_answers(compiled, db)
+        expect = frozenset(execute_plan(plan, db, constants))
+        assert got == expect
+        # Stays correct after deltas shrink and grow the domain.
+        db.discard("R", ("a", "1"))
+        db.add("R", ("e", "f"))
+        got = native_sql_answers(compiled, db)
+        expect = frozenset(execute_plan(plan, db, constants))
+        assert got == expect
+        db.close()
+
+    def test_adom_constants_outside_database(self, tmp_path):
+        # The executor's adom is active_domain ∪ plan constants; a
+        # constant the database has never seen must still be ranged
+        # over, via a bind-time parameter in the adom CTE.
+        db = self.seed(tmp_path)
+        plan = Project(AdomProduct((x,)), (x,))
+        got = native_sql_answers(fake_compiled(plan, ("ghost",)), db)
+        assert got is not None and ("ghost",) in got
         db.close()
 
 
@@ -205,9 +391,11 @@ class TestEndToEnd:
         oq = OpenQuery(parse_query(QUERY), [Variable("x")])
         assert (certain_answers(oq, db, "sql")
                 == certain_answers(oq, db, "compiled"))
-        # The sql run went through the mirror, not a fresh load.
-        assert storage_stats()["pushdown"]["routed_sql"] >= 1
-        assert storage_stats()["pushdown"]["legacy_sql"] == 0
+        # The sql run ran natively inside the mirror, not a fresh load.
+        stats = storage_stats()["pushdown"]
+        assert stats["routed_sql"] >= 1
+        assert stats["native_sql"] >= 1
+        assert stats["legacy_sql"] == 0
         db.close()
 
     def seed_poll(self, db):
@@ -221,7 +409,7 @@ class TestEndToEnd:
         self.seed_poll(db)
         engine = CertaintyEngine(poll_qa())
         assert engine.certain(db, "sql") == engine.certain(db, "compiled")
-        assert storage_stats()["pushdown"]["routed_sql"] >= 1
+        assert storage_stats()["pushdown"]["native_sql"] >= 1
         db.close()
 
     def test_auto_routes_to_sql_above_threshold(self, tmp_path, monkeypatch):

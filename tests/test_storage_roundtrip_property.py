@@ -63,9 +63,16 @@ def test_reopened_store_matches_in_memory(seed, n, cut):
         recovered = PersistentDatabase(directory)
         try:
             assert state_digest(recovered) == state_digest(memory)
+            from repro.storage import storage_stats
+
+            native_before = storage_stats()["pushdown"]["native_sql"]
             for method in METHODS:
                 assert (answer_digest(recovered, method)
                         == answer_digest(memory, method)), method
+            # "sql" on the recovered store ran natively inside the
+            # reattached mirror — recovery is invisible to pushdown too.
+            assert (storage_stats()["pushdown"]["native_sql"]
+                    == native_before + 1)
         finally:
             recovered.close()
     finally:
