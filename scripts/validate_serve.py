@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Validate `repro serve` wire documents against the pinned schema
+(``docs/serve.schema.json``).
+
+    python scripts/validate_serve.py SHAPE doc.json [more.json ...]
+    curl -s localhost:8100/v1/healthz | python scripts/validate_serve.py healthz_response -
+
+SHAPE names a ``$defs`` entry of the schema (``certain_response``,
+``answers_response``, ``facts_response``, ``view_response``,
+``views_response``, ``changes_response``, ``metrics_response``,
+``healthz_response``, ``error_response``, or the request shapes).
+Uses the dependency-free validator in :mod:`repro.obs.schema` (the
+container has no ``jsonschema`` package).  Exits 1 listing every
+violation; the ``serve-smoke`` CI job runs this against live server
+responses so the wire contract cannot drift from the schema silently.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.schema import validate  # noqa: E402
+
+SCHEMA_PATH = Path(__file__).resolve().parent.parent / "docs" / "serve.schema.json"
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    shape, targets = argv[0], argv[1:] or ["-"]
+    root = json.loads(SCHEMA_PATH.read_text())
+    if shape not in root.get("$defs", {}):
+        known = ", ".join(sorted(root.get("$defs", {})))
+        print(f"unknown shape {shape!r}; expected one of: {known}",
+              file=sys.stderr)
+        return 2
+    schema = {"$ref": f"#/$defs/{shape}", "$defs": root["$defs"]}
+    failures = 0
+    for target in targets:
+        if target == "-":
+            name, text = "<stdin>", sys.stdin.read()
+        else:
+            name, text = target, Path(target).read_text()
+        try:
+            instance = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"{name}: not JSON: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        errors = validate(instance, schema)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{name}: {error}", file=sys.stderr)
+        else:
+            print(f"{name}: valid {shape}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

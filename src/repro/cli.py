@@ -39,6 +39,7 @@ from .fo.sql import compile_to_sql
 from .fo.stats import pretty, stats
 from .lint import LintError, lint_text
 from .obs import (
+    ExecutionOptions,
     PlanProfile,
     RunConfig,
     collect_metrics,
@@ -275,11 +276,18 @@ def _print_stats() -> None:
     print(collect_metrics().to_json())
 
 
-def _run_tracing(args: argparse.Namespace) -> RunConfig:
-    """The RunConfig for a traced CLI call (env fallbacks included)."""
+def _execution_options(args: argparse.Namespace) -> ExecutionOptions:
+    """The ExecutionOptions for a query command: --method/--jobs plus
+    the trace flags, with env fallbacks included (overrides beat env)."""
     if getattr(args, "json", False) and not args.trace:
         raise SystemExit("error: --json requires --trace")
-    return RunConfig.from_env(trace=args.trace, trace_file=args.trace_out)
+    method = _method_with_jobs(args)
+    return ExecutionOptions.from_env(
+        method=method,
+        jobs=args.jobs if method == "parallel" else None,
+        trace=args.trace,
+        trace_file=args.trace_out,
+    )
 
 
 def _print_trace(tracer) -> None:
@@ -294,8 +302,12 @@ def _print_trace(tracer) -> None:
         print(render_profile(plan, profile))
 
 
-def _flush_trace(tracer, config: RunConfig) -> None:
-    """Append the span JSONL when a trace file is configured."""
+def _flush_trace(tracer, config) -> None:
+    """Append the span JSONL when a trace file is configured.
+
+    ``config`` is anything with a ``trace_file`` field (a
+    :class:`RunConfig` or an :class:`ExecutionOptions`).
+    """
     if tracer is not None and config.trace_file:
         n = tracer.write_jsonl(config.trace_file)
         print(f"wrote {n} span records to {config.trace_file}",
@@ -328,16 +340,13 @@ def cmd_certain(args: argparse.Namespace) -> int:
     import json
 
     query = _parse_query_arg(args.query)
-    method = _method_with_jobs(args)
-    config = _run_tracing(args)
-    tracer = config.make_tracer()
+    options = _execution_options(args)
+    method = options.method
+    tracer = options.make_tracer()
     db = _load_db(args)
     try:
         engine = CertaintyEngine(query)
-        answer = engine.certain(
-            db, method, jobs=args.jobs if method == "parallel" else None,
-            tracer=tracer, config=config,
-        )
+        answer = engine.certain(db, options, tracer=tracer)
         if args.json:
             payload = trace_payload(args.query, method, tracer, answer=answer)
             print(json.dumps(payload, indent=2, sort_keys=True))
@@ -348,7 +357,7 @@ def cmd_certain(args: argparse.Namespace) -> int:
                 _print_trace(tracer)
     finally:
         _close_db(db)
-    _flush_trace(tracer, config)
+    _flush_trace(tracer, options)
     if args.stats:
         _print_stats()
     return 0
@@ -358,9 +367,9 @@ def cmd_answers(args: argparse.Namespace) -> int:
     import json
 
     query = _parse_query_arg(args.query)
-    method = _method_with_jobs(args)
-    config = _run_tracing(args)
-    tracer = config.make_tracer()
+    options = _execution_options(args)
+    method = options.method
+    tracer = options.make_tracer()
     free = [Variable(name.strip()) for name in args.free.split(",") if name.strip()]
     open_query = OpenQuery(query, free)
     db = _load_db(args)
@@ -368,11 +377,7 @@ def cmd_answers(args: argparse.Namespace) -> int:
         if args.show_sql and not args.json:
             print(certain_answers_sql_query(open_query, db))
             print()
-        answers = certain_answers(
-            open_query, db, method,
-            jobs=args.jobs if method == "parallel" else None,
-            tracer=tracer, config=config,
-        )
+        answers = certain_answers(open_query, db, options, tracer=tracer)
         if args.json:
             payload = trace_payload(
                 args.query, method, tracer,
@@ -388,7 +393,7 @@ def cmd_answers(args: argparse.Namespace) -> int:
                 _print_trace(tracer)
     finally:
         _close_db(db)
-    _flush_trace(tracer, config)
+    _flush_trace(tracer, options)
     if args.stats:
         _print_stats()
     return 0
@@ -439,6 +444,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     commits = 0
     last_holds = view.holds
     last_version = view.version
+    interrupted = False
     try:
         for lineno, raw in enumerate(stream, start=1):
             line = raw.strip()
@@ -480,14 +486,26 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 print(f"v{db.clock} CERTAINTY -> {view.holds}")
                 last_holds = view.holds
             last_version = view.version
+    except KeyboardInterrupt:
+        # Ctrl-C ends the watch like EOF would: commit any staged
+        # batch, release pools, close the store, print the summary.
+        interrupted = True
     finally:
         if stream is not sys.stdin:
             stream.close()
         if db.in_batch:
             db.commit()
+        # Warm forked pools (a prior --jobs run, or auto-parallel view
+        # maintenance) hold strong references to the database; release
+        # them explicitly so an interrupted watch exits promptly.
+        from .parallel import release_database
+
+        release_database(db)
         # A --db-path store is closed here; committed batches are
         # already durable, and the final summary only reads memory.
         _close_db(db)
+    if interrupted:
+        print("interrupted", file=sys.stderr)
     if free:
         print(f"final: {len(view.answers)} certain answers at v{db.clock} "
               f"({commits} update batches)")
@@ -497,6 +515,49 @@ def cmd_watch(args: argparse.Namespace) -> int:
     _flush_trace(tracer, config)
     if args.stats:
         _print_stats()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-running CQA HTTP/JSON service (docs/SERVE.md).
+
+    Owns the database (and, with --db-path, the durable store) until
+    shutdown; prints one readiness line — ``listening on http://...``
+    — once the socket is bound, so wrappers can wait for it.  SIGINT/
+    SIGTERM drain connections, release the warm worker pools, and
+    close the store cleanly.
+    """
+    import asyncio
+    import signal
+
+    from .serve import ReproServer
+
+    db = _load_db(args)
+    server = ReproServer(db, host=args.host, port=args.port,
+                         jobs=args.jobs, trace_file=args.trace_out)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"listening on http://{server.host}:{server.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+        assert server._closing is not None
+        try:
+            await server._closing.wait()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        # Signal handler not installable (or second Ctrl-C): the
+        # server teardown in _serve's finally already ran.
+        pass
+    print("server stopped", file=sys.stderr)
     return 0
 
 
@@ -870,6 +931,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print the unified EngineMetrics JSON at EOF")
     p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser("serve",
+                       help="run the long-running CQA HTTP/JSON service "
+                            "(docs/SERVE.md)")
+    p.add_argument("--db", default=None,
+                   help="serve an in-memory copy of a database JSON file")
+    p.add_argument("--db-path", default=None, metavar="DIR",
+                   help="serve a durable store directory (writes go "
+                        "through the WAL; views survive restarts); "
+                        "mutually exclusive with --db")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: loopback only)")
+    p.add_argument("--port", type=int, default=8100,
+                   help="TCP port; 0 picks a free port (printed in the "
+                        "readiness line)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="admission width and the default worker count "
+                        "for method='parallel' requests")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="append one span tree per request as JSONL "
+                        "records to FILE")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("explain",
                        help="explain a certainty answer (falsifying "

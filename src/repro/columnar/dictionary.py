@@ -33,6 +33,7 @@ copies never alias a stale store.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -54,11 +55,12 @@ class ValueDictionary:
     (they are database fact components, which already live in sets).
     """
 
-    __slots__ = ("_codes", "_values")
+    __slots__ = ("_codes", "_values", "_lock")
 
     def __init__(self) -> None:
         self._codes: Dict[object, int] = {}
         self._values: List[object] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._values)
@@ -67,9 +69,17 @@ class ValueDictionary:
         """The code of ``value``, assigning a fresh one on first sight."""
         code = self._codes.get(value)
         if code is None:
-            code = len(self._values)
-            self._codes[value] = code
-            self._values.append(value)
+            # Double-checked under the lock: concurrent server threads
+            # (repro serve runs reads in a pool) must never hand the
+            # same fresh code to two different values.  The hit path
+            # above stays lock-free — dict reads are GIL-atomic and
+            # the mapping is append-only.
+            with self._lock:
+                code = self._codes.get(value)
+                if code is None:
+                    code = len(self._values)
+                    self._codes[value] = code
+                    self._values.append(value)
         return code
 
     def encode_many(self, values: Iterable[object]) -> None:

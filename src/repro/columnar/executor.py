@@ -775,7 +775,7 @@ _ROUTE_CACHE_LIMIT = 64
 _route_cache: Dict[Tuple, bool] = {}
 
 
-def prefer_columnar(compiled, db: Database) -> bool:
+def prefer_columnar(compiled, db: Database, config=None) -> bool:
     """Should ``method="auto"`` take the columnar backend for this run?
 
     Three gates, cheapest first: the query must be open (sentences are
@@ -785,11 +785,16 @@ def prefer_columnar(compiled, db: Database) -> bool:
     that, tuple execution finishes before column encoding pays off.
     Plans touching Adom* stay on the tuple executor (their batch form
     is a decode fallback; QP109 reports this statically).  Decisions
-    are cached per (database, clock, plan).
+    are cached per (database, clock, plan).  ``config`` (a
+    :class:`repro.obs.RunConfig`) overrides the env-derived size
+    threshold — how :class:`repro.obs.ExecutionOptions` reaches this
+    gate.
     """
     if not compiled.free:
         return False
-    if db.size() < _min_facts():
+    threshold = (config.resolved_columnar_min_facts()
+                 if config is not None else _min_facts())
+    if db.size() < threshold:
         return False
     key = (id(db), db.clock, id(compiled.plan))
     hit = _route_cache.get(key)

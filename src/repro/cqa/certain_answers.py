@@ -72,6 +72,12 @@ from ..fo.formula import (
 )
 from ..fo.simplify import simplify_fixpoint
 from ..fo.sql import SQLCompiler, decode_value
+from ..obs.options import (
+    _UNSET,
+    close_tracer as _close_tracer,
+    merge_legacy_options,
+    open_tracer as _open_tracer,
+)
 from .brute_force import is_certain_brute_force
 from .is_certain import is_certain
 from .rewriting import NotInFO, Rewriter
@@ -288,30 +294,57 @@ def candidate_values(
 def certain_answers(
     open_query: OpenQuery,
     db: Database,
-    method: str = "auto",
-    jobs: Optional[int] = None,
+    options=None,
+    *,
     tracer=None,
-    config=None,
+    method=_UNSET,
+    jobs=_UNSET,
+    config=_UNSET,
 ) -> FrozenSet[Tuple]:
     """All certain answers of q(x⃗) on db.
 
-    ``auto`` picks ``compiled`` when the grounded query is in FO,
-    otherwise ``brute``.  ``jobs`` sets the worker count of the
-    ``parallel`` method (default: the CPU count, capped by
-    ``REPRO_MAX_WORKERS``) and is rejected for every other method —
-    the serial strategies have nothing to parallelize.
+    ``options`` is an :class:`repro.obs.ExecutionOptions` — or a bare
+    method string as shorthand, or its strict ``dict`` wire form (the
+    body of a ``repro serve`` request).  ``auto`` picks ``compiled``
+    when the grounded query is in FO, otherwise ``brute``; the
+    ``jobs`` field sets the worker count of the ``parallel`` method
+    (default: the CPU count, capped by ``max_workers``) and — as in the
+    CLI — upgrades ``auto`` to ``parallel``.  Serial strategies reject
+    it at :class:`~repro.obs.ExecutionOptions` construction: they have
+    nothing to parallelize.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records phase spans and,
     for the ``compiled``/``parallel`` methods, a per-operator
-    :class:`repro.obs.PlanProfile` attached via
-    ``tracer.add_profile``.  ``config`` (a :class:`repro.obs.RunConfig`)
-    supplies worker-count and threshold defaults for the parallel path.
-    Tracing never changes the answers — the parity tests in
-    ``tests/test_obs.py`` pin that down for every method.
+    :class:`repro.obs.PlanProfile` attached via ``tracer.add_profile``;
+    without an explicit tracer, the options' ``trace`` / ``trace_file``
+    fields create (and flush) one.  Tracing never changes the answers —
+    the parity tests in ``tests/test_obs.py`` pin that down for every
+    method.
+
+    The ``method=`` / ``jobs=`` / ``config=`` keywords are deprecated
+    shims that fold into ``options`` with a :class:`DeprecationWarning`
+    (an *error* for repro-internal callers); see ``docs/SERVE.md`` for
+    the migration table.
     """
+    opts = merge_legacy_options(
+        options, where="certain_answers",
+        method=method, jobs=jobs, config=config,
+    )
+    tracer, own = _open_tracer(opts, tracer)
+    try:
+        return _certain_answers(open_query, db, opts, tracer)
+    finally:
+        _close_tracer(opts, tracer, own)
+
+
+def _certain_answers(
+    open_query: OpenQuery, db: Database, opts, tracer
+) -> FrozenSet[Tuple]:
     from ..obs.trace import NULL_TRACER
 
     t = tracer if tracer is not None else NULL_TRACER
+    method = opts.resolved_method
+    run_config = opts.run_config()
     if method == "auto":
         if open_query.in_fo:
             method = "compiled"
@@ -321,24 +354,18 @@ def certain_answers(
             compiled = plan_cache.get_or_compile(
                 _guarded_open_rewriting(open_query), db, open_query.free
             )
-            if prefer_sql(compiled, db):
+            if prefer_sql(compiled, db, config=run_config):
                 method = "sql"
-            elif prefer_columnar(compiled, db):
+            elif prefer_columnar(compiled, db, config=run_config):
                 method = "columnar"
         else:
             method = "brute"
-    if jobs is None and config is not None and method == "parallel":
-        jobs = config.jobs
-    if jobs is not None and method != "parallel":
-        raise ValueError(
-            f"jobs= only applies to method='parallel', not {method!r}"
-        )
     if method == "parallel":
         from ..parallel import parallel_certain_answers
 
         with t.span("certain-answers", method=method):
             return parallel_certain_answers(
-                open_query, db, jobs=jobs, config=config,
+                open_query, db, jobs=opts.jobs, config=run_config,
                 tracer=tracer if t.enabled else None,
             )
     if method == "brute":

@@ -48,6 +48,12 @@ from ..fo.compile import plan_cache
 from ..fo.eval import Evaluator
 from ..fo.formula import Formula
 from ..lint import LintResult, lint_query
+from ..obs.options import (
+    _UNSET,
+    close_tracer as _close_tracer,
+    merge_legacy_options,
+    open_tracer as _open_tracer,
+)
 from .brute_force import is_certain_brute_force
 from .is_certain import is_certain
 from .rewriting import NotInFO, consistent_rewriting
@@ -113,17 +119,19 @@ class CertaintyEngine:
             self._rewriting = consistent_rewriting(self.query)
         return self._rewriting
 
-    def certain(self, db: Database, method: str = "auto",
-                jobs: Optional[int] = None, tracer=None,
-                config=None) -> bool:
+    def certain(self, db: Database, options=None, *, tracer=None,
+                method=_UNSET, jobs=_UNSET, config=_UNSET) -> bool:
         """Is q true in every repair of db?
 
-        ``method="auto"`` uses the compiled plan when the query is in FO
-        and falls back to brute force otherwise; on a mirror-backed
-        persistent store holding at least ``REPRO_SQL_MIN_FACTS`` facts
-        (and an Adom*-free plan) it pushes down to SQL instead
-        (:func:`repro.storage.pushdown.prefer_sql`).  ``method="parallel"``
-        accepts a ``jobs`` knob for symmetry with
+        ``options`` is an :class:`repro.obs.ExecutionOptions` (or a
+        bare method string as shorthand, or its strict ``dict`` wire
+        form — the body of a ``repro serve`` request).  ``"auto"`` uses
+        the compiled plan when the query is in FO and falls back to
+        brute force otherwise; on a mirror-backed persistent store
+        holding at least ``sql_min_facts`` facts (and an Adom*-free
+        plan) it pushes down to SQL instead
+        (:func:`repro.storage.pushdown.prefer_sql`).  ``"parallel"``
+        accepts the ``jobs`` field for symmetry with
         :meth:`certain_answers`, but Boolean certainty does not
         decompose over shards (see ``docs/PERFORMANCE.md``), so it runs
         the serial compiled plan and counts a ``boolean`` fallback in
@@ -131,23 +139,37 @@ class CertaintyEngine:
 
         ``tracer`` (a :class:`repro.obs.Tracer`) records method spans
         and — for ``compiled`` — a per-operator probe profile; it never
-        changes the answer.  ``config`` is a :class:`repro.obs.RunConfig`
-        forwarded to the parallel path.
+        changes the answer.  Without an explicit tracer, the options'
+        ``trace`` / ``trace_file`` fields create (and flush) one.
+
+        The ``method=`` / ``jobs=`` / ``config=`` keywords are
+        deprecated shims that fold into ``options`` with a
+        :class:`DeprecationWarning` (an *error* for repro-internal
+        callers); see ``docs/SERVE.md`` for the migration table.
         """
+        opts = merge_legacy_options(
+            options, where="CertaintyEngine.certain",
+            method=method, jobs=jobs, config=config,
+        )
+        tracer, own = _open_tracer(opts, tracer)
+        try:
+            return self._certain(db, opts, tracer)
+        finally:
+            _close_tracer(opts, tracer, own)
+
+    def _certain(self, db: Database, opts, tracer) -> bool:
         from ..obs.trace import NULL_TRACER
 
         t = tracer if tracer is not None else NULL_TRACER
-        if jobs is not None and method != "parallel":
-            raise ValueError(
-                f"jobs= only applies to method='parallel', not {method!r}"
-            )
+        method = opts.resolved_method
+        run_config = opts.run_config()
         if method == "auto":
             if self.in_fo:
                 method = "compiled"
                 from ..storage.pushdown import prefer_sql
 
                 compiled = plan_cache.get_or_compile(self.rewriting, db)
-                if prefer_sql(compiled, db):
+                if prefer_sql(compiled, db, config=run_config):
                     method = "sql"
             else:
                 method = "brute"
@@ -215,27 +237,31 @@ class CertaintyEngine:
                 return result
         if method == "parallel":
             self._require_fo(method)
-            return bool(self.certain_answers(db, (), method="parallel",
-                                             jobs=jobs, tracer=tracer,
-                                             config=config))
+            return bool(self.certain_answers(
+                db, (), opts.replace(method="parallel"), tracer=tracer))
         raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
 
-    def certain_answers(self, db: Database, free=(), method: str = "auto",
-                        jobs: Optional[int] = None, tracer=None,
-                        config=None):
+    def certain_answers(self, db: Database, free=(), options=None, *,
+                        tracer=None, method=_UNSET, jobs=_UNSET,
+                        config=_UNSET):
         """All certain answers of q(x⃗) on db, for answer variables
         ``free``.
 
         Thin wrapper around :func:`repro.cqa.certain_answers.certain_answers`
-        reusing this engine's query; ``method="parallel"`` with
-        ``jobs=N`` runs the sharded worker-pool path.  ``tracer`` and
-        ``config`` are forwarded unchanged (see
-        :func:`repro.cqa.certain_answers.certain_answers`).
+        reusing this engine's query; ``options`` is an
+        :class:`repro.obs.ExecutionOptions` (or a method string), where
+        ``method="parallel"`` with ``jobs=N`` runs the sharded
+        worker-pool path.  The ``method=`` / ``jobs=`` / ``config=``
+        keywords are deprecated shims (see :meth:`certain`).
         """
         from .certain_answers import OpenQuery, certain_answers
 
-        return certain_answers(OpenQuery(self.query, free), db, method,
-                               jobs=jobs, tracer=tracer, config=config)
+        opts = merge_legacy_options(
+            options, where="CertaintyEngine.certain_answers",
+            method=method, jobs=jobs, config=config,
+        )
+        return certain_answers(OpenQuery(self.query, free), db, opts,
+                               tracer=tracer)
 
     def metrics(self):
         """A unified :class:`repro.obs.EngineMetrics` snapshot.

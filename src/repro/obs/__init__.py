@@ -18,6 +18,10 @@ compiled, sql, incremental, parallel); this package makes all of them
   env-var sprawl (``REPRO_MAX_WORKERS``, ``REPRO_PARALLEL_MIN_FACTS``,
   ``REPRO_TRACE_FILE``, ``BENCH_PARALLEL_SMOKE``) behind one dataclass
   with env vars as fallback defaults;
+* :mod:`repro.obs.options` — :class:`ExecutionOptions`, the frozen
+  per-call request object (method, jobs, trace, routing gates) built
+  on :class:`RunConfig`, with a strict JSON round-trip that doubles as
+  the ``repro serve`` wire form (``docs/serve.schema.json``);
 * :mod:`repro.obs.schema` — a dependency-free JSON-Schema-subset
   validator used by the ``trace-smoke`` CI job against
   ``docs/trace.schema.json``.
@@ -28,6 +32,7 @@ and the migration table from the old static stats endpoints.
 
 from .config import RunConfig
 from .metrics import EngineMetrics, MetricsRegistry, collect_metrics, default_registry
+from .options import KNOWN_METHODS, ExecutionOptions, OptionsError
 from .profile import (
     OperatorStats,
     PlanProfile,
@@ -40,10 +45,13 @@ from .trace import NULL_TRACER, NullTracer, Span, Tracer, read_jsonl, render_spa
 
 __all__ = [
     "EngineMetrics",
+    "ExecutionOptions",
+    "KNOWN_METHODS",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "OperatorStats",
+    "OptionsError",
     "PlanProfile",
     "RunConfig",
     "SchemaError",

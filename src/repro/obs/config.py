@@ -20,7 +20,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional
 
 __all__ = ["RunConfig", "DEFAULT_MIN_FACTS", "DEFAULT_SQL_MIN_FACTS",
-           "DEFAULT_SQL_STMT_CACHE"]
+           "DEFAULT_SQL_STMT_CACHE", "DEFAULT_COLUMNAR_MIN_FACTS"]
 
 #: Below this many facts the parallel path falls back to serial
 #: (fork + IPC overhead dwarfs the work).
@@ -32,6 +32,10 @@ DEFAULT_SQL_MIN_FACTS = 4096
 
 #: Compiled-statement LRU entries per sqlite mirror (0 disables).
 DEFAULT_SQL_STMT_CACHE = 64
+
+#: Below this many facts ``auto`` never routes to the columnar backend
+#: (encoding whole relations costs more than small tuple runs save).
+DEFAULT_COLUMNAR_MIN_FACTS = 4000
 
 
 def _positive_int(raw: Optional[str]) -> Optional[int]:
@@ -76,6 +80,9 @@ class RunConfig:
     ``sql_stmt_cache``
         Compiled-statement LRU entries per sqlite mirror, 0 disables
         (env: ``REPRO_SQL_STMT_CACHE``; None: 64).
+    ``columnar_min_facts``
+        Database size below which ``auto`` skips the columnar backend
+        (env: ``REPRO_COLUMNAR_MIN_FACTS``; None: 4000).
     """
 
     jobs: Optional[int] = None
@@ -87,6 +94,7 @@ class RunConfig:
     parallel_smoke: bool = False
     sql_min_facts: Optional[int] = None
     sql_stmt_cache: Optional[int] = None
+    columnar_min_facts: Optional[int] = None
 
     @classmethod
     def from_env(cls, env: Optional[Mapping[str, str]] = None,
@@ -107,6 +115,9 @@ class RunConfig:
             parallel_smoke=bool((env.get("BENCH_PARALLEL_SMOKE") or "").strip()),
             sql_min_facts=_nonnegative_int(env.get("REPRO_SQL_MIN_FACTS")),
             sql_stmt_cache=_nonnegative_int(env.get("REPRO_SQL_STMT_CACHE")),
+            columnar_min_facts=_nonnegative_int(
+                env.get("REPRO_COLUMNAR_MIN_FACTS")
+            ),
         )
         effective = {k: v for k, v in overrides.items() if v is not None}
         return replace(config, **effective) if effective else config
@@ -153,3 +164,9 @@ class RunConfig:
         if self.sql_stmt_cache is not None:
             return self.sql_stmt_cache
         return DEFAULT_SQL_STMT_CACHE
+
+    def resolved_columnar_min_facts(self) -> int:
+        """The effective columnar size threshold."""
+        if self.columnar_min_facts is not None:
+            return self.columnar_min_facts
+        return DEFAULT_COLUMNAR_MIN_FACTS

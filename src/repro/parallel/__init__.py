@@ -19,19 +19,38 @@ from .executor import (
     parallel_certain_answers,
     parallel_stats,
     plan_has_adom,
+    release_layouts,
     reset_parallel_stats,
 )
 from .partition import ShardSpec, shard_database, shard_of, shard_spec
-from .pool import shutdown_pools
+from .pool import PoolRegistry, admission_slots, pool_registry, shutdown_pools
 
 __all__ = [
     "parallel_certain_answers",
     "parallel_stats",
     "plan_has_adom",
+    "release_database",
+    "release_layouts",
     "reset_parallel_stats",
+    "PoolRegistry",
     "ShardSpec",
+    "admission_slots",
+    "pool_registry",
     "shard_database",
     "shard_of",
     "shard_spec",
     "shutdown_pools",
 ]
+
+
+def release_database(db=None) -> int:
+    """Free every parallel-layer resource held for ``db`` (or all).
+
+    Tears down the warm forked worker pools *and* drops the cached
+    shard layouts, so a long-running process (``repro serve``, ``repro
+    watch``) can retire a database without leaking worker processes or
+    shard copies.  Called automatically by
+    ``PersistentDatabase.close()``.  Returns the number of pool entries
+    plus layouts released.
+    """
+    return pool_registry.release(db) + release_layouts(db)

@@ -65,6 +65,24 @@ _SHARDS_CACHE_LIMIT = 4
 _shards_cache: Dict[Tuple, list] = {}
 
 
+def release_layouts(db: Optional[Database] = None) -> int:
+    """Drop cached shard layouts — ``db``'s only, or all of them.
+
+    The layout cache holds strong references to full shard copies of
+    the database; a long-running server releases them together with
+    the worker pools (see :func:`repro.parallel.release_database`).
+    Returns the number of layouts dropped.
+    """
+    if db is None:
+        n = len(_shards_cache)
+        _shards_cache.clear()
+        return n
+    keys = [k for k in _shards_cache if k[0] == id(db)]
+    for key in keys:
+        del _shards_cache[key]
+    return len(keys)
+
+
 def reset_parallel_stats() -> None:
     _STATS.clear()
     _STATS.update(
@@ -157,7 +175,7 @@ def _fallback(open_query, db: Database, reason: str,
     reasons[reason] = reasons.get(reason, 0) + 1
     tracer.event("parallel-fallback", reason=reason)
     method = "columnar" if backend == "columnar" else "compiled"
-    return certain_answers(open_query, db, method=method,
+    return certain_answers(open_query, db, method,
                            tracer=tracer if tracer.enabled else None)
 
 

@@ -59,16 +59,21 @@ from ..fo.plan import Executor, Plan
 from .partition import shard_of
 
 __all__ = ["max_workers_cap", "fork_context", "worker_pool", "run_sharded",
-           "shutdown_pools"]
+           "shutdown_pools", "admission_slots", "PoolRegistry",
+           "pool_registry"]
 
 _POOL_CACHE_LIMIT = 4
 
-# key -> (db strong ref, shards, pinned single-worker executors); the
-# strong reference keeps the id()-based key honest for the cache's
-# (short) lifetime.
-_pools: Dict[
-    Tuple, Tuple[Database, List[Database], List[ProcessPoolExecutor]]
-] = {}
+
+def admission_slots(jobs: int) -> int:
+    """Concurrent execution slots for ``jobs`` workers: at most one
+    in-flight plan execution per physical core.
+
+    This is the parallel layer's admission-control rule; ``repro
+    serve`` reuses it to size its own request semaphore so a saturated
+    daemon queues requests instead of oversubscribing cores.
+    """
+    return max(1, min(jobs, os.cpu_count() or 1))
 
 
 def max_workers_cap() -> Optional[int]:
@@ -291,6 +296,117 @@ def _decode_rows(blob: bytes) -> List[List[Tuple]]:
 # ----------------------------------------------------------------------
 
 
+class PoolRegistry:
+    """Explicit lifecycle owner of the warm forked worker pools.
+
+    The cache used to be a bare module dict torn down only via
+    ``atexit`` — fine for one-shot CLI calls, a leak for a resident
+    ``repro serve`` daemon whose store is checkpointed, reopened, or
+    swapped while the process lives on.  The registry keeps the same
+    keying — ``(database identity, changelog clock, shard layout)`` —
+    and adds explicit teardown: :meth:`release` for one database's
+    pools (called from ``PersistentDatabase.close()``, server
+    shutdown, and ``repro watch`` on Ctrl-C), :meth:`shutdown` for
+    everything, and context-manager form for scoped use.  The default
+    process-wide instance is :data:`pool_registry`; ``atexit`` still
+    runs :meth:`shutdown` as the last-resort backstop.
+    """
+
+    def __init__(self, limit: int = _POOL_CACHE_LIMIT):
+        self._limit = limit
+        # key -> (db strong ref, shards, pinned single-worker
+        # executors); the strong reference keeps the id()-based key
+        # honest for the entry's lifetime.
+        self._pools: Dict[
+            Tuple, Tuple[Database, List[Database], List[ProcessPoolExecutor]]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def __enter__(self) -> "PoolRegistry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    @staticmethod
+    def _teardown(entry) -> None:
+        for pool in entry[2]:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def lease(
+        self,
+        db: Database,
+        cache_key: Tuple,
+        jobs: int,
+        n_shards: int,
+        shards_factory,
+    ) -> Optional[Tuple[List[Database], List[ProcessPoolExecutor]]]:
+        """A warm (shards, pinned executors) pair, forked on first use.
+
+        ``cache_key`` must determine the shard layout (it includes the
+        database's clock, the shard spec, and the worker count);
+        ``shards_factory`` is invoked only on a cache miss, *before*
+        the fork, so workers inherit the fresh shards copy-on-write.
+        Worker ``w`` permanently owns ``shards[w::jobs]``.  Returns
+        ``None`` when the platform cannot fork.
+        """
+        key = (id(db),) + cache_key
+        entry = self._pools.get(key)
+        if entry is not None:
+            return entry[1], entry[2]
+        ctx = fork_context()
+        if ctx is None:
+            return None
+        # Retire stale pools for the same database object (old clock
+        # only — same-clock siblings such as another jobs value over
+        # the same database stay warm) and enforce the small bound.
+        stale = [k for k in self._pools
+                 if k[0] == id(db) and k[1] != db.clock]
+        while stale or len(self._pools) >= self._limit:
+            victim = stale.pop() if stale else next(iter(self._pools))
+            self._teardown(self._pools.pop(victim))
+        shards = shards_factory()
+        # Admission control: at most one in-flight plan execution per
+        # physical core, however many workers the caller asked for.
+        admission = ctx.Semaphore(admission_slots(jobs))
+        pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=ctx,
+                initializer=_init_group,
+                initargs=(shards, range(w, n_shards, jobs), n_shards,
+                          admission),
+            )
+            for w in range(jobs)
+        ]
+        self._pools[key] = (db, shards, pools)
+        return shards, pools
+
+    def release(self, db: Optional[Database] = None) -> int:
+        """Shut down cached pools — ``db``'s only, or all of them.
+
+        Returns the number of pool entries torn down.  Safe to call
+        repeatedly; releasing a database with no warm pools is a no-op.
+        """
+        if db is None:
+            keys = list(self._pools)
+        else:
+            keys = [k for k in self._pools if k[0] == id(db)]
+        for key in keys:
+            self._teardown(self._pools.pop(key))
+        return len(keys)
+
+    def shutdown(self) -> int:
+        """Tear down every cached pool (the ``atexit`` backstop)."""
+        return self.release(None)
+
+
+#: The process-wide registry every engine call leases pools from.
+pool_registry = PoolRegistry()
+
+
 def worker_pool(
     db: Database,
     cache_key: Tuple,
@@ -298,45 +414,9 @@ def worker_pool(
     n_shards: int,
     shards_factory,
 ) -> Optional[Tuple[List[Database], List[ProcessPoolExecutor]]]:
-    """A warm (shards, pinned executors) pair, forked on first use.
-
-    ``cache_key`` must determine the shard layout (it includes the
-    database's clock, the shard spec, and the worker count);
-    ``shards_factory`` is invoked only on a cache miss, *before* the
-    fork, so workers inherit the fresh shards copy-on-write.  Worker
-    ``w`` permanently owns ``shards[w::jobs]``.  Returns ``None`` when
-    the platform cannot fork.
-    """
-    key = (id(db),) + cache_key
-    entry = _pools.get(key)
-    if entry is not None:
-        return entry[1], entry[2]
-    ctx = fork_context()
-    if ctx is None:
-        return None
-    # Retire stale pools for the same database object (old clock only —
-    # same-clock siblings such as another jobs value over the same
-    # database stay warm) and enforce the small cache bound.
-    stale = [k for k in _pools if k[0] == id(db) and k[1] != db.clock]
-    while stale or len(_pools) >= _POOL_CACHE_LIMIT:
-        victim = stale.pop() if stale else next(iter(_pools))
-        for pool in _pools.pop(victim)[2]:
-            pool.shutdown(wait=False, cancel_futures=True)
-    shards = shards_factory()
-    # Admission control: at most one in-flight plan execution per
-    # physical core, however many workers the caller asked for.
-    admission = ctx.Semaphore(max(1, min(jobs, os.cpu_count() or 1)))
-    pools = [
-        ProcessPoolExecutor(
-            max_workers=1,
-            mp_context=ctx,
-            initializer=_init_group,
-            initargs=(shards, range(w, n_shards, jobs), n_shards, admission),
-        )
-        for w in range(jobs)
-    ]
-    _pools[key] = (db, shards, pools)
-    return shards, pools
+    """Lease from the process-wide :data:`pool_registry` (see
+    :meth:`PoolRegistry.lease`)."""
+    return pool_registry.lease(db, cache_key, jobs, n_shards, shards_factory)
 
 
 def run_sharded(
@@ -392,10 +472,7 @@ def run_sharded(
 
 def shutdown_pools() -> None:
     """Tear down every cached pool (also registered ``atexit``)."""
-    while _pools:
-        _, entry = _pools.popitem()
-        for pool in entry[2]:
-            pool.shutdown(wait=False, cancel_futures=True)
+    pool_registry.shutdown()
 
 
 atexit.register(shutdown_pools)

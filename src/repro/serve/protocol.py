@@ -1,0 +1,110 @@
+"""Wire encoding shared by the ``repro serve`` daemon and its clients.
+
+Everything that crosses the HTTP boundary goes through here: answer
+rows are (de)serialized with the same rules as the database JSON format
+(:mod:`repro.db.io` — lists become tuples, values are strings /
+integers / booleans / nested lists), and every answer set carries a
+canonical ``sha256:`` digest so clients — and the bench harness — can
+compare a server response against a direct
+:func:`repro.cqa.certain_answers` call without shipping the rows.
+
+The response documents themselves are described by
+``docs/serve.schema.json``; ``scripts/validate_serve.py`` checks
+captured responses against it with the in-tree validator
+(:mod:`repro.obs.schema`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from ..db.io import _freeze, _thaw
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ERROR_CODES",
+    "answers_digest",
+    "error_payload",
+    "row_from_wire",
+    "rows_to_wire",
+]
+
+#: Version of every serve request/response document (bump on breaking
+#: changes, mirroring the trace and metrics schemas).
+SCHEMA_VERSION = 1
+
+#: Machine-readable error codes a response's ``error.code`` may carry.
+ERROR_CODES = (
+    "bad-json",        # body is not valid JSON
+    "bad-request",     # malformed HTTP or missing/ill-typed fields
+    "bad-options",     # ExecutionOptions rejected the request options
+    "parse-error",     # the query text does not parse
+    "not-in-fo",       # certainty is not FO-rewritable for this method
+    "not-found",       # unknown endpoint or view name
+    "method-not-allowed",
+    "stale-version",   # long-poll ``since`` predates retained history
+    "shutting-down",   # server is draining; retry against a new one
+    "internal",        # unexpected server-side failure
+)
+
+
+def rows_to_wire(rows: Iterable[Tuple]) -> List[List[Any]]:
+    """Answer rows as sorted JSON-ready lists (tuples thawed)."""
+    return sorted(([_thaw(v) for v in row] for row in rows), key=repr)
+
+
+def row_from_wire(row: Any) -> Tuple:
+    """One JSON row back into the engine's tuple-of-values form."""
+    if not isinstance(row, list):
+        raise TypeError(f"row must be a JSON array, got {row!r}")
+    return tuple(_freeze(v) for v in row)
+
+
+def answers_digest(rows: Iterable[Tuple]) -> str:
+    """A canonical content digest of an answer set.
+
+    Order-independent: each row is JSON-encoded compactly, the
+    encodings are sorted, and the newline-joined result is hashed.  The
+    same function runs on both sides of the wire — the server computes
+    it from engine tuples, ``scripts/bench_serve.py`` recomputes it
+    from a direct library call — so equal digests mean equal answers.
+    """
+    lines = sorted(
+        json.dumps([_thaw(v) for v in row], separators=(",", ":"),
+                   sort_keys=True)
+        for row in rows
+    )
+    return "sha256:" + hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def wire_digest(rows: Iterable[List[Any]]) -> str:
+    """:func:`answers_digest` for rows already in wire (list) form."""
+    return answers_digest(tuple(row_from_wire(list(r))) for r in rows)
+
+
+def error_payload(code: str, message: str, *,
+                  request_id: Optional[str] = None,
+                  **extra: Any) -> Dict[str, Any]:
+    """The JSON body of every non-2xx response."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    error: Dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    payload: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "error": error,
+    }
+    if request_id is not None:
+        payload["request_id"] = request_id
+    return payload
+
+
+def changes_payload(inserted: FrozenSet[Tuple],
+                    deleted: FrozenSet[Tuple]) -> Dict[str, List[List[Any]]]:
+    """The ``inserted``/``deleted`` halves of a view-changes response."""
+    return {
+        "inserted": rows_to_wire(inserted),
+        "deleted": rows_to_wire(deleted),
+    }

@@ -43,6 +43,7 @@ import base64
 import pathlib
 import pickle
 import sqlite3
+import threading
 from collections import Counter, OrderedDict
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
@@ -120,7 +121,13 @@ class SQLiteMirror:
     def __init__(self, db: Database, path: pathlib.Path):
         self.db = db
         self.path = path
-        self.conn = sqlite3.connect(str(path))
+        # Shared across a server's worker threads: Python's sqlite3 is
+        # built serialized (threadsafety 3), and the mirror additionally
+        # guards every statement + fetch + stmt-cache touch with one
+        # re-entrant lock so a delta transaction is never interleaved
+        # with a query on the same connection.
+        self.conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._lock = threading.RLock()
         self.dictionary = columnar_store(db).dictionary
         self._known: set = set()
         self._dict_rows = 0
@@ -231,18 +238,23 @@ class SQLiteMirror:
         after attach has no table until its first delta; a native query
         referencing it must find the (empty) table.
         """
-        missing = [n for n in names
-                   if n not in self._known and n in self.db.schemas]
-        if missing:
-            cur = self.conn.cursor()
-            for name in missing:
-                self._create_table(cur, name)
-            self.conn.commit()
+        with self._lock:
+            missing = [n for n in names
+                       if n not in self._known and n in self.db.schemas]
+            if missing:
+                cur = self.conn.cursor()
+                for name in missing:
+                    self._create_table(cur, name)
+                self.conn.commit()
 
     # -- synchronization -----------------------------------------------
 
     def rebuild(self) -> None:
         """Drop and reload every relation at the database's clock."""
+        with self._lock:
+            self._rebuild()
+
+    def _rebuild(self) -> None:
         cur = self.conn.cursor()
         tables = [
             row[0] for row in cur.execute(
@@ -288,6 +300,10 @@ class SQLiteMirror:
         inserted rows were absent before it, deleted rows present — so
         per-occurrence refcounting keeps ``repro_adom`` exact.
         """
+        with self._lock:
+            self._apply_locked(log)
+
+    def _apply_locked(self, log: Changelog) -> None:
         cur = self.conn.cursor()
         encode = self.dictionary.encode
         rows = 0
@@ -329,8 +345,9 @@ class SQLiteMirror:
 
     def refresh_stats(self) -> None:
         """Re-run ``ANALYZE`` (the store calls this at checkpoint)."""
-        self.conn.execute("ANALYZE")
-        self.conn.commit()
+        with self._lock:
+            self.conn.execute("ANALYZE")
+            self.conn.commit()
 
     # -- native execution ----------------------------------------------
 
@@ -369,11 +386,12 @@ class SQLiteMirror:
 
     def holds(self, compiled) -> Optional[bool]:
         """Run the boolean probe form; None when unsupported."""
-        executed = self._execute(compiled, probe=True)
-        if executed is None:
-            return None
-        _, cur = executed
-        return bool(cur.fetchone()[0])
+        with self._lock:
+            executed = self._execute(compiled, probe=True)
+            if executed is None:
+                return None
+            _, cur = executed
+            return bool(cur.fetchone()[0])
 
     def answers(self, compiled) -> Optional[FrozenSet[Tuple]]:
         """Run the answer form, decoding code columns in bulk."""
@@ -381,11 +399,12 @@ class SQLiteMirror:
             held = self.holds(compiled)
             return None if held is None else (
                 frozenset({()}) if held else frozenset())
-        executed = self._execute(compiled, probe=False)
-        if executed is None:
-            return None
-        _, cur = executed
-        batch = ColumnarRelation.from_code_rows(compiled.free, cur)
+        with self._lock:
+            executed = self._execute(compiled, probe=False)
+            if executed is None:
+                return None
+            _, cur = executed
+            batch = ColumnarRelation.from_code_rows(compiled.free, cur)
         return frozenset(batch.to_rows(self.dictionary))
 
     # -- introspection -------------------------------------------------
@@ -393,16 +412,17 @@ class SQLiteMirror:
     def stats(self) -> Dict[str, object]:
         """Mirror-local facts for ``repro db stats``."""
         tables: Dict[str, Dict[str, int]] = {}
-        for name in sorted(self._known):
-            rows = self.conn.execute(
-                f"SELECT COUNT(*) FROM {table_name(name)}").fetchone()[0]
-            indexes = self.conn.execute(
-                "SELECT COUNT(*) FROM sqlite_master "
-                "WHERE type = 'index' AND tbl_name = ?", (name,)
-            ).fetchone()[0]
-            tables[name] = {"rows": rows, "indexes": indexes}
-        adom_values = self.conn.execute(
-            f"SELECT COUNT(*) FROM {ADOM_TABLE}").fetchone()[0]
+        with self._lock:
+            for name in sorted(self._known):
+                rows = self.conn.execute(
+                    f"SELECT COUNT(*) FROM {table_name(name)}").fetchone()[0]
+                indexes = self.conn.execute(
+                    "SELECT COUNT(*) FROM sqlite_master "
+                    "WHERE type = 'index' AND tbl_name = ?", (name,)
+                ).fetchone()[0]
+                tables[name] = {"rows": rows, "indexes": indexes}
+            adom_values = self.conn.execute(
+                f"SELECT COUNT(*) FROM {ADOM_TABLE}").fetchone()[0]
         pushdown = STATS["pushdown"]
         lookups = (pushdown["stmt_cache_hits"]
                    + pushdown["stmt_cache_misses"])
@@ -428,7 +448,8 @@ class SQLiteMirror:
             self.db.unsubscribe(self._apply)
         except Exception:  # pragma: no cover - already unsubscribed
             pass
-        self.conn.close()
+        with self._lock:
+            self.conn.close()
 
 
 def mirror_capable(db: Database) -> bool:
@@ -482,7 +503,7 @@ def count_legacy_sql() -> None:
     STATS["pushdown"]["legacy_sql"] += 1
 
 
-def prefer_sql(compiled, db: Database) -> bool:
+def prefer_sql(compiled, db: Database, config=None) -> bool:
     """Should ``method="auto"`` push this run down to the mirror?
 
     Checked before :func:`repro.columnar.prefer_columnar`.  Three
@@ -491,14 +512,19 @@ def prefer_sql(compiled, db: Database) -> bool:
     must have a native SQL translation (QP110 reports the unsupported
     shapes — ``Adom*`` plans now qualify, served by the maintained
     ``repro_adom`` table), and the store must hold at least
-    :func:`sql_min_facts` facts.
+    :func:`sql_min_facts` facts.  ``config`` (a
+    :class:`repro.obs.RunConfig`) overrides the env-derived size
+    threshold — how :class:`repro.obs.ExecutionOptions` reaches this
+    gate.
     """
     if not mirror_capable(db):
         return False
     if not supports_plan(compiled.plan):
         STATS["pushdown"]["fallback_unsupported"] += 1
         return False
-    if db.size() < sql_min_facts():
+    threshold = (config.resolved_sql_min_facts() if config is not None
+                 else sql_min_facts())
+    if db.size() < threshold:
         STATS["pushdown"]["fallback_small"] += 1
         return False
     return True

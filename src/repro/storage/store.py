@@ -350,6 +350,12 @@ class PersistentDatabase(Database):
         if mirror is not None:
             mirror.close()
             delattr(self, "_sql_mirror")
+        # Retire any warm forked worker pools and cached shard layouts
+        # still pinned to this object, so close/reopen cycles in a
+        # long-running process never leak worker processes.
+        from ..parallel import release_database
+
+        release_database(self)
         self.unsubscribe(self._on_commit)
         if self._wal is not None:
             self._wal.close()

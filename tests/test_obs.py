@@ -309,7 +309,9 @@ class TestTracingParity:
 
     def test_parallel_fallback_event_recorded(self, qa_open, poll_db):
         tracer = Tracer()
-        certain_answers(qa_open, poll_db, "parallel", jobs=1, tracer=tracer)
+        with pytest.warns(DeprecationWarning, match="jobs="):
+            certain_answers(qa_open, poll_db, "parallel", jobs=1,
+                            tracer=tracer)
         events = [s for s, _, _ in tracer.iter_spans()
                   if s.name == "parallel-fallback"]
         assert events and events[0].tags["reason"] == "jobs=1"
@@ -437,7 +439,9 @@ class TestRunConfig:
 
     def test_certain_answers_accepts_config(self, qa_open, poll_db):
         config = RunConfig(jobs=1, parallel_min_facts=0)
-        got = certain_answers(qa_open, poll_db, "parallel", config=config)
+        with pytest.warns(DeprecationWarning, match="config="):
+            got = certain_answers(qa_open, poll_db, "parallel",
+                                  config=config)
         assert got == certain_answers(qa_open, poll_db, "compiled")
 
     def test_from_env_reads_sql_knobs(self):

@@ -1,0 +1,182 @@
+"""ExecutionOptions: the one request-shaped execution API.
+
+The same frozen dataclass travels three ways — positionally into
+``certain``/``certain_answers``, as the JSON body of a ``repro serve``
+request, and merged out of the deprecated ``method=``/``jobs=``/
+``config=`` keywords — so these tests pin its validation, coercion,
+wire round-trip, and the legacy-shim semantics the engine relies on.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.cqa.engine import CertaintyEngine
+from repro.db.database import Database
+from repro.core.atoms import RelationSchema
+from repro.obs import ExecutionOptions, OptionsError, RunConfig
+from repro.obs.options import merge_legacy_options
+
+
+class TestConstruction:
+    def test_defaults(self):
+        opts = ExecutionOptions()
+        assert opts.method == "auto"
+        assert opts.jobs is None
+        assert opts.trace is False
+        assert opts.resolved_method == "auto"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionOptions().method = "sql"  # type: ignore[misc]
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(OptionsError, match="unknown method"):
+            ExecutionOptions(method="turbo")
+
+    def test_jobs_requires_parallelizable_method(self):
+        with pytest.raises(OptionsError, match="jobs= only applies"):
+            ExecutionOptions(method="compiled", jobs=2)
+
+    def test_jobs_with_auto_resolves_to_parallel(self):
+        opts = ExecutionOptions(jobs=2)
+        assert opts.method == "auto"
+        assert opts.resolved_method == "parallel"
+
+    def test_positive_fields_validated(self):
+        with pytest.raises(OptionsError):
+            ExecutionOptions(method="parallel", jobs=0)
+        with pytest.raises(OptionsError):
+            ExecutionOptions(shard_factor=-1)
+
+    def test_nonnegative_fields_validated(self):
+        assert ExecutionOptions(sql_min_facts=0).sql_min_facts == 0
+        with pytest.raises(OptionsError):
+            ExecutionOptions(parallel_min_facts=-5)
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(OptionsError):
+            ExecutionOptions(method="parallel", jobs=True)
+
+
+class TestCoercion:
+    def test_none_is_defaults(self):
+        assert ExecutionOptions.coerce(None) == ExecutionOptions()
+
+    def test_string_is_method_shorthand(self):
+        assert ExecutionOptions.coerce("sql").method == "sql"
+
+    def test_mapping_goes_through_from_dict(self):
+        opts = ExecutionOptions.coerce({"method": "parallel", "jobs": 3})
+        assert (opts.method, opts.jobs) == ("parallel", 3)
+
+    def test_instance_passes_through(self):
+        opts = ExecutionOptions(method="brute")
+        assert ExecutionOptions.coerce(opts) is opts
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(OptionsError, match="unknown option field"):
+            ExecutionOptions.from_dict({"method": "sql", "workers": 4})
+
+    def test_other_types_rejected(self):
+        with pytest.raises((TypeError, OptionsError)):
+            ExecutionOptions.coerce(42)  # type: ignore[arg-type]
+
+
+class TestWireRoundTrip:
+    def test_to_dict_is_compact(self):
+        assert ExecutionOptions().to_dict() == {"method": "auto"}
+
+    def test_round_trip_preserves_everything(self):
+        opts = ExecutionOptions(method="parallel", jobs=4, shard_factor=2,
+                                sql_min_facts=10, columnar_min_facts=7)
+        assert ExecutionOptions.from_dict(opts.to_dict()) == opts
+
+    def test_replace(self):
+        opts = ExecutionOptions(method="auto").replace(method="sql")
+        assert opts.method == "sql"
+
+    def test_from_env_reads_gates(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SQL_MIN_FACTS", "123")
+        opts = ExecutionOptions.from_env(method="sql")
+        assert opts.sql_min_facts == 123
+        assert opts.method == "sql"
+
+    def test_run_config_lift(self):
+        opts = ExecutionOptions(method="parallel", jobs=3, shard_factor=2)
+        config = opts.run_config()
+        assert isinstance(config, RunConfig)
+        assert config.jobs == 3
+        assert config.shard_factor == 2
+
+
+class TestLegacyShims:
+    def test_positional_string_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            opts = merge_legacy_options("compiled", where="t")
+        assert opts.method == "compiled"
+
+    def test_method_keyword_warns(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            opts = merge_legacy_options(None, where="t", method="sql")
+        assert opts.method == "sql"
+
+    def test_jobs_keyword_warns_and_routes_parallel(self):
+        with pytest.warns(DeprecationWarning):
+            opts = merge_legacy_options(None, where="t", jobs=2)
+        assert opts.resolved_method == "parallel"
+        assert opts.jobs == 2
+
+    def test_config_keyword_lifts_gates(self):
+        config = RunConfig(sql_min_facts=55)
+        with pytest.warns(DeprecationWarning):
+            opts = merge_legacy_options(None, where="t", config=config)
+        assert opts.sql_min_facts == 55
+
+    def test_config_jobs_only_lifts_for_parallel(self):
+        # Historical contract: certain_answers(..., method="compiled",
+        # config=RunConfig(jobs=2)) ran serial compiled — keep it legal.
+        config = RunConfig(jobs=2)
+        with pytest.warns(DeprecationWarning):
+            opts = merge_legacy_options("compiled", where="t", config=config)
+        assert opts.method == "compiled"
+        assert opts.jobs is None
+
+    def test_options_beat_legacy_keywords(self):
+        with pytest.warns(DeprecationWarning):
+            opts = merge_legacy_options(
+                ExecutionOptions(method="sql"), where="t", method="brute"
+            )
+        assert opts.method == "sql"
+
+
+class TestEngineIntegration:
+    QUERY = "P(x | y), not N('c' | y)"  # acyclic: FO-rewritable
+
+    @staticmethod
+    def _db():
+        db = Database([RelationSchema("P", 2, 1), RelationSchema("N", 2, 1)])
+        db.add("P", ("a", "b"))
+        db.add("N", ("c", "d"))
+        return db
+
+    def test_engine_accepts_options_positionally(self):
+        engine = CertaintyEngine(parse_query(self.QUERY))
+        db = self._db()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            expected = engine.certain(db, "brute")
+            assert engine.certain(db, ExecutionOptions(method="compiled")) \
+                == expected
+            assert engine.certain(db, {"method": "interpreted"}) == expected
+
+    def test_engine_deprecated_method_keyword_still_works(self):
+        engine = CertaintyEngine(parse_query(self.QUERY))
+        db = self._db()
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.certain(db, method="compiled")
+        assert legacy == engine.certain(db, "compiled")
